@@ -1,0 +1,95 @@
+// Package alps is a user-level proportional-share CPU scheduler — a Go
+// implementation of "ALPS: An Application-Level Proportional-Share
+// Scheduler" (Travis Newhouse and Joseph Pasquale, HPDC 2006).
+//
+// ALPS lets an ordinary, unprivileged process apportion CPU time among a
+// group of processes according to arbitrary share weights, with no kernel
+// modifications and no special priorities. It samples each process's
+// cumulative CPU time once per quantum (lazily — only when the process
+// could possibly have exhausted its allowance), and nudges the kernel
+// scheduler by suspending processes that have used their share of the
+// current cycle (SIGSTOP) and resuming them when a new cycle grants a
+// fresh allowance (SIGCONT). Fine-grained time slicing is left entirely
+// to the kernel.
+//
+// The package exposes three layers:
+//
+//   - The algorithm (Scheduler, New): a pure, substrate-free
+//     implementation of the paper's Figure 3, usable with any driver
+//     that can measure progress and suspend/resume tasks.
+//   - The OS runner (Runner, NewRunner): drives real processes on Linux
+//     via /proc and kill(2). This is the production deployment; the
+//     cmd/alps CLI is a thin wrapper around it.
+//   - The simulator (Kernel, StartALPS, and the websim helpers): a
+//     deterministic discrete-event model of a 4.4BSD-style kernel on
+//     which every experiment in the paper is reproduced. Use it to
+//     explore share policies without touching real processes.
+//
+// # Quick start (simulated)
+//
+//	k := alps.NewKernel()
+//	a := k.SpawnStopped("a", 0, alps.Spin())
+//	b := k.SpawnStopped("b", 0, alps.Spin())
+//	sched, _ := alps.StartALPS(k, alps.SimConfig{Quantum: 10 * time.Millisecond},
+//	    []alps.SimTask{{ID: 1, Share: 1, Pids: []alps.SimPID{a}},
+//	                   {ID: 2, Share: 3, Pids: []alps.SimPID{b}}})
+//	k.Run(10 * time.Second) // b now has ~3x a's CPU time
+//	_ = sched
+//
+// # Quick start (real processes, Linux)
+//
+//	r, err := alps.NewRunner(alps.RunnerConfig{Quantum: 20 * time.Millisecond},
+//	    []alps.RunnerTask{{ID: 1, Share: 1, PIDs: []int{pidA}},
+//	                      {ID: 2, Share: 3, PIDs: []int{pidB}}})
+//	if err != nil { ... }
+//	err = r.Run(ctx) // blocks; cancel ctx to stop and resume the workload
+package alps
+
+import (
+	"alps/internal/core"
+)
+
+// TaskID identifies a task under ALPS control.
+type TaskID = core.TaskID
+
+// State is a task's eligibility state (Eligible or Ineligible).
+type State = core.State
+
+// Task eligibility states.
+const (
+	Ineligible = core.Ineligible
+	Eligible   = core.Eligible
+)
+
+// Progress reports a task's execution status since its last measurement.
+type Progress = core.Progress
+
+// Config parameterizes the ALPS algorithm.
+type Config = core.Config
+
+// Scheduler is the ALPS proportional-share scheduling algorithm (the
+// paper's Figure 3). It is substrate-free: drive it with TickQuantum once
+// per quantum and enact the returned Decision.
+type Scheduler = core.Scheduler
+
+// Decision lists the eligibility transitions one quantum produced.
+type Decision = core.Decision
+
+// Reader measures a task's progress for TickQuantum.
+type Reader = core.Reader
+
+// CycleRecord logs the per-task CPU consumption of one completed cycle.
+type CycleRecord = core.CycleRecord
+
+// CycleTask is one task's entry in a CycleRecord.
+type CycleTask = core.CycleTask
+
+// New creates a Scheduler with the given configuration.
+func New(cfg Config) *Scheduler { return core.New(cfg) }
+
+// Errors returned by Scheduler task management.
+var (
+	ErrTaskExists = core.ErrTaskExists
+	ErrNoTask     = core.ErrNoTask
+	ErrBadShare   = core.ErrBadShare
+)

@@ -1,0 +1,105 @@
+package alps_test
+
+import (
+	"testing"
+	"time"
+
+	"alps"
+)
+
+// TestAlgorithmAPI drives the substrate-free scheduler through the public
+// API: two tasks 1:3, modeled full-speed consumption, proportional
+// long-run allocation.
+func TestAlgorithmAPI(t *testing.T) {
+	s := alps.New(alps.Config{Quantum: 10 * time.Millisecond})
+	if err := s.Add(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalShares() != 4 {
+		t.Fatalf("TotalShares = %d", s.TotalShares())
+	}
+	if st, _ := s.State(1); st != alps.Ineligible {
+		t.Error("tasks must start ineligible")
+	}
+	d := s.TickQuantum(func(alps.TaskID) (alps.Progress, bool) {
+		return alps.Progress{}, true
+	})
+	if len(d.Resume) != 2 {
+		t.Fatalf("first tick resumed %v", d.Resume)
+	}
+}
+
+// TestSimulationAPI runs the quickstart scenario through the facade.
+func TestSimulationAPI(t *testing.T) {
+	k := alps.NewKernel()
+	a := k.SpawnStopped("a", 0, alps.Spin())
+	b := k.SpawnStopped("b", 0, alps.Spin())
+	sched, err := alps.StartALPS(k, alps.SimConfig{
+		Quantum: 10 * time.Millisecond,
+		Cost:    alps.PaperCosts(),
+	}, []alps.SimTask{
+		{ID: 1, Share: 1, Pids: []alps.SimPID{a}},
+		{ID: 2, Share: 3, Pids: []alps.SimPID{b}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(30 * time.Second)
+	ia, _ := k.Info(a)
+	ib, _ := k.Info(b)
+	ratio := float64(ib.CPU) / float64(ia.CPU)
+	if ratio < 2.6 || ratio > 3.4 {
+		t.Errorf("CPU ratio = %.2f, want ~3 (a=%v b=%v)", ratio, ia.CPU, ib.CPU)
+	}
+	if sched.CPU() == 0 {
+		t.Error("ALPS consumed no CPU under the paper cost model")
+	}
+}
+
+// TestShareDistributionAPI checks the Table 2 facade.
+func TestShareDistributionAPI(t *testing.T) {
+	d, err := alps.ShareDistribution(alps.SkewedShares, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 5 || d[4] != 21 {
+		t.Errorf("skewed 5 = %v", d)
+	}
+	if _, err := alps.ShareDistribution(alps.LinearShares, 0); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+// TestWebFacade runs a miniature §5 configuration.
+func TestWebFacade(t *testing.T) {
+	cfg := alps.DefaultWebConfig()
+	for i := range cfg.Sites {
+		cfg.Sites[i].Servers = 10
+		cfg.Sites[i].Clients = 60
+	}
+	cfg.UseALPS = true
+	cfg.Warmup = 20 * time.Second
+	cfg.Measure = 30 * time.Second
+	res, err := alps.RunWebServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sites) != 3 {
+		t.Fatalf("got %d sites", len(res.Sites))
+	}
+	if res.Sites[2].Throughput <= res.Sites[0].Throughput {
+		t.Errorf("3-share site (%.1f/s) not above 1-share site (%.1f/s)",
+			res.Sites[2].Throughput, res.Sites[0].Throughput)
+	}
+}
+
+// TestRunnerValidationAPI checks the real-process facade's validation
+// without touching any processes.
+func TestRunnerValidationAPI(t *testing.T) {
+	if _, err := alps.NewRunner(alps.RunnerConfig{Quantum: time.Millisecond}, nil); err == nil {
+		t.Error("sub-tick quantum should error")
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseExampleScenario(t *testing.T) {
+	sc, err := ParseScenario([]byte(exampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Tasks) != 5 {
+		t.Fatalf("tasks = %d", len(sc.Tasks))
+	}
+	if sc.Tasks[3].Behavior != "io" || time.Duration(sc.Tasks[3].Exec) != 80*time.Millisecond {
+		t.Errorf("io task parsed as %+v", sc.Tasks[3])
+	}
+	if sc.Tasks[4].Procs != 3 {
+		t.Errorf("pool procs = %d", sc.Tasks[4].Procs)
+	}
+	if sc.Reservations["large"] != 0.30 {
+		t.Errorf("reservations = %v", sc.Reservations)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{"tasks":[{"name":"a","share":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.NCPU != 1 || time.Duration(sc.Quantum) != 10*time.Millisecond || time.Duration(sc.Duration) != time.Minute {
+		t.Errorf("defaults: %+v", sc)
+	}
+	if sc.Tasks[0].Behavior != "spin" || sc.Tasks[0].Procs != 1 {
+		t.Errorf("task defaults: %+v", sc.Tasks[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad policy":        `{"policy":"o1","tasks":[{"name":"a","share":1}]}`,
+		"no tasks":          `{"tasks":[]}`,
+		"unnamed task":      `{"tasks":[{"share":1}]}`,
+		"duplicate name":    `{"tasks":[{"name":"a","share":1},{"name":"a","share":2}]}`,
+		"zero share":        `{"tasks":[{"name":"a","share":0}]}`,
+		"bad behavior":      `{"tasks":[{"name":"a","share":1,"behavior":"dance"}]}`,
+		"io without waits":  `{"tasks":[{"name":"a","share":1,"behavior":"io"}]}`,
+		"unknown resv task": `{"tasks":[{"name":"a","share":1}],"reservations":{"zzz":0.5}}`,
+		"bad resv rate":     `{"tasks":[{"name":"a","share":1}],"reservations":{"a":1.5}}`,
+		"unknown field":     `{"tasks":[{"name":"a","share":1}],"typo":true}`,
+		"bad duration":      `{"duration":"soon","tasks":[{"name":"a","share":1}]}`,
+	}
+	for name, raw := range cases {
+		if _, err := ParseScenario([]byte(raw)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseNumericDuration(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{"quantum":20000000,"tasks":[{"name":"a","share":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(sc.Quantum) != 20*time.Millisecond {
+		t.Errorf("numeric quantum = %v", time.Duration(sc.Quantum))
+	}
+}
+
+// TestRunScenarioProportions runs a small scenario end to end.
+func TestRunScenarioProportions(t *testing.T) {
+	sc, err := ParseScenario([]byte(`{
+		"duration": "1m",
+		"tasks": [
+			{"name": "a", "share": 1},
+			{"name": "b", "share": 3}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(sc, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Error("no cycles completed")
+	}
+	if res.Tasks[0].PctOfWorkload < 22 || res.Tasks[0].PctOfWorkload > 28 {
+		t.Errorf("task a got %.1f%%, want ~25%%", res.Tasks[0].PctOfWorkload)
+	}
+	rep := res.Report()
+	if !strings.Contains(rep, "ALPS overhead") || !strings.Contains(rep, "task") {
+		t.Errorf("report missing sections:\n%s", rep)
+	}
+}

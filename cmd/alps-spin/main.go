@@ -1,0 +1,74 @@
+// Command alps-spin is a synthetic workload process for exercising ALPS
+// on a real system: it burns CPU, optionally alternating compute bursts
+// with sleeps to imitate the paper's I/O workload (§3.3).
+//
+// Usage:
+//
+//	alps-spin [-burst 80ms] [-sleep 240ms] [-duration 0] [-report 0]
+//
+// With -sleep 0 (default) it spins forever. -report prints the loop
+// counter every interval, the progress measure the paper uses to
+// cross-check overhead numbers (§3.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	burst := flag.Duration("burst", 0, "CPU burst length between sleeps (0 = spin forever)")
+	sleep := flag.Duration("sleep", 0, "sleep length between bursts")
+	duration := flag.Duration("duration", 0, "total run time before exiting (0 = forever)")
+	report := flag.Duration("report", 0, "print loop-counter progress this often (0 = never)")
+	flag.Parse()
+
+	start := time.Now()
+	var counter uint64
+	lastReport := start
+
+	// Calibrate a busy-loop chunk of roughly 1 ms so the control checks
+	// don't dominate.
+	chunk := calibrate()
+
+	for {
+		busyStart := time.Now()
+		for *burst == 0 || time.Since(busyStart) < *burst {
+			for i := 0; i < chunk; i++ {
+				counter++
+			}
+			if *report > 0 && time.Since(lastReport) >= *report {
+				fmt.Printf("%d %d\n", time.Since(start).Milliseconds(), counter)
+				lastReport = time.Now()
+			}
+			if *duration > 0 && time.Since(start) >= *duration {
+				fmt.Fprintf(os.Stderr, "alps-spin: done, counter=%d\n", counter)
+				return
+			}
+			if *burst > 0 && time.Since(busyStart) >= *burst {
+				break
+			}
+		}
+		if *sleep > 0 {
+			time.Sleep(*sleep)
+		}
+	}
+}
+
+// calibrate sizes the inner loop to roughly 1 ms of work.
+func calibrate() int {
+	n := 1 << 16
+	for {
+		start := time.Now()
+		var x uint64
+		for i := 0; i < n; i++ {
+			x++
+		}
+		if d := time.Since(start); d >= time.Millisecond || n >= 1<<28 {
+			return n
+		}
+		n *= 2
+	}
+}

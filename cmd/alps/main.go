@@ -1,0 +1,285 @@
+// Command alps runs the ALPS application-level proportional-share
+// scheduler over real processes (Linux). It is an unprivileged tool: it
+// only needs permission to signal the target processes.
+//
+// Attach to existing processes (pid:share pairs):
+//
+//	alps attach -q 20ms 4321:1 4322:2 4323:3
+//
+// Spawn N copies of a command under proportional shares (-children makes
+// each command's whole process tree one resource principal, for prefork
+// servers):
+//
+//	alps spawn -q 20ms -shares 1,2,3 -- ./alps-spin
+//
+// Schedule whole users as resource principals (§5 of the paper), with
+// membership refreshed every second:
+//
+//	alps user -q 100ms alice:1 bob:2 carol:3
+//
+// All modes run until interrupted; on exit every suspended process is
+// resumed. Add -log to print per-cycle consumption.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"os/user"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"alps"
+	"alps/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "attach":
+		err = cmdAttach(os.Args[2:])
+	case "spawn":
+		err = cmdSpawn(os.Args[2:])
+	case "user":
+		err = cmdUser(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alps:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  alps attach [-q quantum] [-log] pid:share ...
+  alps spawn  [-q quantum] [-log] [-children] -shares 1,2,3 -- command [args...]
+  alps user   [-q quantum] [-log] [-refresh 1s] name:share ...
+`)
+}
+
+func commonFlags(fs *flag.FlagSet) (q *time.Duration, logCycles *bool) {
+	q = fs.Duration("q", 20*time.Millisecond, "ALPS quantum")
+	logCycles = fs.Bool("log", false, "print per-cycle consumption")
+	return
+}
+
+func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask) error {
+	r, err := alps.NewRunner(cfg, tasks)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = r.Run(ctx)
+	if err == context.Canceled {
+		return nil
+	}
+	return err
+}
+
+func cycleLogger(enabled bool) func(core.CycleRecord) {
+	if !enabled {
+		return nil
+	}
+	return func(rec core.CycleRecord) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "cycle %d:", rec.Index)
+		var total time.Duration
+		for _, t := range rec.Tasks {
+			total += t.Consumed
+		}
+		for _, t := range rec.Tasks {
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(t.Consumed) / float64(total)
+			}
+			fmt.Fprintf(&b, " task%d=%v(%.1f%%)", t.ID, t.Consumed.Round(time.Millisecond), pct)
+		}
+		fmt.Println(b.String())
+	}
+}
+
+func parsePidShares(args []string) ([]alps.RunnerTask, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("no pid:share pairs given")
+	}
+	var tasks []alps.RunnerTask
+	for i, a := range args {
+		pidStr, shareStr, ok := strings.Cut(a, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad pid:share %q", a)
+		}
+		pid, err := strconv.Atoi(pidStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad pid in %q: %v", a, err)
+		}
+		share, err := strconv.ParseInt(shareStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad share in %q: %v", a, err)
+		}
+		tasks = append(tasks, alps.RunnerTask{ID: alps.TaskID(i), Share: share, PIDs: []int{pid}})
+	}
+	return tasks, nil
+}
+
+func cmdAttach(args []string) error {
+	fs := flag.NewFlagSet("attach", flag.ExitOnError)
+	q, logCycles := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tasks, err := parsePidShares(fs.Args())
+	if err != nil {
+		return err
+	}
+	return runUntilSignal(alps.RunnerConfig{Quantum: *q, OnCycle: cycleLogger(*logCycles)}, tasks)
+}
+
+func cmdSpawn(args []string) error {
+	fs := flag.NewFlagSet("spawn", flag.ExitOnError)
+	q, logCycles := commonFlags(fs)
+	sharesStr := fs.String("shares", "", "comma-separated shares, one process per share")
+	children := fs.Bool("children", false, "track each command's descendants (prefork servers), refreshed every second")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmdArgs := fs.Args()
+	if len(cmdArgs) == 0 {
+		return fmt.Errorf("no command given")
+	}
+	if *sharesStr == "" {
+		return fmt.Errorf("-shares is required")
+	}
+	var shares []int64
+	for _, s := range strings.Split(*sharesStr, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad share %q: %v", s, err)
+		}
+		shares = append(shares, v)
+	}
+	var tasks []alps.RunnerTask
+	var procs []*exec.Cmd
+	for i, share := range shares {
+		cmd := exec.Command(cmdArgs[0], cmdArgs[1:]...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, p := range procs {
+				_ = p.Process.Kill()
+			}
+			return fmt.Errorf("start %q: %w", cmdArgs[0], err)
+		}
+		procs = append(procs, cmd)
+		fmt.Fprintf(os.Stderr, "alps: started pid %d with share %d\n", cmd.Process.Pid, share)
+		tasks = append(tasks, alps.RunnerTask{ID: alps.TaskID(i), Share: share, PIDs: []int{cmd.Process.Pid}})
+	}
+	defer func() {
+		for _, p := range procs {
+			_ = p.Process.Kill()
+			_ = p.Wait()
+		}
+	}()
+	cfg := alps.RunnerConfig{Quantum: *q, OnCycle: cycleLogger(*logCycles)}
+	if *children {
+		// Each spawned command is a resource principal covering its
+		// whole process tree (e.g. a prefork server and its workers),
+		// re-resolved once per second as in the paper's §5.
+		roots := make([]int, len(procs))
+		for i, p := range procs {
+			roots[i] = p.Process.Pid
+		}
+		cfg.RefreshEvery = time.Second
+		cfg.Refresh = func() map[alps.TaskID][]int {
+			m := make(map[alps.TaskID][]int, len(roots))
+			for i, root := range roots {
+				pids, err := alps.Descendants(root)
+				if err != nil {
+					continue
+				}
+				m[alps.TaskID(i)] = pids
+			}
+			return m
+		}
+	}
+	return runUntilSignal(cfg, tasks)
+}
+
+func cmdUser(args []string) error {
+	fs := flag.NewFlagSet("user", flag.ExitOnError)
+	q, logCycles := commonFlags(fs)
+	refresh := fs.Duration("refresh", time.Second, "membership refresh period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	type principal struct {
+		uid   uint32
+		share int64
+	}
+	var principals []principal
+	for _, a := range fs.Args() {
+		name, shareStr, ok := strings.Cut(a, ":")
+		if !ok {
+			return fmt.Errorf("bad name:share %q", a)
+		}
+		u, err := user.Lookup(name)
+		if err != nil {
+			return err
+		}
+		uid, err := strconv.ParseUint(u.Uid, 10, 32)
+		if err != nil {
+			return fmt.Errorf("non-numeric uid %q for %s", u.Uid, name)
+		}
+		share, err := strconv.ParseInt(shareStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad share in %q: %v", a, err)
+		}
+		principals = append(principals, principal{uint32(uid), share})
+	}
+	if len(principals) == 0 {
+		return fmt.Errorf("no user:share pairs given")
+	}
+	self := os.Getpid()
+	membership := func() map[alps.TaskID][]int {
+		m := make(map[alps.TaskID][]int)
+		for i, p := range principals {
+			pids, err := alps.PidsOfUser(p.uid)
+			if err != nil {
+				continue
+			}
+			var filtered []int
+			for _, pid := range pids {
+				if pid != self {
+					filtered = append(filtered, pid)
+				}
+			}
+			m[alps.TaskID(i)] = filtered
+		}
+		return m
+	}
+	initial := membership()
+	var tasks []alps.RunnerTask
+	for i, p := range principals {
+		tasks = append(tasks, alps.RunnerTask{ID: alps.TaskID(i), Share: p.share, PIDs: initial[alps.TaskID(i)]})
+	}
+	return runUntilSignal(alps.RunnerConfig{
+		Quantum:      *q,
+		OnCycle:      cycleLogger(*logCycles),
+		RefreshEvery: *refresh,
+		Refresh:      membership,
+	}, tasks)
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParsePidShares(t *testing.T) {
+	tasks, err := parsePidShares([]string{"100:1", "200:3", "300:5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 3 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	if tasks[1].PIDs[0] != 200 || tasks[1].Share != 3 || tasks[1].ID != 1 {
+		t.Errorf("task[1] = %+v", tasks[1])
+	}
+}
+
+func TestParsePidSharesErrors(t *testing.T) {
+	cases := [][]string{
+		{},              // empty
+		{"100"},         // no colon
+		{"x:1"},         // bad pid
+		{"100:y"},       // bad share
+		{"100:1", "::"}, // garbage
+	}
+	for _, args := range cases {
+		if _, err := parsePidShares(args); err == nil {
+			t.Errorf("parsePidShares(%v) should fail", args)
+		}
+	}
+}
+
+func TestCycleLoggerNilWhenDisabled(t *testing.T) {
+	if cycleLogger(false) != nil {
+		t.Error("disabled logger should be nil")
+	}
+	if cycleLogger(true) == nil {
+		t.Error("enabled logger should not be nil")
+	}
+}

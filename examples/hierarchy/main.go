@@ -1,0 +1,88 @@
+// Hierarchical-policy example: a shared machine whose CPU policy is a
+// tree — departments split the machine 2:1, the big department splits
+// research:teaching 3:1, and research runs two jobs equally. The tree is
+// flattened into the integer shares the (flat) ALPS algorithm enforces;
+// halfway through, the policy is edited (teaching gets parity with
+// research during the exam period) and rebalanced live.
+//
+// Run with: go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"alps"
+)
+
+func policy(teachingShare int64) *alps.ShareNode {
+	return alps.ShareGroup("univ", 1,
+		alps.ShareGroup("bigdept", 2,
+			alps.ShareGroup("research", 3,
+				alps.ShareLeaf("job1", 1, 1),
+				alps.ShareLeaf("job2", 1, 2),
+			),
+			alps.ShareLeaf("teaching", teachingShare, 3),
+		),
+		alps.ShareLeaf("smalldept", 1, 4),
+	)
+}
+
+func main() {
+	k := alps.NewKernel()
+
+	weights, err := alps.FlattenShares(policy(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial policy flattens to:")
+	pids := make(map[alps.TaskID]alps.SimPID)
+	var tasks []alps.SimTask
+	for _, w := range weights {
+		fmt.Printf("  %-28s task %d: share %2d (%.1f%% of machine)\n", w.Name, w.Task, w.Share, 100*w.Fraction)
+		pid := k.SpawnStopped(w.Name, 0, alps.Spin())
+		pids[w.Task] = pid
+		tasks = append(tasks, alps.SimTask{ID: w.Task, Share: w.Share, Pids: []alps.SimPID{pid}})
+	}
+
+	a, err := alps.StartALPS(k, alps.SimConfig{
+		Quantum: 10 * time.Millisecond,
+		Cost:    alps.PaperCosts(),
+	}, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// At t=60s the exam period begins: teaching's share rises to match
+	// research, and the live scheduler is rebalanced from the new tree.
+	k.At(60*time.Second, func() {
+		if _, _, err := alps.RebalanceShares(a.Scheduler(), policy(3)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nt=60s: exam period — teaching rebalanced to parity with research")
+	})
+
+	report := func(base map[alps.TaskID]time.Duration) map[alps.TaskID]time.Duration {
+		cur := make(map[alps.TaskID]time.Duration)
+		var total time.Duration
+		for task, pid := range pids {
+			info, _ := k.Info(pid)
+			cur[task] = info.CPU
+			total += info.CPU - base[task]
+		}
+		for task := alps.TaskID(1); task <= 4; task++ {
+			got := cur[task] - base[task]
+			fmt.Printf("  task %d: %5.1f%%", task, 100*float64(got)/float64(total))
+		}
+		fmt.Println()
+		return cur
+	}
+
+	k.Run(60 * time.Second)
+	fmt.Println("\nphase 1 apportionment (targets 25 / 25 / 16.7 / 33.3):")
+	base := report(map[alps.TaskID]time.Duration{})
+	k.Run(120 * time.Second)
+	fmt.Println("\nphase 2 apportionment (targets 16.7 / 16.7 / 33.3 / 33.3):")
+	report(base)
+}

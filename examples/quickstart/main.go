@@ -1,0 +1,69 @@
+// Quickstart: proportional-share scheduling of three compute-bound
+// processes with shares 1:2:3 on the simulated machine.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"alps"
+)
+
+func main() {
+	k := alps.NewKernel()
+
+	// Three compute-bound workers, spawned suspended; ALPS releases
+	// them as it grants allowances.
+	pids := []alps.SimPID{
+		k.SpawnStopped("worker-a", 0, alps.Spin()),
+		k.SpawnStopped("worker-b", 0, alps.Spin()),
+		k.SpawnStopped("worker-c", 0, alps.Spin()),
+	}
+	shares := []int64{1, 2, 3}
+
+	tasks := make([]alps.SimTask, len(pids))
+	for i := range pids {
+		tasks[i] = alps.SimTask{ID: alps.TaskID(i), Share: shares[i], Pids: []alps.SimPID{pids[i]}}
+	}
+
+	cycles := 0
+	_, err := alps.StartALPS(k, alps.SimConfig{
+		Quantum: 10 * time.Millisecond,
+		Cost:    alps.PaperCosts(),
+		OnCycle: func(rec alps.CycleRecord) {
+			cycles++
+			if cycles%50 != 0 {
+				return
+			}
+			var total time.Duration
+			for _, t := range rec.Tasks {
+				total += t.Consumed
+			}
+			fmt.Printf("cycle %3d:", rec.Index)
+			for _, t := range rec.Tasks {
+				fmt.Printf("  task%v %5.1f%%", t.ID, 100*float64(t.Consumed)/float64(total))
+			}
+			fmt.Println()
+		},
+	}, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	k.Run(30 * time.Second)
+
+	fmt.Println("\nfinal cumulative CPU (target 1:2:3):")
+	var total time.Duration
+	for _, pid := range pids {
+		info, _ := k.Info(pid)
+		total += info.CPU
+	}
+	for i, pid := range pids {
+		info, _ := k.Info(pid)
+		fmt.Printf("  %s (share %d): %8v  %5.1f%%\n",
+			info.Name, shares[i], info.CPU.Round(time.Millisecond), 100*float64(info.CPU)/float64(total))
+	}
+}

@@ -1,0 +1,72 @@
+// Real-OS example: ALPS controlling actual processes on Linux with no
+// privileges and no kernel support — the paper's deployment model. It
+// spawns three busy-loop shell processes, schedules them 1:2:3 for ten
+// seconds, then reports the CPU time each received from /proc.
+//
+// Run with: go run ./examples/realos
+// (requires Linux /proc; exits gracefully elsewhere)
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"time"
+
+	"alps"
+)
+
+func main() {
+	if _, err := os.Stat("/proc/self/stat"); err != nil {
+		fmt.Println("realos example requires Linux /proc; skipping")
+		return
+	}
+
+	shares := []int64{1, 2, 3}
+	var cmds []*exec.Cmd
+	var tasks []alps.RunnerTask
+	for i, s := range shares {
+		cmd := exec.Command("/bin/sh", "-c", "while :; do :; done")
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		cmds = append(cmds, cmd)
+		tasks = append(tasks, alps.RunnerTask{ID: alps.TaskID(i), Share: s, PIDs: []int{cmd.Process.Pid}})
+		fmt.Printf("spawned busy loop pid %d with share %d\n", cmd.Process.Pid, s)
+	}
+	defer func() {
+		for _, c := range cmds {
+			_ = c.Process.Kill()
+			_ = c.Wait()
+		}
+	}()
+
+	r, err := alps.NewRunner(alps.RunnerConfig{Quantum: 20 * time.Millisecond}, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fmt.Println("scheduling 1:2:3 for 10 seconds...")
+	if err := r.Run(ctx); err != nil && err != context.DeadlineExceeded {
+		log.Fatal(err)
+	}
+
+	var total time.Duration
+	cpus := make([]time.Duration, len(cmds))
+	for i, c := range cmds {
+		st, err := alps.ReadStat(c.Process.Pid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpus[i] = st.CPU
+		total += st.CPU
+	}
+	fmt.Println("\nCPU received (target 1:2:3):")
+	for i := range cmds {
+		fmt.Printf("  pid %d (share %d): %8v  %5.1f%%\n",
+			cmds[i].Process.Pid, shares[i], cpus[i], 100*float64(cpus[i])/float64(total))
+	}
+}

@@ -1,0 +1,83 @@
+// Scientific-application example (the paper's adaptive-mesh-refinement
+// motivation, §1): a multi-process simulation partitions a domain into
+// four regions, one worker process per region, and wants each worker's
+// CPU allocation proportional to its region's cell count. As the mesh
+// refines — cells concentrate in a region of interest — the application
+// re-weights the shares at runtime and ALPS shifts the CPU apportionment
+// accordingly, without touching the kernel.
+//
+// Run with: go run ./examples/scientific
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"alps"
+)
+
+// refinement stages: cell counts per region, changing as the mesh adapts.
+var stages = [][]int64{
+	{100, 100, 100, 100}, // uniform initial mesh
+	{250, 100, 50, 50},   // refinement concentrates in region 0
+	{400, 50, 25, 25},    // further concentration
+}
+
+const stageLen = 20 * time.Second
+
+func main() {
+	k := alps.NewKernel()
+
+	pids := make([]alps.SimPID, 4)
+	tasks := make([]alps.SimTask, 4)
+	for i := range pids {
+		pids[i] = k.SpawnStopped(fmt.Sprintf("region%d", i), 0, alps.Spin())
+		tasks[i] = alps.SimTask{ID: alps.TaskID(i), Share: stages[0][i], Pids: []alps.SimPID{pids[i]}}
+	}
+
+	a, err := alps.StartALPS(k, alps.SimConfig{
+		Quantum: 10 * time.Millisecond,
+		Cost:    alps.PaperCosts(),
+	}, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Re-weight shares at each refinement stage.
+	for s := 1; s < len(stages); s++ {
+		s := s
+		k.At(time.Duration(s)*stageLen, func() {
+			for i, cells := range stages[s] {
+				if err := a.Scheduler().SetShare(alps.TaskID(i), cells); err != nil {
+					log.Fatal(err)
+				}
+			}
+			fmt.Printf("t=%v: mesh refined, shares now %v\n", k.Now().Round(time.Second), stages[s])
+		})
+	}
+
+	// Measure each stage's apportionment.
+	prev := make([]time.Duration, 4)
+	for s := range stages {
+		k.Run(time.Duration(s+1) * stageLen)
+		var deltas [4]time.Duration
+		var total time.Duration
+		for i, pid := range pids {
+			info, _ := k.Info(pid)
+			deltas[i] = info.CPU - prev[i]
+			prev[i] = info.CPU
+			total += deltas[i]
+		}
+		fmt.Printf("stage %d (cells %v):\n", s, stages[s])
+		var cellTotal int64
+		for _, c := range stages[s] {
+			cellTotal += c
+		}
+		for i := range pids {
+			got := 100 * float64(deltas[i]) / float64(total)
+			want := 100 * float64(stages[s][i]) / float64(cellTotal)
+			fmt.Printf("  region%d: %5.1f%% of CPU (target %5.1f%%)\n", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module alps
+
+go 1.22

@@ -1,0 +1,39 @@
+package alps
+
+import (
+	"alps/internal/hier"
+)
+
+// Hierarchical share policies (in the spirit of hierarchical CPU
+// schedulers, the paper's reference [14]): shares form a tree whose
+// internal nodes divide their parent's allocation; Flatten turns the
+// leaves into the integer shares the flat ALPS algorithm schedules.
+
+// ShareNode is a vertex of a hierarchical share policy.
+type ShareNode = hier.Node
+
+// ShareWeight is one leaf's effective allocation after flattening.
+type ShareWeight = hier.Weight
+
+// ErrBadShareTree is wrapped by share-tree validation failures.
+var ErrBadShareTree = hier.ErrBadTree
+
+// ShareLeaf constructs a leaf bound to an ALPS task.
+func ShareLeaf(name string, share int64, task TaskID) *ShareNode {
+	return hier.Leaf(name, share, task)
+}
+
+// ShareGroup constructs an internal policy node.
+func ShareGroup(name string, share int64, children ...*ShareNode) *ShareNode {
+	return hier.Group(name, share, children...)
+}
+
+// FlattenShares computes each leaf's effective integer share.
+func FlattenShares(root *ShareNode) ([]ShareWeight, error) { return hier.Flatten(root) }
+
+// RebalanceShares pushes a tree's effective shares into a live scheduler,
+// returning tasks the tree references that are not registered and
+// registered tasks the tree omits.
+func RebalanceShares(s *Scheduler, root *ShareNode) (missing, extra []ShareWeight, err error) {
+	return hier.Rebalance(s, root)
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBlockedTaskRecheckedEveryQuantum: a task observed blocked loses the
+// lazy postponement — it is measured (and charged, §2.4) every quantum
+// until it is seen consuming again, so a blocked task with a large
+// allowance cannot hold the cycle open.
+func TestBlockedTaskRecheckedEveryQuantum(t *testing.T) {
+	s := newSched(t, 10, 10)
+	s.TickQuantum(constReader(nil))
+	measured0 := 0
+	read := func(blocked bool) Reader {
+		return func(id TaskID) (Progress, bool) {
+			if id == 0 {
+				measured0++
+				return Progress{Blocked: blocked}, true
+			}
+			return Progress{}, true
+		}
+	}
+	// Advance to task 0's first due measurement (10 quanta out) and
+	// observe it blocked.
+	for i := 0; i < 10; i++ {
+		s.TickQuantum(read(true))
+	}
+	if measured0 != 1 {
+		t.Fatalf("measured %d times before first due tick, want 1", measured0)
+	}
+	// From now on it must be measured every quantum while blocked.
+	for i := 0; i < 5; i++ {
+		s.TickQuantum(read(true))
+	}
+	if measured0 != 6 {
+		t.Fatalf("blocked task measured %d times over 5 quanta, want 5 more", measured0-1)
+	}
+	// Each blocked quantum charged one quantum of allowance.
+	al, _ := s.Allowance(0)
+	if al != 10*q-6*q {
+		t.Errorf("allowance = %v, want %v (6 blocked charges)", al, 4*q)
+	}
+	// Once it consumes again, lazy postponement resumes.
+	s.TickQuantum(func(id TaskID) (Progress, bool) {
+		if id == 0 {
+			measured0++
+			return Progress{Consumed: q}, true
+		}
+		return Progress{}, true
+	})
+	// Allowance is now 3q, so the next due measurement is 3 quanta out:
+	// the two intermediate quanta are skipped again.
+	base := measured0
+	s.TickQuantum(read(true))
+	s.TickQuantum(read(true))
+	if measured0 != base {
+		t.Fatalf("lazy postponement did not resume: %d extra measurements", measured0-base)
+	}
+	s.TickQuantum(read(true))
+	if measured0 != base+1 {
+		t.Errorf("post-recovery due measurement missing: %d extra, want 1", measured0-base)
+	}
+}
+
+// TestBlockedChargeDrainsCycle: with one compute-bound and one
+// persistently blocked task of equal large shares, the cycle completes in
+// roughly the time the compute-bound task needs for its half, because
+// the blocked task's charges run concurrently (they consume no CPU).
+func TestBlockedChargeDrainsCycle(t *testing.T) {
+	s := newSched(t, 20, 20)
+	s.TickQuantum(constReader(nil))
+	var cum, last time.Duration
+	completed := 0
+	ticks := 0
+	for completed == 0 && ticks < 100 {
+		ticks++
+		cum += q // task 1 runs full speed
+		d := s.TickQuantum(func(id TaskID) (Progress, bool) {
+			if id == 0 {
+				return Progress{Blocked: true}, true
+			}
+			p := Progress{Consumed: cum - last}
+			last = cum
+			return p, true
+		})
+		if d.CycleCompleted {
+			completed = ticks
+		}
+	}
+	if completed == 0 {
+		t.Fatal("cycle never completed")
+	}
+	// Cycle budget 40q: task 1 delivers its 20q by tick ~21 (its first
+	// due measurement), and from tick 21 task 0's charges drain the
+	// remaining ~19q at one quantum per quantum — completion near tick
+	// 40. Without the every-quantum recheck, each charge would be
+	// postponed by ceil(allowance) and the cycle would take hundreds of
+	// quanta.
+	if completed > 45 {
+		t.Errorf("cycle completed after %d quanta; blocked charges not draining", completed)
+	}
+}

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+const q = 10 * time.Millisecond
+
+func newSched(t *testing.T, shares ...int64) *Scheduler {
+	t.Helper()
+	s := New(Config{Quantum: q})
+	for i, sh := range shares {
+		if err := s.Add(TaskID(i), sh); err != nil {
+			t.Fatalf("Add(%d, %d): %v", i, sh, err)
+		}
+	}
+	return s
+}
+
+// fullSpeed returns a Reader that models tasks consuming CPU at full
+// speed whenever eligible: each task consumes exactly one quantum per
+// tick while eligible... except that only one task can hold the CPU at a
+// time, so the caller supplies the per-tick consumption explicitly.
+func constReader(consumed map[TaskID]time.Duration) Reader {
+	return func(id TaskID) (Progress, bool) {
+		return Progress{Consumed: consumed[id]}, true
+	}
+}
+
+func TestNewPanicsOnBadQuantum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero quantum")
+		}
+	}()
+	New(Config{})
+}
+
+func TestAddErrors(t *testing.T) {
+	s := newSched(t, 1)
+	if err := s.Add(0, 1); !errors.Is(err, ErrTaskExists) {
+		t.Errorf("duplicate Add: got %v, want ErrTaskExists", err)
+	}
+	if err := s.Add(1, 0); !errors.Is(err, ErrBadShare) {
+		t.Errorf("zero share: got %v, want ErrBadShare", err)
+	}
+	if err := s.Add(1, -3); !errors.Is(err, ErrBadShare) {
+		t.Errorf("negative share: got %v, want ErrBadShare", err)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	s := newSched(t, 1)
+	if _, err := s.Share(9); !errors.Is(err, ErrNoTask) {
+		t.Errorf("Share(9): %v", err)
+	}
+	if _, err := s.State(9); !errors.Is(err, ErrNoTask) {
+		t.Errorf("State(9): %v", err)
+	}
+	if _, err := s.Allowance(9); !errors.Is(err, ErrNoTask) {
+		t.Errorf("Allowance(9): %v", err)
+	}
+	if err := s.Remove(9); !errors.Is(err, ErrNoTask) {
+		t.Errorf("Remove(9): %v", err)
+	}
+	if err := s.SetShare(9, 1); !errors.Is(err, ErrNoTask) {
+		t.Errorf("SetShare(9): %v", err)
+	}
+	if err := s.SetShare(0, 0); !errors.Is(err, ErrBadShare) {
+		t.Errorf("SetShare(0,0): %v", err)
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	s := newSched(t, 2, 3)
+	if got := s.TotalShares(); got != 5 {
+		t.Errorf("TotalShares = %d, want 5", got)
+	}
+	if got := s.CycleLength(); got != 5*q {
+		t.Errorf("CycleLength = %v, want %v", got, 5*q)
+	}
+	if got := s.CycleTimeRemaining(); got != 5*q {
+		t.Errorf("initial t_c = %v, want %v", got, 5*q)
+	}
+	for id, wantShare := range map[TaskID]int64{0: 2, 1: 3} {
+		st, _ := s.State(id)
+		if st != Ineligible {
+			t.Errorf("task %d initial state = %v, want ineligible", id, st)
+		}
+		al, _ := s.Allowance(id)
+		if al != time.Duration(wantShare)*q {
+			t.Errorf("task %d initial allowance = %v, want %v", id, al, time.Duration(wantShare)*q)
+		}
+	}
+}
+
+func TestFirstTickMakesAllEligible(t *testing.T) {
+	s := newSched(t, 1, 2, 3)
+	d := s.TickQuantum(constReader(nil))
+	if len(d.Resume) != 3 {
+		t.Fatalf("first tick resumed %v, want all 3", d.Resume)
+	}
+	if len(d.Suspend) != 0 || len(d.Measured) != 0 {
+		t.Errorf("first tick: suspend=%v measured=%v, want none", d.Suspend, d.Measured)
+	}
+	for id := TaskID(0); id < 3; id++ {
+		if st, _ := s.State(id); st != Eligible {
+			t.Errorf("task %d not eligible after first tick", id)
+		}
+	}
+}
+
+func TestExhaustionSuspends(t *testing.T) {
+	s := newSched(t, 1, 2)
+	s.TickQuantum(constReader(nil)) // resume all
+	// Task 0 consumes its whole allowance (1 quantum) at once.
+	d := s.TickQuantum(constReader(map[TaskID]time.Duration{0: q}))
+	found := false
+	for _, id := range d.Suspend {
+		if id == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("task 0 not suspended after exhausting allowance: %+v", d)
+	}
+	if st, _ := s.State(0); st != Ineligible {
+		t.Error("task 0 state not ineligible")
+	}
+	if st, _ := s.State(1); st != Eligible {
+		t.Error("task 1 should remain eligible")
+	}
+}
+
+func TestCycleCompletionGrantsAllowance(t *testing.T) {
+	s := newSched(t, 1, 2)
+	s.TickQuantum(constReader(nil))
+	// Tasks are lazily measured ceil(allowance) quanta after becoming
+	// eligible: task 0 at tick 2, task 1 at tick 3. Report exactly the
+	// share-proportional consumption at each measurement.
+	var d Decision
+	d = s.TickQuantum(constReader(map[TaskID]time.Duration{0: q}))
+	if d.CycleCompleted {
+		t.Fatal("cycle completed too early")
+	}
+	d = s.TickQuantum(constReader(map[TaskID]time.Duration{1: 2 * q}))
+	if !d.CycleCompleted {
+		t.Fatal("cycle should have completed")
+	}
+	if s.Cycles() != 1 {
+		t.Errorf("Cycles = %d, want 1", s.Cycles())
+	}
+	// Both tasks were refilled to their shares and stay eligible.
+	for id, share := range map[TaskID]int64{0: 1, 1: 2} {
+		if st, _ := s.State(id); st != Eligible {
+			t.Errorf("task %d not eligible after cycle refill", id)
+		}
+		if al, _ := s.Allowance(id); al != time.Duration(share)*q {
+			t.Errorf("task %d allowance = %v, want %v", id, al, time.Duration(share)*q)
+		}
+	}
+}
+
+// TestOverconsumptionCarryover checks §2.2's error correction: a task
+// that consumes twice its share in one cycle sits out the next cycle, so
+// over two cycles it receives its target.
+func TestOverconsumptionCarryover(t *testing.T) {
+	s := newSched(t, 1, 3)
+	s.TickQuantum(constReader(nil))
+	// Task 0 (due at tick 2) consumed 2 quanta — twice its share.
+	d := s.TickQuantum(constReader(map[TaskID]time.Duration{0: 2 * q}))
+	if d.CycleCompleted {
+		t.Fatal("cycle completed too early")
+	}
+	// Task 1 consumes 2 more quanta over ticks 3-4 (due at tick 4).
+	s.TickQuantum(constReader(nil))
+	d = s.TickQuantum(constReader(map[TaskID]time.Duration{1: 2 * q}))
+	if !d.CycleCompleted {
+		t.Fatal("cycle should complete (4 quanta consumed)")
+	}
+	// Task 0 consumed exactly twice its share: after the refill its
+	// allowance is 1q-2q+1q = 0, not strictly positive, so it sits out
+	// the next cycle — the paper's two-cycle correction.
+	if st, _ := s.State(0); st != Ineligible {
+		t.Error("overconsuming task should be ineligible next cycle")
+	}
+	if al, _ := s.Allowance(0); al != 0 {
+		t.Errorf("task 0 allowance = %v, want 0", al)
+	}
+	// Next cycle completes with only task 1 consuming; task 1 is next
+	// measured ceil(4q) quanta later, so tick until the measurement
+	// lands and reports the full 4q.
+	completed := false
+	for i := 0; i < 6 && !completed; i++ {
+		d = s.TickQuantum(constReader(map[TaskID]time.Duration{1: 4 * q}))
+		completed = d.CycleCompleted
+	}
+	if !completed {
+		t.Fatal("second cycle should complete")
+	}
+	// The second refill restores a full share: over the two cycles the
+	// task received exactly its 2-cycle target and is eligible again.
+	if al, _ := s.Allowance(0); al != q {
+		t.Errorf("task 0 allowance after second refill = %v, want %v", al, q)
+	}
+	if st, _ := s.State(0); st != Eligible {
+		t.Error("task 0 should be eligible again after the corrective cycle")
+	}
+}
+
+// TestBlockedAccounting checks §2.4: a blocked task is charged one
+// quantum and the cycle shrinks by one quantum.
+func TestBlockedAccounting(t *testing.T) {
+	s := newSched(t, 1, 2)
+	s.TickQuantum(constReader(nil))
+	before := s.CycleTimeRemaining()
+	s.TickQuantum(func(id TaskID) (Progress, bool) {
+		if id == 0 {
+			return Progress{Blocked: true}, true
+		}
+		return Progress{}, true
+	})
+	if al, _ := s.Allowance(0); al != 0 {
+		t.Errorf("blocked task allowance = %v, want 0 (1 quantum charged)", al)
+	}
+	if got := s.CycleTimeRemaining(); got != before-q {
+		t.Errorf("t_c = %v, want %v (reduced by one quantum)", got, before-q)
+	}
+	if st, _ := s.State(0); st != Ineligible {
+		t.Error("blocked task with exhausted allowance should be ineligible")
+	}
+}
+
+// TestBlockedTaskEndsCycleEarly: if a task blocks through all its quanta,
+// the cycle completes after only the other tasks' consumption (§2.4).
+func TestBlockedTaskEndsCycleEarly(t *testing.T) {
+	s := newSched(t, 2, 2)
+	s.TickQuantum(constReader(nil))
+	// Task 0 blocks persistently; task 1 consumes a quantum per
+	// measurement. The blocked charges shorten the cycle: it must
+	// complete within 4 ticks even though task 0 consumed nothing.
+	var completed bool
+	for i := 0; i < 4 && !completed; i++ {
+		d := s.TickQuantum(func(id TaskID) (Progress, bool) {
+			if id == 0 {
+				return Progress{Blocked: true}, true
+			}
+			return Progress{Consumed: q}, true
+		})
+		completed = completed || d.CycleCompleted
+	}
+	if !completed {
+		t.Error("cycle should end early when the blocked task's quanta are charged")
+	}
+}
+
+func TestDeadTaskRemoved(t *testing.T) {
+	s := newSched(t, 1, 1)
+	s.TickQuantum(constReader(nil))
+	d := s.TickQuantum(func(id TaskID) (Progress, bool) {
+		return Progress{}, id != 0
+	})
+	if len(d.Dead) != 1 || d.Dead[0] != 0 {
+		t.Fatalf("Dead = %v, want [0]", d.Dead)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if s.TotalShares() != 1 {
+		t.Errorf("TotalShares = %d, want 1", s.TotalShares())
+	}
+}
+
+func TestRemoveAdjustsCycle(t *testing.T) {
+	s := newSched(t, 2, 3)
+	if err := s.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalShares() != 2 {
+		t.Errorf("TotalShares = %d, want 2", s.TotalShares())
+	}
+	if got := s.CycleTimeRemaining(); got != 2*q {
+		t.Errorf("t_c after remove = %v, want %v", got, 2*q)
+	}
+}
+
+func TestSetShareDeferredEffect(t *testing.T) {
+	s := newSched(t, 2, 2)
+	if err := s.SetShare(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalShares() != 8 {
+		t.Errorf("TotalShares = %d, want 8", s.TotalShares())
+	}
+	// The current allowance and cycle time are untouched...
+	if al, _ := s.Allowance(0); al != 2*q {
+		t.Errorf("allowance = %v, want unchanged %v", al, 2*q)
+	}
+	if got := s.CycleTimeRemaining(); got != 4*q {
+		t.Errorf("t_c = %v, want unchanged %v", got, 4*q)
+	}
+	// ...but the next cycle grants the new share. Both tasks become
+	// due at tick 3 (ceil(2q) after turning eligible at tick 1) and
+	// jointly report the cycle's 4 quanta.
+	s.TickQuantum(constReader(nil))
+	s.TickQuantum(constReader(nil))
+	d := s.TickQuantum(constReader(map[TaskID]time.Duration{0: 2 * q, 1: 2 * q}))
+	if !d.CycleCompleted {
+		t.Fatal("cycle should have completed")
+	}
+	if al, _ := s.Allowance(0); al != 6*q {
+		t.Errorf("post-refill allowance = %v, want %v", al, 6*q)
+	}
+}
+
+func TestEmptySchedulerTick(t *testing.T) {
+	s := New(Config{Quantum: q})
+	d := s.TickQuantum(constReader(nil))
+	if d.CycleCompleted || len(d.Resume) != 0 || len(d.Suspend) != 0 {
+		t.Errorf("empty tick produced %+v", d)
+	}
+	if s.Tick() != 0 {
+		t.Errorf("empty tick advanced the counter to %d", s.Tick())
+	}
+}
+
+// TestLazySamplingSkipsMeasurements verifies the §2.3 optimization: a
+// task with allowance k·Q is not measured again for k quanta.
+func TestLazySamplingSkipsMeasurements(t *testing.T) {
+	s := newSched(t, 5)
+	s.TickQuantum(constReader(nil)) // tick 1: becomes eligible
+	measures := 0
+	read := func(id TaskID) (Progress, bool) {
+		measures++
+		return Progress{Consumed: 0}, true
+	}
+	// Becoming eligible at tick 1 scheduled the first measurement
+	// ceil(allowance) = 5 quanta out, at tick 6: the task cannot have
+	// exhausted a 5-quantum allowance sooner.
+	for i := 0; i < 4; i++ { // ticks 2-5: skipped
+		s.TickQuantum(read)
+	}
+	if measures != 0 {
+		t.Fatalf("ticks 2-5: measured %d times, want 0", measures)
+	}
+	s.TickQuantum(read) // tick 6: due
+	if measures != 1 {
+		t.Fatalf("tick 6: %d measurements, want 1", measures)
+	}
+	for i := 0; i < 4; i++ { // ticks 7-10: skipped again (nothing consumed)
+		s.TickQuantum(read)
+	}
+	if measures != 1 {
+		t.Fatalf("ticks 7-10: measured %d times, want still 1", measures)
+	}
+	s.TickQuantum(read) // tick 11
+	if measures != 2 {
+		t.Fatalf("tick 11: %d measurements, want 2", measures)
+	}
+}
+
+// TestEagerSamplingMeasuresEveryTick verifies DisableLazySampling.
+func TestEagerSamplingMeasuresEveryTick(t *testing.T) {
+	s := New(Config{Quantum: q, DisableLazySampling: true})
+	if err := s.Add(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	s.TickQuantum(constReader(nil))
+	measures := 0
+	for i := 0; i < 5; i++ {
+		s.TickQuantum(func(TaskID) (Progress, bool) {
+			measures++
+			return Progress{}, true
+		})
+	}
+	if measures != 5 {
+		t.Fatalf("eager mode measured %d times over 5 ticks, want 5", measures)
+	}
+}
+
+// TestLazyNeverMissesExhaustion: under lazy sampling a task is always
+// measured no later than the quantum at which it could first have
+// exhausted its allowance, so overshoot beyond one quantum of lag is
+// impossible regardless of consumption pattern.
+func TestLazyNeverMissesExhaustion(t *testing.T) {
+	// Two tasks so the cycle (8q) does not refill task 0 the moment it
+	// exhausts its allowance.
+	s := newSched(t, 4, 4)
+	s.TickQuantum(constReader(nil))
+	// Task 0 consumes one quantum per tick (full speed); the reader
+	// reports consumption since the last measurement. With allowance
+	// 4q the task must be suspended exactly at its first measurement,
+	// tick 5 — no later.
+	var cum, lastMeasured time.Duration
+	for tick := 2; tick <= 6; tick++ {
+		cum += q
+		d := s.TickQuantum(func(id TaskID) (Progress, bool) {
+			if id != 0 {
+				return Progress{}, true
+			}
+			p := Progress{Consumed: cum - lastMeasured}
+			lastMeasured = cum
+			return p, true
+		})
+		if len(d.Suspend) > 0 {
+			if tick != 5 {
+				t.Fatalf("suspended at tick %d, want tick 5", tick)
+			}
+			return
+		}
+	}
+	t.Fatal("task never suspended despite consuming at full speed")
+}
+
+func TestOnCycleRecord(t *testing.T) {
+	var recs []CycleRecord
+	s := New(Config{Quantum: q, OnCycle: func(r CycleRecord) { recs = append(recs, r) }})
+	for i, sh := range []int64{1, 2} {
+		if err := s.Add(TaskID(i), sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.TickQuantum(constReader(nil))
+	s.TickQuantum(constReader(map[TaskID]time.Duration{0: q}))
+	s.TickQuantum(constReader(map[TaskID]time.Duration{1: 2 * q}))
+	if len(recs) != 1 {
+		t.Fatalf("got %d cycle records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Index != 0 || r.Length != 3*q || len(r.Tasks) != 2 {
+		t.Errorf("record = %+v", r)
+	}
+	if r.Tasks[0].Consumed != q || r.Tasks[1].Consumed != 2*q {
+		t.Errorf("per-task consumption = %v/%v, want %v/%v",
+			r.Tasks[0].Consumed, r.Tasks[1].Consumed, q, 2*q)
+	}
+	if r.Tasks[0].Share != 1 || r.Tasks[1].Share != 2 {
+		t.Errorf("record shares = %d/%d", r.Tasks[0].Share, r.Tasks[1].Share)
+	}
+}
+
+func TestTasksSorted(t *testing.T) {
+	s := New(Config{Quantum: q})
+	for _, id := range []TaskID{5, 1, 9, 3} {
+		if err := s.Add(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Tasks()
+	want := []TaskID{1, 3, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tasks() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Eligible.String() != "eligible" || Ineligible.String() != "ineligible" {
+		t.Errorf("State strings: %q %q", Eligible, Ineligible)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct {
+		a, b time.Duration
+		want int64
+	}{
+		{0, q, 0},
+		{1, q, 1},
+		{q, q, 1},
+		{q + 1, q, 2},
+		{4*q + q/2, q, 5},
+		{-1, q, 0},
+		{-q, q, -1},
+		{-q - 1, q, -1},
+		{-2 * q, q, -2},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// FuzzScheduler: random operation sequences must never panic, and the
+// conservation identity Σallowances ≡ t_c must hold throughout.
+func FuzzScheduler(f *testing.F) {
+	f.Add(int64(1), uint8(3))
+	f.Add(int64(42), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(Config{Quantum: 10 * time.Millisecond})
+		tasks := int(n%8) + 1
+		for i := 0; i < tasks; i++ {
+			if err := s.Add(TaskID(i), 1+int64(rng.Intn(20))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for step := 0; step < 120; step++ {
+			switch rng.Intn(12) {
+			case 0:
+				_ = s.Add(TaskID(100+step), 1+int64(rng.Intn(20)))
+			case 1:
+				ids := s.Tasks()
+				if len(ids) > 1 {
+					_ = s.Remove(ids[rng.Intn(len(ids))])
+				}
+			case 2:
+				ids := s.Tasks()
+				if len(ids) > 0 {
+					_ = s.SetShare(ids[rng.Intn(len(ids))], 1+int64(rng.Intn(20)))
+				}
+			default:
+				s.TickQuantum(func(id TaskID) (Progress, bool) {
+					if rng.Intn(20) == 0 {
+						return Progress{}, false // task died
+					}
+					return Progress{
+						Consumed: time.Duration(rng.Int63n(int64(30 * time.Millisecond))),
+						Blocked:  rng.Intn(6) == 0,
+					}, true
+				})
+			}
+			var sum time.Duration
+			for _, id := range s.Tasks() {
+				al, _ := s.Allowance(id)
+				sum += al
+			}
+			if sum != s.CycleTimeRemaining() {
+				t.Fatalf("step %d: Σallowances %v != t_c %v", step, sum, s.CycleTimeRemaining())
+			}
+		}
+	})
+}

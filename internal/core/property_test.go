@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestConservationInvariant property-tests the algorithm's central
+// bookkeeping identity: the remaining cycle time always equals the sum of
+// outstanding allowances. Both are seeded with share·Q, decremented
+// identically by measurements and blocked charges, and incremented
+// identically at cycle completion, Add, and SetShare — so any divergence
+// means allocation is being created or destroyed.
+func TestConservationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(Config{Quantum: q, DisableLazySampling: rng.Intn(2) == 0})
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			if err := s.Add(TaskID(i), 1+int64(rng.Intn(9))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check := func() bool {
+			var sum time.Duration
+			for _, id := range s.Tasks() {
+				al, _ := s.Allowance(id)
+				sum += al
+			}
+			return sum == s.CycleTimeRemaining()
+		}
+		for step := 0; step < 200; step++ {
+			switch op := rng.Intn(10); {
+			case op == 0 && s.Len() < 10:
+				id := TaskID(100 + step)
+				if err := s.Add(id, 1+int64(rng.Intn(9))); err != nil {
+					t.Fatal(err)
+				}
+			case op == 1 && s.Len() > 1:
+				ids := s.Tasks()
+				_ = s.SetShare(ids[rng.Intn(len(ids))], 1+int64(rng.Intn(9)))
+			default:
+				s.TickQuantum(func(id TaskID) (Progress, bool) {
+					return Progress{
+						Consumed: time.Duration(rng.Int63n(int64(2 * q))),
+						Blocked:  rng.Intn(8) == 0,
+					}, true
+				})
+			}
+			if !check() {
+				t.Logf("seed %d: invariant broken at step %d", seed, step)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterminism: the scheduler is a pure function of its input
+// sequence — two instances fed identical ticks produce identical
+// decisions and state.
+func TestDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		mk := func() []Decision {
+			rng := rand.New(rand.NewSource(seed))
+			s := New(Config{Quantum: q})
+			for i := 0; i < 4; i++ {
+				if err := s.Add(TaskID(i), 1+int64(rng.Intn(5))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var out []Decision
+			for step := 0; step < 100; step++ {
+				out = append(out, s.TickQuantum(func(id TaskID) (Progress, bool) {
+					return Progress{Consumed: time.Duration(rng.Int63n(int64(q)))}, true
+				}))
+			}
+			return out
+		}
+		return reflect.DeepEqual(mk(), mk())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLongRunFairness: under a modeled single-CPU full-speed workload
+// where the highest-allowance eligible task consumes each quantum, every
+// task's long-run consumption converges to its share fraction.
+func TestLongRunFairness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(Config{Quantum: q})
+		n := 2 + rng.Intn(5)
+		shares := make([]int64, n)
+		var total int64
+		for i := range shares {
+			shares[i] = 1 + int64(rng.Intn(9))
+			total += shares[i]
+			if err := s.Add(TaskID(i), shares[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Model: each quantum the eligible task with the largest
+		// allowance runs at full speed; consumption is reported at
+		// measurement time (cumulative minus last-measured).
+		cum := make([]time.Duration, n)
+		last := make([]time.Duration, n)
+		eligible := make([]bool, n)
+		const ticks = 3000
+		for step := 0; step < ticks; step++ {
+			run := -1
+			var best time.Duration
+			for i := 0; i < n; i++ {
+				if al, _ := s.Allowance(TaskID(i)); eligible[i] && (run == -1 || al > best) {
+					run, best = i, al
+				}
+			}
+			if run >= 0 {
+				cum[run] += q
+			}
+			d := s.TickQuantum(func(id TaskID) (Progress, bool) {
+				p := Progress{Consumed: cum[id] - last[id]}
+				last[id] = cum[id]
+				return p, true
+			})
+			for _, id := range d.Resume {
+				eligible[id] = true
+			}
+			for _, id := range d.Suspend {
+				eligible[id] = false
+			}
+		}
+		var sum time.Duration
+		for i := range cum {
+			sum += cum[i]
+		}
+		if sum == 0 {
+			return false
+		}
+		for i := range cum {
+			got := float64(cum[i]) / float64(sum)
+			want := float64(shares[i]) / float64(total)
+			if diff := got - want; diff > 0.05 || diff < -0.05 {
+				t.Logf("seed %d: task %d got %.3f want %.3f", seed, i, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCeilDivProperty: ⌈a/b⌉ is the least integer k with k·b ≥ a.
+func TestCeilDivProperty(t *testing.T) {
+	f := func(a int32, b int8) bool {
+		if b <= 0 {
+			return true
+		}
+		ad, bd := time.Duration(a), time.Duration(b)
+		k := ceilDiv(ad, bd)
+		return time.Duration(k)*bd >= ad && time.Duration(k-1)*bd < ad
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTickCounterAdvances: every non-empty tick advances the quantum
+// counter by exactly one.
+func TestTickCounterAdvances(t *testing.T) {
+	s := newSched(t, 3)
+	for i := int64(1); i <= 50; i++ {
+		s.TickQuantum(constReader(nil))
+		if s.Tick() != i {
+			t.Fatalf("Tick() = %d after %d ticks", s.Tick(), i)
+		}
+	}
+}

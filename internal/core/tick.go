@@ -1,0 +1,156 @@
+package core
+
+import "time"
+
+// Reader reports a task's progress since its previous measurement. The
+// second result is false when the task no longer exists (e.g. the process
+// exited), in which case the scheduler drops the task and reports it in
+// Decision.Dead.
+type Reader func(TaskID) (Progress, bool)
+
+// TickQuantum runs one invocation of the ALPS algorithm (Figure 3 of the
+// paper). The driver calls it once per quantum, passing a Reader that
+// measures CPU consumption and blocked state. The returned Decision lists
+// the eligibility transitions to enact.
+//
+// The three stages mirror the pseudo code:
+//
+//  1. Measure every eligible task that is due (update_i ≤ count), charging
+//     its consumption against its allowance and against the cycle time,
+//     with an extra quantum charged when the task is observed blocked
+//     (§2.4).
+//  2. If the cycle time is exhausted, complete the cycle: extend t_c by
+//     S·Q and grant every task share_i·Q of new allowance.
+//  3. Re-partition tasks into eligible/ineligible by the sign of their
+//     allowance, and schedule the next measurement of each just-measured
+//     task ⌈allowance/Q⌉ quanta out (§2.3).
+func (s *Scheduler) TickQuantum(read Reader) Decision {
+	var d Decision
+	if len(s.tasks) == 0 {
+		return d
+	}
+	s.sortOrder()
+	q := s.cfg.Quantum
+	s.count++
+
+	// Stage 1: measurement loop.
+	var dead []TaskID
+	for _, id := range s.order {
+		t := s.tasks[id]
+		if t.state != Eligible {
+			continue
+		}
+		if !s.cfg.DisableLazySampling && t.update > s.count {
+			continue
+		}
+		p, ok := read(id)
+		if !ok {
+			dead = append(dead, id)
+			continue
+		}
+		d.Measured = append(d.Measured, id)
+		t.allowance -= p.Consumed
+		s.cycleTime -= p.Consumed
+		t.cycleConsumed += p.Consumed
+		if p.Blocked {
+			t.allowance -= q
+			s.cycleTime -= q
+			t.cycleBlocked++
+			t.blocked = true
+		} else if p.Consumed > 0 {
+			t.blocked = false
+		}
+	}
+	for _, id := range dead {
+		// Remove cannot fail here: the ID was just iterated.
+		_ = s.Remove(id)
+	}
+	d.Dead = dead
+	if len(s.tasks) == 0 {
+		return d
+	}
+
+	// Stage 2: cycle completion.
+	grants := 0
+	if s.cycleTime <= 0 {
+		grants = 1
+		s.cycleTime += s.CycleLength()
+		s.emitCycle()
+		s.cycles++
+		d.CycleCompleted = true
+	}
+
+	// Stage 3: re-partition and schedule next measurements.
+	for _, id := range s.order {
+		t := s.tasks[id]
+		if grants > 0 {
+			t.allowance += time.Duration(t.share) * q
+		}
+		next := Ineligible
+		if t.allowance > 0 {
+			next = Eligible
+		}
+		if next != t.state {
+			t.state = next
+			if next == Eligible {
+				d.Resume = append(d.Resume, id)
+			} else {
+				d.Suspend = append(d.Suspend, id)
+			}
+		}
+		if t.update <= s.count {
+			if t.blocked {
+				// A task observed blocked is rechecked every quantum
+				// until it is seen consuming again. The ceil(allowance)
+				// postponement's premise — allowance drains no faster
+				// than the task can consume — fails for blocked tasks,
+				// whose §2.4 charges accrue only at measurements:
+				// postponing would let a blocked task with a large
+				// allowance hold the cycle open while the rest of the
+				// workload sits exhausted.
+				t.update = s.count + 1
+			} else {
+				t.update = s.count + ceilDiv(t.allowance, q)
+			}
+		}
+	}
+	return d
+}
+
+// emitCycle flushes per-cycle instrumentation to the OnCycle callback and
+// resets the accumulators.
+func (s *Scheduler) emitCycle() {
+	if s.cfg.OnCycle == nil {
+		for _, t := range s.tasks {
+			t.cycleConsumed = 0
+			t.cycleBlocked = 0
+		}
+		return
+	}
+	rec := CycleRecord{
+		Index:  s.cycles,
+		Tick:   s.count,
+		Length: s.CycleLength(),
+		Tasks:  make([]CycleTask, 0, len(s.order)),
+	}
+	for _, id := range s.order {
+		t := s.tasks[id]
+		rec.Tasks = append(rec.Tasks, CycleTask{
+			ID:            id,
+			Share:         t.share,
+			Consumed:      t.cycleConsumed,
+			BlockedQuanta: t.cycleBlocked,
+		})
+		t.cycleConsumed = 0
+		t.cycleBlocked = 0
+	}
+	s.cfg.OnCycle(rec)
+}
+
+// ceilDiv returns ⌈a/b⌉ for positive b, correct for negative a.
+func ceilDiv(a, b time.Duration) int64 {
+	if a <= 0 {
+		return int64(a / b)
+	}
+	return int64((a + b - 1) / b)
+}

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"alps/internal/core"
+	"alps/internal/sim"
+)
+
+// AcctGranParams configures the accounting-granularity ablation: how the
+// granularity of the CPU-time interface ALPS reads (getrusage ticks on
+// BSD, USER_HZ on Linux /proc) affects accuracy.
+//
+// The ablation shows an interaction the deployment guides depend on:
+// when the ALPS quantum is a multiple of the substrate's accounting
+// granularity, measured stints land on grant boundaries and granularity
+// barely matters; when it is not (e.g. a 15 ms quantum over 10 ms Linux
+// USER_HZ ticks), every measurement mis-reads the stint by up to half a
+// tick, the resulting sub-quantum allowance residues cost whole extra
+// quanta, and accuracy collapses. This is why internal/osproc requires
+// quanta at tick multiples and why the Figure 4 sweep stays on the tick
+// grid.
+type AcctGranParams struct {
+	Granularities []time.Duration
+	Quanta        []time.Duration
+	Shares        []int64
+	Cycles        int
+	Warmup        int
+	WarmupTime    time.Duration
+}
+
+// DefaultAcctGranParams ablates the paper's worst-case workload
+// (Skewed5) across precise / 1 ms / 10 ms accounting at an on-grid and an
+// off-grid quantum.
+func DefaultAcctGranParams() AcctGranParams {
+	return AcctGranParams{
+		Granularities: []time.Duration{1, time.Millisecond, 10 * time.Millisecond},
+		Quanta:        []time.Duration{10 * time.Millisecond, 15 * time.Millisecond},
+		Shares:        []int64{1, 1, 1, 1, 21},
+		Cycles:        120,
+		Warmup:        5,
+		WarmupTime:    75 * time.Second,
+	}
+}
+
+// AcctGranPoint is one (granularity, quantum) accuracy measurement.
+type AcctGranPoint struct {
+	Granularity     time.Duration
+	Quantum         time.Duration
+	MeanRMSErrorPct float64
+}
+
+// AcctGranResult holds the ablation.
+type AcctGranResult struct {
+	Params AcctGranParams
+	Points []AcctGranPoint
+}
+
+// AccountingGranularity runs the ablation.
+func AccountingGranularity(p AcctGranParams) (*AcctGranResult, error) {
+	res := &AcctGranResult{Params: p}
+	for _, g := range p.Granularities {
+		for _, q := range p.Quanta {
+			e, err := acctGranRun(p, g, q)
+			if err != nil {
+				return nil, fmt.Errorf("granularity %v quantum %v: %w", g, q, err)
+			}
+			res.Points = append(res.Points, AcctGranPoint{Granularity: g, Quantum: q, MeanRMSErrorPct: e})
+		}
+	}
+	return res, nil
+}
+
+func acctGranRun(p AcctGranParams, gran, quantum time.Duration) (float64, error) {
+	k := sim.NewKernel()
+	k.SetAccountingGranularity(gran)
+
+	pids := make([]sim.PID, len(p.Shares))
+	tasks := make([]sim.AlpsTask, len(p.Shares))
+	for i, s := range p.Shares {
+		pids[i] = k.SpawnStopped(fmt.Sprintf("w%d", i), 0, sim.Spin())
+		tasks[i] = sim.AlpsTask{ID: core.TaskID(i), Share: s, Pids: []sim.PID{pids[i]}}
+	}
+
+	warm := p.Warmup
+	var total int64
+	for _, s := range p.Shares {
+		total += s
+	}
+	if p.WarmupTime > 0 {
+		if w := int(p.WarmupTime/(time.Duration(total)*quantum)) + 1; w > warm {
+			warm = w
+		}
+	}
+	target := warm + p.Cycles
+	seen := 0
+	var recs []core.CycleRecord
+	_, err := sim.StartALPS(k, sim.AlpsConfig{
+		Quantum: quantum,
+		Cost:    sim.PaperCosts(),
+		OnCycle: func(rec core.CycleRecord) {
+			seen++
+			if seen > warm {
+				recs = append(recs, rec)
+			}
+			if seen >= target {
+				k.Stop()
+			}
+		},
+	}, tasks)
+	if err != nil {
+		return 0, err
+	}
+	k.Run(time.Duration(target+20) * 4 * time.Duration(total) * quantum)
+
+	r := RunResult{Spec: RunSpec{Quantum: quantum}}
+	for _, rec := range recs {
+		r.Cycles = append(r.Cycles, CyclePoint{Record: rec})
+	}
+	return r.MeanRMSErrorPct()
+}

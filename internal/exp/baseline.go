@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"alps/internal/lottery"
+	"alps/internal/metrics"
+	"alps/internal/stride"
+)
+
+// BaselineParams configures the scheduler-accuracy comparison bench:
+// ALPS (user level, measured in simulation) against in-kernel stride and
+// lottery scheduling at the same quantum granularity. The paper cites
+// stride scheduling as prior in-kernel work [26]; this harness quantifies
+// how much accuracy ALPS's user-level operation gives up relative to
+// schedulers that control every context switch.
+type BaselineParams struct {
+	Workloads []Workload
+	Quantum   time.Duration
+	// Cycles measured (each cycle is S quanta).
+	Cycles int
+	// Warmup for the ALPS runs.
+	Warmup     int
+	WarmupTime time.Duration
+	Seed       int64
+}
+
+// DefaultBaselineParams compares the nine Table 2 workloads at a 10 ms
+// quantum.
+func DefaultBaselineParams() BaselineParams {
+	return BaselineParams{
+		Workloads:  PaperWorkloads(),
+		Quantum:    10 * time.Millisecond,
+		Cycles:     200,
+		Warmup:     5,
+		WarmupTime: 75 * time.Second,
+		Seed:       1,
+	}
+}
+
+// BaselineRow is one workload's accuracy under the three schedulers.
+type BaselineRow struct {
+	Workload Workload
+	// Mean RMS relative error per cycle, percent.
+	AlpsErrPct    float64
+	StrideErrPct  float64
+	LotteryErrPct float64
+}
+
+// BaselineResult holds the comparison.
+type BaselineResult struct {
+	Params BaselineParams
+	Rows   []BaselineRow
+}
+
+// Baseline runs the comparison.
+func Baseline(p BaselineParams) (*BaselineResult, error) {
+	res := &BaselineResult{Params: p}
+	for _, w := range p.Workloads {
+		shares, err := w.Shares()
+		if err != nil {
+			return nil, err
+		}
+		row := BaselineRow{Workload: w}
+
+		run, err := Run(RunSpec{
+			Shares: shares, Quantum: p.Quantum, Cycles: p.Cycles,
+			Warmup: p.Warmup, WarmupTime: p.WarmupTime, Cost: paperCost,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", w, err)
+		}
+		if row.AlpsErrPct, err = run.MeanRMSErrorPct(); err != nil {
+			return nil, err
+		}
+
+		st := stride.New()
+		for i, s := range shares {
+			if err := st.Add(int64(i), s); err != nil {
+				return nil, err
+			}
+		}
+		if row.StrideErrPct, err = quantaErr(shares, p.Cycles, st.Next); err != nil {
+			return nil, err
+		}
+
+		lt := lottery.New(p.Seed)
+		for i, s := range shares {
+			if err := lt.Add(int64(i), s); err != nil {
+				return nil, err
+			}
+		}
+		if row.LotteryErrPct, err = quantaErr(shares, p.Cycles, lt.Next); err != nil {
+			return nil, err
+		}
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// quantaErr drives a quantum-granularity scheduler for Cycles cycles of S
+// quanta each and reduces per-cycle allocations with the paper's accuracy
+// metric.
+func quantaErr(shares []int64, cycles int, next func() (int64, error)) (float64, error) {
+	var total int64
+	for _, s := range shares {
+		total += s
+	}
+	rms := make([]float64, 0, cycles)
+	counts := make([]float64, len(shares))
+	ideal := make([]float64, len(shares))
+	for i, s := range shares {
+		ideal[i] = float64(s)
+	}
+	for c := 0; c < cycles; c++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for q := int64(0); q < total; q++ {
+			id, err := next()
+			if err != nil {
+				return 0, err
+			}
+			counts[id]++
+		}
+		v, err := metrics.RMSRelativeError(counts, ideal)
+		if err != nil {
+			return 0, err
+		}
+		rms = append(rms, v)
+	}
+	m, err := metrics.Mean(rms)
+	return 100 * m, err
+}

@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"alps/internal/share"
+)
+
+// TestMultiApp reproduces §4.1 at full scale (it is fast): three phased
+// ALPSs, within-group relative error about a percent.
+func TestMultiApp(t *testing.T) {
+	res, err := MultiApp(DefaultMultiAppParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(res.Rows))
+	}
+	cells := 0
+	for _, row := range res.Rows {
+		for ph, c := range row.Phase {
+			if !c.Present {
+				continue
+			}
+			cells++
+			if c.RelErrPct > 8 {
+				t.Errorf("share %d phase %d: relative error %.2f%%", row.Share, ph+1, c.RelErrPct)
+			}
+		}
+	}
+	// Group A present in 3 phases, B in 2, C in 1 → 3·3+3·2+3·1 = 18.
+	if cells != 18 {
+		t.Errorf("got %d populated cells, want 18", cells)
+	}
+	if res.AvgRelErrPct > 4 {
+		t.Errorf("average relative error %.2f%%, paper reports 0.93%%", res.AvgRelErrPct)
+	}
+	// Figure 7's qualitative shape: every series is monotone increasing.
+	for s, series := range res.Series {
+		for i := 1; i < len(series); i++ {
+			if series[i].CPU < series[i-1].CPU {
+				t.Errorf("share %d: cumulative CPU decreased", s)
+			}
+		}
+	}
+}
+
+// TestScalabilityBreakdown is a reduced §4.2 sweep at Q=10 ms: overhead
+// grows linearly, then ALPS loses control near the paper's N≈40, with the
+// fitted threshold agreeing with the observed one.
+func TestScalabilityBreakdown(t *testing.T) {
+	p := DefaultScaleParams()
+	p.Ns = []int{10, 20, 30, 35, 40, 45, 50}
+	p.Quanta = []time.Duration{10 * time.Millisecond}
+	p.Cycles = 12
+	res, err := Scalability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Curves[0]
+	if c.ObservedThreshold == 0 {
+		t.Fatal("no breakdown observed up to N=50; paper observes N=40")
+	}
+	if c.ObservedThreshold < 30 || c.ObservedThreshold > 50 {
+		t.Errorf("observed threshold N=%d, paper: 40", c.ObservedThreshold)
+	}
+	if c.PredictedThreshold < 25 || c.PredictedThreshold > 55 {
+		t.Errorf("predicted threshold %.1f, paper: 39", c.PredictedThreshold)
+	}
+	// The pre-breakdown overhead curve is linear with positive slope.
+	if c.Fit.Slope <= 0 || c.Fit.R2 < 0.98 {
+		t.Errorf("overhead fit %+v not cleanly linear", c.Fit)
+	}
+	// Error is small before the threshold, large after.
+	for _, pt := range c.Points {
+		if pt.N < c.ObservedThreshold-5 && pt.MeanRMSErrorPct > 10 {
+			t.Errorf("N=%d: error %.1f%% before breakdown", pt.N, pt.MeanRMSErrorPct)
+		}
+		if pt.N > c.ObservedThreshold+5 && pt.MeanRMSErrorPct < 10 {
+			t.Errorf("N=%d: error %.1f%% after breakdown, expected loss of control", pt.N, pt.MeanRMSErrorPct)
+		}
+	}
+}
+
+// TestBaselineComparison: in-kernel stride is (near) perfect; ALPS stays
+// within a few percent of it at user level; lottery is clearly noisier.
+func TestBaselineComparison(t *testing.T) {
+	p := DefaultBaselineParams()
+	p.Workloads = []Workload{{share.Linear, 5}, {share.Equal, 10}}
+	p.Cycles = 60
+	res, err := Baseline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		t.Logf("%-9s alps=%5.2f%% stride=%5.2f%% lottery=%5.2f%%",
+			r.Workload, r.AlpsErrPct, r.StrideErrPct, r.LotteryErrPct)
+		if r.StrideErrPct > 5 {
+			t.Errorf("%v: stride error %.2f%% too high", r.Workload, r.StrideErrPct)
+		}
+		if r.AlpsErrPct > 10 {
+			t.Errorf("%v: ALPS error %.2f%% too high", r.Workload, r.AlpsErrPct)
+		}
+		if r.LotteryErrPct < r.StrideErrPct {
+			t.Errorf("%v: lottery (%.2f%%) beat stride (%.2f%%)?", r.Workload, r.LotteryErrPct, r.StrideErrPct)
+		}
+	}
+}
+
+// TestOptimizationAblationQuick verifies the §3.2 claim's direction on
+// one workload: lazy sampling cuts overhead by at least 1.5x.
+func TestOptimizationAblationQuick(t *testing.T) {
+	p := OverheadParams{
+		Workloads:  []Workload{{share.Equal, 10}},
+		Quanta:     []time.Duration{10 * time.Millisecond},
+		Cycles:     30,
+		Trials:     1,
+		Warmup:     3,
+		WarmupTime: 75 * time.Second,
+	}
+	res, err := OptimizationAblation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	t.Logf("optimized %.3f%% unoptimized %.3f%% (%.1fx)", pt.OverheadPct, pt.UnoptimizedPct, pt.ReductionFactor())
+	if pt.ReductionFactor() < 1.5 {
+		t.Errorf("reduction factor %.2f, paper reports 1.8x-5.9x", pt.ReductionFactor())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(RunSpec{Shares: []int64{1}}); err == nil {
+		t.Error("zero Cycles should error")
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	w := Workload{share.Skewed, 20}
+	if w.String() != "Skewed20" {
+		t.Errorf("String = %q", w.String())
+	}
+	if len(PaperWorkloads()) != 9 {
+		t.Errorf("PaperWorkloads = %d, want 9", len(PaperWorkloads()))
+	}
+}
+
+// TestTrialsVaryOffsets: trials differ in their timer offset, producing
+// independent (but individually deterministic) runs.
+func TestTrialsVaryOffsets(t *testing.T) {
+	spec := RunSpec{
+		Shares:  []int64{1, 2},
+		Quantum: 10 * time.Millisecond,
+		Cycles:  5,
+		Warmup:  2,
+	}
+	runs, err := Trials(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	if runs[0].Spec.Offset == runs[1].Spec.Offset {
+		t.Error("trials share a timer offset")
+	}
+	// Determinism: repeating the trials gives identical results.
+	again, err := Trials(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range runs {
+		if runs[i].AlpsCPU != again[i].AlpsCPU || runs[i].Wall != again[i].Wall {
+			t.Errorf("trial %d not reproducible", i)
+		}
+	}
+}

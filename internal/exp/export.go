@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TSV export: every experiment result can render itself as a
+// tab-separated table, one file per paper figure, ready for gnuplot or a
+// spreadsheet. cmd/alps-bench's -out flag writes these next to its
+// textual report.
+
+// writeTSV renders a header and rows.
+func writeTSV(w io.Writer, header []string, rows [][]string) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f(v float64) string        { return strconv.FormatFloat(v, 'f', 4, 64) }
+func ms(d time.Duration) string { return strconv.FormatFloat(float64(d)/1e6, 'f', 3, 64) }
+
+// WriteTSV renders the Figure 4 sweep: one row per workload, one column
+// per quantum.
+func (r *AccuracyResult) WriteTSV(w io.Writer) error {
+	header := []string{"workload"}
+	for _, q := range r.Params.Quanta {
+		header = append(header, "err_pct_q"+q.String())
+	}
+	byWorkload := map[string][]AccuracyPoint{}
+	var order []string
+	for _, pt := range r.Points {
+		k := pt.Workload.String()
+		if _, ok := byWorkload[k]; !ok {
+			order = append(order, k)
+		}
+		byWorkload[k] = append(byWorkload[k], pt)
+	}
+	var rows [][]string
+	for _, k := range order {
+		row := []string{k}
+		for _, pt := range byWorkload[k] {
+			row = append(row, f(pt.MeanRMSErrorPct))
+		}
+		rows = append(rows, row)
+	}
+	return writeTSV(w, header, rows)
+}
+
+// WriteTSV renders the Figure 5 sweep (and the §3.2 ablation when the
+// unoptimized column is populated).
+func (r *OverheadResult) WriteTSV(w io.Writer) error {
+	header := []string{"workload", "quantum", "overhead_pct", "unoptimized_pct"}
+	var rows [][]string
+	for _, pt := range r.Points {
+		rows = append(rows, []string{
+			pt.Workload.String(), pt.Quantum.String(),
+			f(pt.OverheadPct), f(pt.UnoptimizedPct),
+		})
+	}
+	return writeTSV(w, header, rows)
+}
+
+// WriteTSV renders the Figure 6 per-cycle trace.
+func (r *IOResult) WriteTSV(w io.Writer) error {
+	header := []string{"cycle", "a_pct", "b_pct", "c_pct"}
+	var rows [][]string
+	for _, c := range r.Trace {
+		rows = append(rows, []string{
+			strconv.Itoa(c.Cycle), f(c.SharePct[0]), f(c.SharePct[1]), f(c.SharePct[2]),
+		})
+	}
+	return writeTSV(w, header, rows)
+}
+
+// WriteTSV renders the Figure 7 cumulative-CPU series: one row per cycle
+// sample, labeled by the process's share count.
+func (r *MultiAppResult) WriteTSV(w io.Writer) error {
+	header := []string{"share", "wall_ms", "cum_cpu_ms"}
+	var rows [][]string
+	for s := int64(1); s <= 9; s++ {
+		for _, pt := range r.Series[s] {
+			rows = append(rows, []string{
+				strconv.FormatInt(s, 10), ms(pt.Wall), ms(pt.CPU),
+			})
+		}
+	}
+	return writeTSV(w, header, rows)
+}
+
+// WriteTSV renders the Figures 8/9 sweep: one row per (quantum, N).
+func (r *ScaleResult) WriteTSV(w io.Writer) error {
+	header := []string{"quantum", "n", "overhead_pct", "err_pct", "missed_firings"}
+	var rows [][]string
+	for _, c := range r.Curves {
+		for _, pt := range c.Points {
+			rows = append(rows, []string{
+				c.Quantum.String(), strconv.Itoa(pt.N),
+				f(pt.OverheadPct), f(pt.MeanRMSErrorPct),
+				strconv.FormatInt(pt.MissedFirings, 10),
+			})
+		}
+	}
+	return writeTSV(w, header, rows)
+}
+
+// WriteTSV renders the baseline comparison.
+func (r *BaselineResult) WriteTSV(w io.Writer) error {
+	header := []string{"workload", "alps_err_pct", "stride_err_pct", "lottery_err_pct"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Workload.String(), f(row.AlpsErrPct), f(row.StrideErrPct), f(row.LotteryErrPct),
+		})
+	}
+	return writeTSV(w, header, rows)
+}
+
+// WriteTSV renders the SMP extension sweep.
+func (r *SMPResult) WriteTSV(w io.Writer) error {
+	header := []string{"cpus", "err_pct", "utilization_pct", "overhead_pct"}
+	var rows [][]string
+	for _, pt := range r.Points {
+		rows = append(rows, []string{
+			strconv.Itoa(pt.CPUs), f(pt.MeanRMSErrorPct), f(pt.UtilizationPct), f(pt.OverheadPct),
+		})
+	}
+	return writeTSV(w, header, rows)
+}
+
+// WriteTSV renders the portability comparison.
+func (r *PortabilityResult) WriteTSV(w io.Writer) error {
+	header := []string{"workload", "bsd_err_pct", "cfs_err_pct", "bsd_ovh_pct", "cfs_ovh_pct"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Workload.String(), f(row.BSDErrPct), f(row.CFSErrPct),
+			f(row.BSDOverheadPct), f(row.CFSOverheadPct),
+		})
+	}
+	return writeTSV(w, header, rows)
+}
+
+// WriteTSV renders the accounting-granularity ablation.
+func (r *AcctGranResult) WriteTSV(w io.Writer) error {
+	header := []string{"granularity", "quantum", "err_pct"}
+	var rows [][]string
+	for _, pt := range r.Points {
+		rows = append(rows, []string{
+			pt.Granularity.String(), pt.Quantum.String(), f(pt.MeanRMSErrorPct),
+		})
+	}
+	return writeTSV(w, header, rows)
+}

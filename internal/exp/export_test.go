@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"alps/internal/metrics"
+	"alps/internal/share"
+)
+
+func TestAccuracyTSV(t *testing.T) {
+	r := &AccuracyResult{
+		Params: AccuracyParams{Quanta: []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}},
+		Points: []AccuracyPoint{
+			{Workload: Workload{share.Linear, 5}, Quantum: 10 * time.Millisecond, MeanRMSErrorPct: 1.5},
+			{Workload: Workload{share.Linear, 5}, Quantum: 20 * time.Millisecond, MeanRMSErrorPct: 2.5},
+		},
+	}
+	var b strings.Builder
+	if err := r.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "workload\terr_pct_q10ms\terr_pct_q20ms\nLinear5\t1.5000\t2.5000\n"
+	if got != want {
+		t.Errorf("TSV = %q, want %q", got, want)
+	}
+}
+
+func TestScaleTSV(t *testing.T) {
+	r := &ScaleResult{
+		Curves: []ScaleCurve{{
+			Quantum: 10 * time.Millisecond,
+			Points: []ScalePoint{
+				{N: 10, OverheadPct: 0.7, MeanRMSErrorPct: 2.0, MissedFirings: 3},
+			},
+			Fit: metrics.Line{},
+		}},
+	}
+	var b strings.Builder
+	if err := r.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !strings.HasPrefix(rows[1], "10ms\t10\t0.7000\t2.0000\t3") {
+		t.Errorf("data row = %q", rows[1])
+	}
+}
+
+func TestIOAndMultiAppTSV(t *testing.T) {
+	io := &IOResult{Trace: []IOCycle{{Cycle: 7, SharePct: [3]float64{25, 0, 75}}}}
+	var b strings.Builder
+	if err := io.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "7\t25.0000\t0.0000\t75.0000") {
+		t.Errorf("io TSV = %q", b.String())
+	}
+
+	ma := &MultiAppResult{Series: map[int64][]TimePoint{
+		3: {{Wall: time.Second, CPU: 250 * time.Millisecond}},
+	}}
+	b.Reset()
+	if err := ma.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "3\t1000.000\t250.000") {
+		t.Errorf("multiapp TSV = %q", b.String())
+	}
+}
+
+func TestOtherTSVWriters(t *testing.T) {
+	ov := &OverheadResult{Points: []OverheadPoint{{Workload: Workload{share.Equal, 5}, Quantum: 10 * time.Millisecond, OverheadPct: 0.4, UnoptimizedPct: 0.9}}}
+	bl := &BaselineResult{Rows: []BaselineRow{{Workload: Workload{share.Skewed, 5}, AlpsErrPct: 2, StrideErrPct: 0, LotteryErrPct: 50}}}
+	smp := &SMPResult{Points: []SMPPoint{{CPUs: 2, MeanRMSErrorPct: 1, UtilizationPct: 90, OverheadPct: 0.2}}}
+	ag := &AcctGranResult{Points: []AcctGranPoint{{Granularity: time.Millisecond, Quantum: 15 * time.Millisecond, MeanRMSErrorPct: 10}}}
+	var b strings.Builder
+	for _, tc := range []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"overhead", func() error { b.Reset(); return ov.WriteTSV(&b) }, "Equal5\t10ms\t0.4000\t0.9000"},
+		{"baseline", func() error { b.Reset(); return bl.WriteTSV(&b) }, "Skewed5\t2.0000\t0.0000\t50.0000"},
+		{"smp", func() error { b.Reset(); return smp.WriteTSV(&b) }, "2\t1.0000\t90.0000\t0.2000"},
+		{"acctgran", func() error { b.Reset(); return ag.WriteTSV(&b) }, "1ms\t15ms\t10.0000"},
+	} {
+		if err := tc.run(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !strings.Contains(b.String(), tc.want) {
+			t.Errorf("%s TSV = %q, want containing %q", tc.name, b.String(), tc.want)
+		}
+	}
+}

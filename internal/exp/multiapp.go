@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"alps/internal/core"
+	"alps/internal/metrics"
+	"alps/internal/sim"
+)
+
+// MultiAppParams configures the §4.1 experiment (Figure 7 / Table 3):
+// three independent process groups, each under its own ALPS, started in
+// phases so the kernel divides the machine 1, 2, then 3 ways.
+type MultiAppParams struct {
+	Quantum time.Duration
+	// Phase start/end times. The paper starts group A at 0, B at
+	// 3000 ms, C at 6000 ms, and ends at 15000 ms.
+	StartB, StartC, End time.Duration
+	// Margin trims each phase window before fitting slopes, skipping
+	// the fork-time transients the paper describes at phase
+	// boundaries.
+	Margin time.Duration
+}
+
+// DefaultMultiAppParams returns the paper's §4.1 configuration.
+func DefaultMultiAppParams() MultiAppParams {
+	return MultiAppParams{
+		Quantum: 10 * time.Millisecond,
+		StartB:  3 * time.Second,
+		StartC:  6 * time.Second,
+		End:     15 * time.Second,
+		Margin:  400 * time.Millisecond,
+	}
+}
+
+// TimePoint is one cycle-end sample of a process's cumulative CPU time.
+type TimePoint struct {
+	Wall time.Duration
+	CPU  time.Duration
+}
+
+// MultiAppRow is one row of Table 3: a process (identified by its share
+// count, which is unique across groups) with its measured within-group
+// CPU fraction and relative error per phase.
+type MultiAppRow struct {
+	Share  int64
+	Group  string // "A", "B", or "C"
+	Target float64
+	// Phase[i] is the measurement for phase i+1; Present reports
+	// whether the process ran during that phase.
+	Phase [3]MultiAppCell
+}
+
+// MultiAppCell is one phase measurement in Table 3.
+type MultiAppCell struct {
+	Present   bool
+	Pct       float64 // CPU share within the group, percent
+	RelErrPct float64 // relative error vs Target, percent
+}
+
+// MultiAppResult holds the Figure 7 trace and Table 3.
+type MultiAppResult struct {
+	Params MultiAppParams
+	// Series maps a process's share count to its cumulative CPU trace.
+	Series map[int64][]TimePoint
+	Rows   []MultiAppRow
+	// AvgRelErrPct is the average relative error over all cells (the
+	// paper reports 0.93%).
+	AvgRelErrPct float64
+}
+
+// groupSpec describes one application group.
+type groupSpec struct {
+	name   string
+	shares []int64
+	start  time.Duration
+}
+
+// MultiApp runs the §4.1 experiment.
+func MultiApp(p MultiAppParams) (*MultiAppResult, error) {
+	groups := []groupSpec{
+		{"A", []int64{7, 8, 9}, 0},
+		{"B", []int64{4, 5, 6}, p.StartB},
+		{"C", []int64{1, 2, 3}, p.StartC},
+	}
+
+	k := sim.NewKernel()
+	res := &MultiAppResult{Params: p, Series: make(map[int64][]TimePoint)}
+	cum := make(map[int64]time.Duration)
+
+	var startErr error
+	for _, g := range groups {
+		g := g
+		k.At(g.start, func() {
+			tasks := make([]sim.AlpsTask, len(g.shares))
+			for i, s := range g.shares {
+				pid := k.SpawnStopped(fmt.Sprintf("%s%d", g.name, s), 0, sim.Spin())
+				tasks[i] = sim.AlpsTask{ID: core.TaskID(s), Share: s, Pids: []sim.PID{pid}}
+			}
+			_, err := sim.StartALPS(k, sim.AlpsConfig{
+				Quantum: p.Quantum,
+				Cost:    paperCost,
+				OnCycle: func(rec core.CycleRecord) {
+					for _, t := range rec.Tasks {
+						s := int64(t.ID)
+						cum[s] += t.Consumed
+						res.Series[s] = append(res.Series[s], TimePoint{Wall: k.Now(), CPU: cum[s]})
+					}
+				},
+			}, tasks)
+			if err != nil && startErr == nil {
+				startErr = err
+			}
+		})
+	}
+	k.Run(p.End)
+	if startErr != nil {
+		return nil, startErr
+	}
+
+	// Table 3: within each phase, fit each process's consumption rate
+	// and normalize within its group.
+	phases := [3][2]time.Duration{
+		{0, p.StartB},
+		{p.StartB, p.StartC},
+		{p.StartC, p.End},
+	}
+	var errSum float64
+	var errN int
+	for _, g := range groups {
+		var groupTotal int64
+		for _, s := range g.shares {
+			groupTotal += s
+		}
+		slopes := make([][3]float64, len(g.shares))
+		present := make([][3]bool, len(g.shares))
+		for i, s := range g.shares {
+			for ph, win := range phases {
+				lo, hi := win[0]+p.Margin, win[1]-p.Margin/4
+				if g.start >= win[1] {
+					continue // group not yet running in this phase
+				}
+				var xs, ys []float64
+				for _, pt := range res.Series[s] {
+					if pt.Wall >= lo && pt.Wall <= hi {
+						xs = append(xs, pt.Wall.Seconds())
+						ys = append(ys, pt.CPU.Seconds())
+					}
+				}
+				line, err := metrics.LinearRegression(xs, ys)
+				if err != nil {
+					continue
+				}
+				slopes[i][ph] = line.Slope
+				present[i][ph] = true
+			}
+		}
+		for i, s := range g.shares {
+			row := MultiAppRow{Share: s, Group: g.name, Target: 100 * float64(s) / float64(groupTotal)}
+			for ph := range phases {
+				if !present[i][ph] {
+					continue
+				}
+				var tot float64
+				ok := true
+				for j := range g.shares {
+					if !present[j][ph] {
+						ok = false
+						break
+					}
+					tot += slopes[j][ph]
+				}
+				if !ok || tot <= 0 {
+					continue
+				}
+				pct := 100 * slopes[i][ph] / tot
+				re, err := metrics.RelativeError(pct, row.Target)
+				if err != nil {
+					continue
+				}
+				row.Phase[ph] = MultiAppCell{Present: true, Pct: pct, RelErrPct: 100 * re}
+				errSum += 100 * re
+				errN++
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	if errN > 0 {
+		res.AvgRelErrPct = errSum / float64(errN)
+	}
+	return res, nil
+}

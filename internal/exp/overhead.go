@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"alps/internal/metrics"
+	"alps/internal/sim"
+)
+
+// paperCost is the Table 1 operation cost model used by all harnesses.
+var paperCost = sim.PaperCosts()
+
+// OverheadParams configures the Figure 5 sweep: ALPS overhead for every
+// Table 2 workload at quantum lengths 10/20/40 ms.
+type OverheadParams struct {
+	Workloads []Workload
+	Quanta    []time.Duration
+	Cycles    int
+	Trials    int
+	Warmup    int
+	// WarmupTime extends the warm-up to cover kernel feedback convergence.
+	WarmupTime time.Duration
+}
+
+// DefaultOverheadParams returns the paper's Figure 5 configuration.
+func DefaultOverheadParams() OverheadParams {
+	return OverheadParams{
+		Workloads:  PaperWorkloads(),
+		Quanta:     []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond},
+		Cycles:     200,
+		Trials:     3,
+		Warmup:     5,
+		WarmupTime: 75 * time.Second,
+	}
+}
+
+// OverheadPoint is one (workload, quantum) point of Figure 5, plus the
+// unoptimized baseline used for the §3.2 comparison.
+type OverheadPoint struct {
+	Workload Workload
+	Quantum  time.Duration
+	// OverheadPct is the optimized ALPS overhead in percent.
+	OverheadPct float64
+	// UnoptimizedPct is the overhead with lazy sampling disabled
+	// (populated by OptimizationAblation; zero in a plain Overhead
+	// sweep).
+	UnoptimizedPct float64
+}
+
+// ReductionFactor returns UnoptimizedPct/OverheadPct, the paper's
+// "optimization reduces overhead by a factor of 1.8–5.9×" statistic.
+func (p OverheadPoint) ReductionFactor() float64 {
+	if p.OverheadPct == 0 {
+		return 0
+	}
+	return p.UnoptimizedPct / p.OverheadPct
+}
+
+// OverheadResult holds a Figure 5 sweep.
+type OverheadResult struct {
+	Params OverheadParams
+	Points []OverheadPoint
+}
+
+// Overhead runs the Figure 5 sweep (optimized ALPS only).
+func Overhead(p OverheadParams) (*OverheadResult, error) {
+	return overheadSweep(p, false)
+}
+
+// OptimizationAblation runs the Figure 5 sweep twice — with and without
+// the §2.3 lazy-sampling optimization — and reports both overheads per
+// point, supporting the paper's claim that the optimization reduces
+// overhead by 1.8×–5.9×.
+func OptimizationAblation(p OverheadParams) (*OverheadResult, error) {
+	opt, err := overheadSweep(p, false)
+	if err != nil {
+		return nil, err
+	}
+	unopt, err := overheadSweep(p, true)
+	if err != nil {
+		return nil, err
+	}
+	for i := range opt.Points {
+		opt.Points[i].UnoptimizedPct = unopt.Points[i].OverheadPct
+	}
+	return opt, nil
+}
+
+func overheadSweep(p OverheadParams, disableLazy bool) (*OverheadResult, error) {
+	res := &OverheadResult{Params: p}
+	for _, w := range p.Workloads {
+		shares, err := w.Shares()
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range p.Quanta {
+			spec := RunSpec{
+				Shares:              shares,
+				Quantum:             q,
+				Cycles:              p.Cycles,
+				Warmup:              p.Warmup,
+				WarmupTime:          p.WarmupTime,
+				Cost:                paperCost,
+				DisableLazySampling: disableLazy,
+			}
+			runs, err := Trials(spec, p.Trials)
+			if err != nil {
+				return nil, fmt.Errorf("%v @ %v: %w", w, q, err)
+			}
+			var overs []float64
+			for _, r := range runs {
+				overs = append(overs, r.OverheadPct())
+			}
+			mo, _ := metrics.Mean(overs)
+			res.Points = append(res.Points, OverheadPoint{Workload: w, Quantum: q, OverheadPct: mo})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"alps/internal/core"
+	"alps/internal/metrics"
+	"alps/internal/sim"
+)
+
+// PortabilityParams configures the kernel-portability experiment: the
+// identical ALPS process and workload on machines whose *native*
+// scheduling policies differ. The paper's §1 argues that a user-level
+// scheduler is valuable precisely because it is portable — "not requiring
+// modifications to the underlying kernel scheduler" — and §2.1's design
+// defers fine-grained time slicing to whatever that scheduler is. This
+// experiment substantiates the claim: ALPS achieves proportional shares
+// on both a 4.4BSD decay-usage kernel and a Linux-CFS-style fair
+// scheduler, without a line of ALPS changing.
+type PortabilityParams struct {
+	Workloads  []Workload
+	Quantum    time.Duration
+	Cycles     int
+	Warmup     int
+	WarmupTime time.Duration
+}
+
+// DefaultPortabilityParams compares the Table 2 five-process workloads at
+// Q=10 ms.
+func DefaultPortabilityParams() PortabilityParams {
+	return PortabilityParams{
+		Workloads:  PaperWorkloads(),
+		Quantum:    10 * time.Millisecond,
+		Cycles:     150,
+		Warmup:     5,
+		WarmupTime: 75 * time.Second,
+	}
+}
+
+// PortabilityRow is one workload's accuracy under each kernel policy.
+type PortabilityRow struct {
+	Workload Workload
+	// Mean RMS relative error per cycle, percent.
+	BSDErrPct float64
+	CFSErrPct float64
+	// ALPS overhead percent under each policy.
+	BSDOverheadPct float64
+	CFSOverheadPct float64
+}
+
+// PortabilityResult holds the comparison.
+type PortabilityResult struct {
+	Params PortabilityParams
+	Rows   []PortabilityRow
+}
+
+// Portability runs the experiment.
+func Portability(p PortabilityParams) (*PortabilityResult, error) {
+	res := &PortabilityResult{Params: p}
+	for _, w := range p.Workloads {
+		shares, err := w.Shares()
+		if err != nil {
+			return nil, err
+		}
+		row := PortabilityRow{Workload: w}
+		if row.BSDErrPct, row.BSDOverheadPct, err = portabilityRun(p, shares, sim.PolicyBSD); err != nil {
+			return nil, fmt.Errorf("%v on BSD: %w", w, err)
+		}
+		if row.CFSErrPct, row.CFSOverheadPct, err = portabilityRun(p, shares, sim.PolicyCFS); err != nil {
+			return nil, fmt.Errorf("%v on CFS: %w", w, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func portabilityRun(p PortabilityParams, shares []int64, pol sim.Policy) (errPct, ovhPct float64, err error) {
+	k := sim.NewKernelWithPolicy(1, pol)
+	pids := make([]sim.PID, len(shares))
+	tasks := make([]sim.AlpsTask, len(shares))
+	for i, s := range shares {
+		pids[i] = k.SpawnStopped(fmt.Sprintf("w%d", i), 0, sim.Spin())
+		tasks[i] = sim.AlpsTask{ID: core.TaskID(i), Share: s, Pids: []sim.PID{pids[i]}}
+	}
+	var total int64
+	for _, s := range shares {
+		total += s
+	}
+	warm := p.Warmup
+	if p.WarmupTime > 0 {
+		if w := int(p.WarmupTime/(time.Duration(total)*p.Quantum)) + 1; w > warm {
+			warm = w
+		}
+	}
+	target := warm + p.Cycles
+	seen := 0
+	var rms []float64
+	a, err := sim.StartALPS(k, sim.AlpsConfig{
+		Quantum: p.Quantum,
+		Cost:    sim.PaperCosts(),
+		OnCycle: func(rec core.CycleRecord) {
+			seen++
+			if seen > warm {
+				actual := make([]float64, len(rec.Tasks))
+				ideal := make([]float64, len(rec.Tasks))
+				for i, t := range rec.Tasks {
+					actual[i] = float64(t.Consumed)
+					ideal[i] = float64(t.Share) * float64(p.Quantum)
+				}
+				if v, err := metrics.RMSRelativeError(actual, ideal); err == nil {
+					rms = append(rms, v)
+				}
+			}
+			if seen >= target {
+				k.Stop()
+			}
+		},
+	}, tasks)
+	if err != nil {
+		return 0, 0, err
+	}
+	k.Run(time.Duration(target+20) * 4 * time.Duration(total) * p.Quantum)
+	mean, err := metrics.Mean(rms)
+	if err != nil {
+		return 0, 0, err
+	}
+	return 100 * mean, 100 * float64(a.CPU()) / float64(k.Now()), nil
+}

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"alps/internal/metrics"
+)
+
+// ScaleParams configures the §4.2 scalability experiment (Figures 8 and
+// 9): equal-share workloads of increasing size until ALPS loses control.
+type ScaleParams struct {
+	// SharePerProc is the per-process share count (paper: 5).
+	SharePerProc int64
+	// Ns are the workload sizes on the x-axis.
+	Ns []int
+	// Quanta are the ALPS quantum lengths (paper: 10/20/40 ms).
+	Quanta []time.Duration
+	// Cycles measured per run and warm-up cycles discarded.
+	Cycles int
+	Warmup int
+	// WarmupTime extends the warm-up to cover kernel feedback convergence.
+	WarmupTime time.Duration
+	Trials     int
+	// MaxDuration bounds each run in virtual time (runs past the
+	// breakdown threshold crawl; the paper's do too).
+	MaxDuration time.Duration
+	// BreakdownErrPct is the accuracy level treated as loss of
+	// control when locating the observed threshold.
+	BreakdownErrPct float64
+}
+
+// DefaultScaleParams returns the paper's §4.2 configuration, with cycle
+// counts sized for practical sweep times.
+func DefaultScaleParams() ScaleParams {
+	ns := make([]int, 0, 24)
+	for n := 5; n <= 120; n += 5 {
+		ns = append(ns, n)
+	}
+	return ScaleParams{
+		SharePerProc:    5,
+		Ns:              ns,
+		Quanta:          []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond},
+		Cycles:          30,
+		Warmup:          3,
+		WarmupTime:      75 * time.Second,
+		Trials:          1,
+		MaxDuration:     45 * time.Minute,
+		BreakdownErrPct: 15,
+	}
+}
+
+// ScalePoint is one (N, Q) measurement in Figures 8/9.
+type ScalePoint struct {
+	N       int
+	Quantum time.Duration
+	// OverheadPct is ALPS CPU / wall (Figure 8).
+	OverheadPct float64
+	// MeanRMSErrorPct is the accuracy metric (Figure 9).
+	MeanRMSErrorPct float64
+	// MissedFirings counts quantum boundaries ALPS could not keep.
+	MissedFirings int64
+}
+
+// ScaleCurve is one quantum length's sweep with its overhead fit and
+// breakdown analysis.
+type ScaleCurve struct {
+	Quantum time.Duration
+	Points  []ScalePoint
+	// Fit is the least-squares line through the linear (pre-breakdown)
+	// portion of the overhead curve, the paper's U_Q(N).
+	Fit metrics.Line
+	// PredictedThreshold solves U_Q(N) = 100/(N+1) (paper: 39/54/75
+	// for Q = 10/20/40 ms).
+	PredictedThreshold float64
+	// ObservedThreshold is the first N at which the measured error
+	// exceeds BreakdownErrPct (paper: 40/60/90). Zero when control
+	// never broke within the sweep.
+	ObservedThreshold int
+}
+
+// ScaleResult holds the §4.2 sweep.
+type ScaleResult struct {
+	Params ScaleParams
+	Curves []ScaleCurve
+}
+
+// Scalability runs the §4.2 experiment.
+func Scalability(p ScaleParams) (*ScaleResult, error) {
+	res := &ScaleResult{Params: p}
+	for _, q := range p.Quanta {
+		curve := ScaleCurve{Quantum: q}
+		for _, n := range p.Ns {
+			shares := make([]int64, n)
+			for i := range shares {
+				shares[i] = p.SharePerProc
+			}
+			spec := RunSpec{
+				Shares:      shares,
+				Quantum:     q,
+				Cycles:      p.Cycles,
+				Warmup:      p.Warmup,
+				WarmupTime:  p.WarmupTime,
+				Cost:        paperCost,
+				MaxDuration: p.MaxDuration,
+			}
+			runs, err := Trials(spec, p.Trials)
+			if err != nil {
+				return nil, fmt.Errorf("N=%d Q=%v: %w", n, q, err)
+			}
+			var overs, errs []float64
+			var missed int64
+			for _, r := range runs {
+				overs = append(overs, r.OverheadPct())
+				e, err := r.MeanRMSErrorPct()
+				if err != nil {
+					return nil, fmt.Errorf("N=%d Q=%v: %w", n, q, err)
+				}
+				errs = append(errs, e)
+				missed += r.MissedFirings
+			}
+			mo, _ := metrics.Mean(overs)
+			me, _ := metrics.Mean(errs)
+			curve.Points = append(curve.Points, ScalePoint{
+				N: n, Quantum: q, OverheadPct: mo, MeanRMSErrorPct: me,
+				MissedFirings: missed,
+			})
+		}
+		analyzeCurve(&curve, p)
+		res.Curves = append(res.Curves, curve)
+	}
+	return res, nil
+}
+
+// analyzeCurve fits the linear portion of the overhead curve and locates
+// the predicted and observed breakdown thresholds. The linear portion is
+// the prefix up to the overhead peak: past the breakdown, ALPS is starved
+// and its measured overhead declines (paper Figure 8's rollover).
+func analyzeCurve(c *ScaleCurve, p ScaleParams) {
+	peak := 0
+	for i, pt := range c.Points {
+		if pt.OverheadPct > c.Points[peak].OverheadPct {
+			peak = i
+		}
+	}
+	var xs, ys []float64
+	for _, pt := range c.Points[:peak+1] {
+		if pt.MeanRMSErrorPct > p.BreakdownErrPct {
+			break
+		}
+		xs = append(xs, float64(pt.N))
+		ys = append(ys, pt.OverheadPct)
+	}
+	if line, err := metrics.LinearRegression(xs, ys); err == nil {
+		c.Fit = line
+		if th, err := metrics.BreakdownThreshold(line); err == nil {
+			c.PredictedThreshold = th
+		}
+	}
+	for _, pt := range c.Points {
+		if pt.MeanRMSErrorPct > p.BreakdownErrPct {
+			c.ObservedThreshold = pt.N
+			break
+		}
+	}
+}

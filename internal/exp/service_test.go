@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"alps/internal/share"
+)
+
+// TestServiceErrorBound empirically validates ALPS's service-lag
+// behavior: the worst-case deviation of any task's cumulative allocation
+// from its entitlement stays within a small number of quanta — the
+// quantitative form of the paper's §2.2 claim that allocation errors are
+// corrected in future cycles rather than accumulating.
+func TestServiceErrorBound(t *testing.T) {
+	for _, m := range share.Models {
+		shares, err := share.Distribution(m, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(RunSpec{
+			Shares:     shares,
+			Quantum:    10 * time.Millisecond,
+			Cycles:     150,
+			Warmup:     3,
+			WarmupTime: 75 * time.Second,
+			Cost:       paperCost,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs, err := r.ServiceErrors()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range errs {
+			// Empirical bound: a few quanta of lag, not growing with
+			// run length (150 cycles). A scheduler that accumulated
+			// error would exceed this by orders of magnitude.
+			if e > 60*time.Millisecond {
+				t.Errorf("%v task %d (share %d): worst service error %v exceeds 6 quanta", m, i, shares[i], e)
+			}
+		}
+		t.Logf("%v worst service errors: %v", m, errs)
+	}
+}

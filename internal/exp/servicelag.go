@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+)
+
+// ServiceLagParams configures the service-lag experiment: the worst-case
+// absolute deviation of each task's cumulative allocation from its
+// entitlement, over a long run. Proportional-share guarantees are usually
+// stated in this metric — stride scheduling bounds it by about one
+// quantum; ALPS's §2.2 carryover argument implies it stays bounded (a
+// couple of quanta) rather than growing with run length. This experiment
+// measures it.
+type ServiceLagParams struct {
+	Workloads  []Workload
+	Quantum    time.Duration
+	Cycles     int
+	Warmup     int
+	WarmupTime time.Duration
+}
+
+// DefaultServiceLagParams measures the Table 2 workloads over 200 cycles.
+func DefaultServiceLagParams() ServiceLagParams {
+	return ServiceLagParams{
+		Workloads:  PaperWorkloads(),
+		Quantum:    10 * time.Millisecond,
+		Cycles:     200,
+		Warmup:     5,
+		WarmupTime: 75 * time.Second,
+	}
+}
+
+// ServiceLagRow is one workload's result.
+type ServiceLagRow struct {
+	Workload Workload
+	// WorstLag is the maximum service error over all tasks and sample
+	// points; WorstLagQuanta expresses it in quanta.
+	WorstLag       time.Duration
+	WorstLagQuanta float64
+	// MeanLag averages each task's worst-case lag.
+	MeanLag time.Duration
+}
+
+// ServiceLagResult holds the sweep.
+type ServiceLagResult struct {
+	Params ServiceLagParams
+	Rows   []ServiceLagRow
+}
+
+// ServiceLag runs the experiment.
+func ServiceLag(p ServiceLagParams) (*ServiceLagResult, error) {
+	res := &ServiceLagResult{Params: p}
+	for _, w := range p.Workloads {
+		shares, err := w.Shares()
+		if err != nil {
+			return nil, err
+		}
+		r, err := Run(RunSpec{
+			Shares:     shares,
+			Quantum:    p.Quantum,
+			Cycles:     p.Cycles,
+			Warmup:     p.Warmup,
+			WarmupTime: p.WarmupTime,
+			Cost:       paperCost,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", w, err)
+		}
+		lags, err := r.ServiceErrors()
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", w, err)
+		}
+		row := ServiceLagRow{Workload: w}
+		var sum time.Duration
+		for _, l := range lags {
+			sum += l
+			if l > row.WorstLag {
+				row.WorstLag = l
+			}
+		}
+		row.MeanLag = sum / time.Duration(len(lags))
+		row.WorstLagQuanta = float64(row.WorstLag) / float64(p.Quantum)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

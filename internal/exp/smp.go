@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"alps/internal/core"
+	"alps/internal/metrics"
+	"alps/internal/share"
+	"alps/internal/sim"
+)
+
+// SMPParams configures the multiprocessor extension experiment: the same
+// ALPS instance and workload on machines with increasing processor
+// counts. The paper's design targets a uniprocessor (§2.1 notes the
+// kernel "selects an available process to execute on an available CPU",
+// but all evaluation is single-CPU); this experiment quantifies what
+// happens beyond that: ALPS controls only *eligibility*, so with M
+// processors the kernel runs up to M eligible processes at once, and
+// near the end of each cycle fewer eligible processes remain than
+// processors — costing utilization and accuracy.
+type SMPParams struct {
+	CPUs       []int
+	Workload   Workload
+	Quantum    time.Duration
+	Cycles     int
+	Warmup     int
+	WarmupTime time.Duration
+	Trials     int
+}
+
+// DefaultSMPParams measures Linear10 at Q=10 ms on 1/2/4-processor
+// machines.
+func DefaultSMPParams() SMPParams {
+	return SMPParams{
+		CPUs:       []int{1, 2, 4},
+		Workload:   Workload{share.Linear, 10},
+		Quantum:    10 * time.Millisecond,
+		Cycles:     120,
+		Warmup:     5,
+		WarmupTime: 75 * time.Second,
+		Trials:     3,
+	}
+}
+
+// SMPPoint is one processor count's measurement.
+type SMPPoint struct {
+	CPUs int
+	// MeanRMSErrorPct is the §3.1 accuracy metric; the per-cycle ideal
+	// scales with the machine's capacity actually consumed.
+	MeanRMSErrorPct float64
+	// UtilizationPct is consumed workload CPU over M×wall capacity.
+	UtilizationPct float64
+	// OverheadPct is ALPS CPU / wall.
+	OverheadPct float64
+}
+
+// SMPResult holds the sweep.
+type SMPResult struct {
+	Params SMPParams
+	Points []SMPPoint
+}
+
+// SMP runs the multiprocessor extension experiment.
+func SMP(p SMPParams) (*SMPResult, error) {
+	shares, err := p.Workload.Shares()
+	if err != nil {
+		return nil, err
+	}
+	res := &SMPResult{Params: p}
+	for _, m := range p.CPUs {
+		var errsum, utilsum, ovhsum float64
+		for trial := 0; trial < p.Trials; trial++ {
+			e, util, ovh, err := smpRun(p, shares, m, time.Duration(trial)*1700*time.Microsecond)
+			if err != nil {
+				return nil, fmt.Errorf("M=%d: %w", m, err)
+			}
+			errsum += e
+			utilsum += util
+			ovhsum += ovh
+		}
+		n := float64(p.Trials)
+		res.Points = append(res.Points, SMPPoint{
+			CPUs:            m,
+			MeanRMSErrorPct: errsum / n,
+			UtilizationPct:  utilsum / n,
+			OverheadPct:     ovhsum / n,
+		})
+	}
+	return res, nil
+}
+
+func smpRun(p SMPParams, shares []int64, m int, offset time.Duration) (errPct, utilPct, ovhPct float64, err error) {
+	k := sim.NewKernelSMP(m)
+	pids := make([]sim.PID, len(shares))
+	tasks := make([]sim.AlpsTask, len(shares))
+	for i, s := range shares {
+		pids[i] = k.SpawnStopped(fmt.Sprintf("w%d", i), 0, sim.Spin())
+		tasks[i] = sim.AlpsTask{ID: core.TaskID(i), Share: s, Pids: []sim.PID{pids[i]}}
+	}
+	var total int64
+	for _, s := range shares {
+		total += s
+	}
+	warm := p.Warmup
+	if p.WarmupTime > 0 {
+		// Cycles complete ~M times faster on M processors.
+		if w := int(p.WarmupTime/(time.Duration(total)*p.Quantum/time.Duration(m))) + 1; w > warm {
+			warm = w
+		}
+	}
+	target := warm + p.Cycles
+	seen := 0
+	var rms []float64
+	a, err := sim.StartALPS(k, sim.AlpsConfig{
+		Quantum:     p.Quantum,
+		Cost:        sim.PaperCosts(),
+		StartOffset: offset,
+		OnCycle: func(rec core.CycleRecord) {
+			seen++
+			if seen > warm {
+				// Per-cycle accuracy vs the proportional split of
+				// what the cycle actually delivered (on SMP the
+				// cycle's CPU total varies with idle capacity).
+				var cycleTotal time.Duration
+				for _, t := range rec.Tasks {
+					cycleTotal += t.Consumed
+				}
+				if cycleTotal > 0 {
+					actual := make([]float64, len(rec.Tasks))
+					ideal := make([]float64, len(rec.Tasks))
+					for i, t := range rec.Tasks {
+						actual[i] = float64(t.Consumed)
+						ideal[i] = float64(t.Share) / float64(total) * float64(cycleTotal)
+					}
+					if v, err := metrics.RMSRelativeError(actual, ideal); err == nil {
+						rms = append(rms, v)
+					}
+				}
+			}
+			if seen >= target {
+				k.Stop()
+			}
+		},
+	}, tasks)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	k.Run(time.Duration(target+20) * 4 * time.Duration(total) * p.Quantum)
+
+	var workCPU time.Duration
+	for _, pid := range pids {
+		if info, ok := k.Info(pid); ok {
+			workCPU += info.CPU
+		}
+	}
+	mean, err := metrics.Mean(rms)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	wall := k.Now()
+	return 100 * mean,
+		100 * float64(workCPU) / (float64(m) * float64(wall)),
+		100 * float64(a.CPU()) / float64(wall),
+		nil
+}

@@ -1,0 +1,238 @@
+// Package hier adds hierarchical share policies on top of ALPS, in the
+// spirit of hierarchical CPU schedulers (Goyal, Guo & Vin, OSDI 1996 —
+// the paper's reference [14]): shares form a tree in which each internal
+// node divides its parent's allocation among its children, and only the
+// leaves correspond to schedulable ALPS tasks.
+//
+// ALPS itself is flat: it schedules a set of tasks with integer shares.
+// A Tree flattens to exactly that — each leaf's effective weight is the
+// product of its share ratios down the path from the root — scaled to
+// integer shares for the core algorithm. Because ALPS reconfigures
+// dynamically (SetShare), a policy tree can be edited at runtime and
+// re-flattened; the Rebalance helper pushes the new effective shares into
+// a live scheduler.
+//
+// Example: a university machine gives departments 2:1, the big
+// department splits 3:1 between research and teaching, and each of those
+// runs several jobs. Flattening yields per-job integer shares that make
+// ALPS enforce the whole tree.
+package hier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"alps/internal/core"
+)
+
+// Node is a vertex of the share tree. A node with children is a policy
+// group; a node without children is a leaf bound to an ALPS task.
+type Node struct {
+	// Name identifies the node in errors and listings.
+	Name string
+	// Share is the node's weight relative to its siblings.
+	Share int64
+	// Task is the ALPS task a leaf maps to. Ignored for internal
+	// nodes.
+	Task core.TaskID
+	// Children, if non-empty, makes this an internal node.
+	Children []*Node
+}
+
+// Leaf constructs a leaf node.
+func Leaf(name string, share int64, task core.TaskID) *Node {
+	return &Node{Name: name, Share: share, Task: task}
+}
+
+// Group constructs an internal node.
+func Group(name string, share int64, children ...*Node) *Node {
+	return &Node{Name: name, Share: share, Children: children}
+}
+
+// ErrBadTree is wrapped by validation failures.
+var ErrBadTree = errors.New("hier: invalid share tree")
+
+// Weight is one leaf's effective allocation.
+type Weight struct {
+	Task core.TaskID
+	Name string
+	// Fraction of the total machine allocation this leaf should get.
+	Fraction float64
+	// Share is the integer share implementing Fraction (see Flatten).
+	Share int64
+}
+
+// Validate checks the tree: positive shares everywhere, at least one
+// leaf, and no duplicate task IDs among leaves.
+func Validate(root *Node) error {
+	if root == nil {
+		return fmt.Errorf("%w: nil root", ErrBadTree)
+	}
+	seen := make(map[core.TaskID]string)
+	leaves := 0
+	var walk func(n *Node, path string) error
+	walk = func(n *Node, path string) error {
+		if n.Share <= 0 {
+			return fmt.Errorf("%w: node %q has share %d", ErrBadTree, path+n.Name, n.Share)
+		}
+		if len(n.Children) == 0 {
+			leaves++
+			if prev, dup := seen[n.Task]; dup {
+				return fmt.Errorf("%w: task %d bound to both %q and %q", ErrBadTree, n.Task, prev, path+n.Name)
+			}
+			seen[n.Task] = path + n.Name
+			return nil
+		}
+		for _, c := range n.Children {
+			if err := walk(c, path+n.Name+"/"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, ""); err != nil {
+		return err
+	}
+	if leaves == 0 {
+		return fmt.Errorf("%w: no leaves", ErrBadTree)
+	}
+	return nil
+}
+
+// Flatten computes each leaf's effective fraction (the product of
+// share ratios along its path) and converts the fractions to integer
+// shares by scaling with the least common multiple of the per-level
+// share sums, reduced by the overall GCD. The resulting integer shares
+// reproduce the tree's fractions exactly.
+func Flatten(root *Node) ([]Weight, error) {
+	if err := Validate(root); err != nil {
+		return nil, err
+	}
+	// Each leaf's exact fraction is a ratio of products of int64s; to
+	// stay exact we carry numerator/denominator per leaf and bring them
+	// to a common denominator at the end.
+	type frac struct {
+		w        Weight
+		num, den int64
+	}
+	var leaves []frac
+	var walk func(n *Node, num, den int64, path string) error
+	walk = func(n *Node, num, den int64, path string) error {
+		if len(n.Children) == 0 {
+			leaves = append(leaves, frac{
+				w:   Weight{Task: n.Task, Name: path + n.Name},
+				num: num, den: den,
+			})
+			return nil
+		}
+		var sum int64
+		for _, c := range n.Children {
+			sum += c.Share
+		}
+		for _, c := range n.Children {
+			nn, err := mulCheck(num, c.Share)
+			if err != nil {
+				return err
+			}
+			dd, err := mulCheck(den, sum)
+			if err != nil {
+				return err
+			}
+			g := gcd(nn, dd)
+			if err := walk(c, nn/g, dd/g, path+n.Name+"/"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, 1, 1, ""); err != nil {
+		return nil, err
+	}
+
+	// Common denominator.
+	den := int64(1)
+	for _, l := range leaves {
+		g := gcd(den, l.den)
+		var err error
+		den, err = mulCheck(den/g, l.den)
+		if err != nil {
+			return nil, err
+		}
+	}
+	shares := make([]int64, len(leaves))
+	var all int64
+	for i, l := range leaves {
+		shares[i] = l.num * (den / l.den)
+		all = gcd(all, shares[i])
+	}
+	out := make([]Weight, len(leaves))
+	for i, l := range leaves {
+		s := shares[i]
+		if all > 1 {
+			s /= all
+		}
+		out[i] = l.w
+		out[i].Share = s
+		out[i].Fraction = float64(l.num) / float64(l.den)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out, nil
+}
+
+// Rebalance pushes a tree's effective shares into a live scheduler:
+// existing tasks are re-weighted with SetShare, tasks not yet registered
+// are reported for the caller to Add (the caller owns process bindings),
+// and registered tasks absent from the tree are reported for removal.
+func Rebalance(s *core.Scheduler, root *Node) (missing, extra []Weight, err error) {
+	ws, err := Flatten(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	inTree := make(map[core.TaskID]Weight, len(ws))
+	for _, w := range ws {
+		inTree[w.Task] = w
+	}
+	for _, id := range s.Tasks() {
+		if _, ok := inTree[id]; !ok {
+			extra = append(extra, Weight{Task: id})
+		}
+	}
+	for _, w := range ws {
+		if _, err := s.Share(w.Task); err != nil {
+			missing = append(missing, w)
+			continue
+		}
+		if err := s.SetShare(w.Task, w.Share); err != nil {
+			return nil, nil, err
+		}
+	}
+	return missing, extra, nil
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// mulCheck multiplies with overflow detection; policy trees deep and
+// wide enough to overflow int64 are rejected rather than silently
+// corrupted.
+func mulCheck(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	if a > math.MaxInt64/b {
+		return 0, fmt.Errorf("%w: share products overflow", ErrBadTree)
+	}
+	return a * b, nil
+}

@@ -1,0 +1,163 @@
+package hier
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"alps/internal/core"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Validate(nil); !errors.Is(err, ErrBadTree) {
+		t.Errorf("nil root: %v", err)
+	}
+	if err := Validate(Leaf("a", 0, 1)); !errors.Is(err, ErrBadTree) {
+		t.Errorf("zero share: %v", err)
+	}
+	dup := Group("r", 1, Leaf("a", 1, 7), Leaf("b", 1, 7))
+	if err := Validate(dup); !errors.Is(err, ErrBadTree) {
+		t.Errorf("duplicate task: %v", err)
+	}
+	ok := Group("r", 1, Leaf("a", 2, 1), Group("g", 3, Leaf("b", 1, 2)))
+	if err := Validate(ok); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+}
+
+// TestFlattenExample works the doc comment's university example:
+// departments 2:1; the big department splits research:teaching 3:1;
+// research runs tasks 1,2 equally; teaching runs task 3; the small
+// department runs task 4.
+func TestFlattenExample(t *testing.T) {
+	tree := Group("univ", 1,
+		Group("bigdept", 2,
+			Group("research", 3,
+				Leaf("job1", 1, 1),
+				Leaf("job2", 1, 2),
+			),
+			Leaf("teaching", 1, 3),
+		),
+		Leaf("smalldept", 1, 4),
+	)
+	ws, err := Flatten(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bigdept 2/3; research 3/4 of that = 1/2; each job 1/4 of total;
+	// teaching 1/6; smalldept 1/3.
+	want := map[core.TaskID]float64{1: 0.25, 2: 0.25, 3: 1.0 / 6, 4: 1.0 / 3}
+	var total int64
+	for _, w := range ws {
+		if math.Abs(w.Fraction-want[w.Task]) > 1e-12 {
+			t.Errorf("task %d: fraction %v, want %v", w.Task, w.Fraction, want[w.Task])
+		}
+		total += w.Share
+	}
+	// Integer shares reproduce the fractions exactly.
+	for _, w := range ws {
+		got := float64(w.Share) / float64(total)
+		if math.Abs(got-want[w.Task]) > 1e-12 {
+			t.Errorf("task %d: integer share %d/%d = %v, want %v", w.Task, w.Share, total, got, want[w.Task])
+		}
+	}
+	// And they are reduced: 3,3,2,4 with gcd 1.
+	if g := gcd(gcd(ws[0].Share, ws[1].Share), gcd(ws[2].Share, ws[3].Share)); g != 1 {
+		t.Errorf("shares not reduced: %v", ws)
+	}
+}
+
+func TestFlattenSingleLeaf(t *testing.T) {
+	ws, err := Flatten(Leaf("only", 5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 1 || ws[0].Fraction != 1 || ws[0].Share != 1 {
+		t.Errorf("single leaf: %+v", ws)
+	}
+}
+
+// TestFlattenFractionsSumToOne: for random trees, leaf fractions sum to 1
+// and integer shares reproduce them exactly.
+func TestFlattenFractionsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nextTask := core.TaskID(0)
+		var build func(depth int) *Node
+		build = func(depth int) *Node {
+			if depth >= 3 || rng.Intn(3) == 0 {
+				nextTask++
+				return Leaf("l", int64(rng.Intn(9))+1, nextTask)
+			}
+			n := Group("g", int64(rng.Intn(9))+1)
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				n.Children = append(n.Children, build(depth+1))
+			}
+			return n
+		}
+		root := build(0)
+		ws, err := Flatten(root)
+		if err != nil {
+			return false
+		}
+		var fsum float64
+		var ssum int64
+		for _, w := range ws {
+			fsum += w.Fraction
+			ssum += w.Share
+		}
+		if math.Abs(fsum-1) > 1e-9 {
+			return false
+		}
+		for _, w := range ws {
+			if math.Abs(float64(w.Share)/float64(ssum)-w.Fraction) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRebalance(t *testing.T) {
+	s := core.New(core.Config{Quantum: 10 * time.Millisecond})
+	if err := s.Add(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(99, 1); err != nil { // not in the tree
+		t.Fatal(err)
+	}
+	tree := Group("r", 1,
+		Leaf("a", 3, 1),
+		Leaf("b", 1, 2), // not yet registered
+	)
+	missing, extra, err := Rebalance(s, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || missing[0].Task != 2 {
+		t.Errorf("missing = %+v, want task 2", missing)
+	}
+	if len(extra) != 1 || extra[0].Task != 99 {
+		t.Errorf("extra = %+v, want task 99", extra)
+	}
+	if sh, _ := s.Share(1); sh != 3 {
+		t.Errorf("task 1 share = %d, want 3", sh)
+	}
+}
+
+func TestFlattenOverflowRejected(t *testing.T) {
+	// Chain of nodes whose sums multiply past int64.
+	root := Leaf("l", 1, 1)
+	for i := 0; i < 8; i++ {
+		root = Group("g", 1, root, Leaf("x", math.MaxInt64/4, core.TaskID(100+i)))
+	}
+	if _, err := Flatten(root); !errors.Is(err, ErrBadTree) {
+		t.Errorf("expected overflow rejection, got %v", err)
+	}
+}

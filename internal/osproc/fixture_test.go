@@ -1,0 +1,119 @@
+package osproc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"alps/internal/core"
+)
+
+// withFakeProc points the package at a synthetic procfs tree for the
+// duration of a test.
+func withFakeProc(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	old := procRoot
+	procRoot = dir
+	t.Cleanup(func() { procRoot = old })
+	return dir
+}
+
+func writeStat(t *testing.T, root string, pid int, line string) {
+	t.Helper()
+	pd := filepath.Join(root, itoa(pid))
+	if err := os.MkdirAll(pd, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pd, "stat"), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestReadStatFixture(t *testing.T) {
+	root := withFakeProc(t)
+	writeStat(t, root, 77,
+		"77 (worker) R 1 77 77 0 -1 0 0 0 0 0 250 50 0 0 20 0 1 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0")
+	st, err := ReadStat(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Comm != "worker" || st.State != 'R' {
+		t.Errorf("parsed %+v", st)
+	}
+	if st.CPU != 300*ClockTick {
+		t.Errorf("CPU = %v, want %v", st.CPU, 300*ClockTick)
+	}
+}
+
+func TestReadStatFixtureMissing(t *testing.T) {
+	withFakeProc(t)
+	if _, err := ReadStat(1234); err == nil {
+		t.Error("expected error for missing stat file")
+	}
+}
+
+// TestRunnerReaderOverFixture drives the Runner's procfs reader against a
+// fixture: CPU growth is observed as consumption, and the run state
+// drives blocked detection — without any live processes or signals.
+func TestRunnerReaderOverFixture(t *testing.T) {
+	root := withFakeProc(t)
+	stat := func(pid, ticks int, state string) string {
+		return itoa(pid) + " (w) " + state + " 1 1 1 0 -1 0 0 0 0 0 " + itoa(ticks) + " 0 0 0 20 0 1 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0"
+	}
+	writeStat(t, root, 101, stat(101, 5, "R"))
+	writeStat(t, root, 102, stat(102, 9, "S"))
+
+	r := &Runner{
+		targets: map[core.TaskID][]int{1: {101, 102}},
+		last:    map[int]time.Duration{},
+	}
+	p, ok := r.read(1)
+	if !ok {
+		t.Fatal("task reported dead")
+	}
+	if p.Consumed != 14*ClockTick {
+		t.Errorf("first read consumed = %v, want %v", p.Consumed, 14*ClockTick)
+	}
+	if p.Blocked {
+		t.Error("group with a running member reported blocked")
+	}
+
+	// Both processes go to sleep; one of them accrued two more ticks.
+	writeStat(t, root, 101, stat(101, 7, "S"))
+	writeStat(t, root, 102, stat(102, 9, "D"))
+	p, ok = r.read(1)
+	if !ok {
+		t.Fatal("task reported dead")
+	}
+	if p.Consumed != 2*ClockTick {
+		t.Errorf("second read consumed = %v, want %v", p.Consumed, 2*ClockTick)
+	}
+	if !p.Blocked {
+		t.Error("all-sleeping group not reported blocked")
+	}
+
+	// One process becomes a zombie; the other vanishes: task is dead.
+	writeStat(t, root, 101, stat(101, 7, "Z"))
+	if err := os.RemoveAll(filepath.Join(root, "102")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.read(1); ok {
+		t.Error("task with only zombie/vanished members should be dead")
+	}
+}

@@ -1,0 +1,70 @@
+package osproc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"alps/internal/core"
+)
+
+// TestRunnerRefreshRealProcesses: a principal's membership grows mid-run
+// (a second busy loop joins task 1), and the group's combined CPU still
+// respects the 1:1 split against the other task.
+func TestRunnerRefreshRealProcesses(t *testing.T) {
+	requireProc(t)
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	a1 := spawnSpinner(t)
+	b := spawnSpinner(t)
+	var a2 int // joins task 1 after two seconds
+	start := time.Now()
+	refresh := func() map[core.TaskID][]int {
+		m := map[core.TaskID][]int{0: {a1}, 1: {b}}
+		if a2 != 0 {
+			m[0] = []int{a1, a2}
+		}
+		return m
+	}
+	r, err := NewRunner(Config{
+		Quantum:      20 * time.Millisecond,
+		RefreshEvery: 500 * time.Millisecond,
+		Refresh:      refresh,
+	}, []Task{
+		{ID: 0, Share: 1, PIDs: []int{a1}},
+		{ID: 1, Share: 1, PIDs: []int{b}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(2 * time.Second)
+		a2 = spawnSpinner(t)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 7*time.Second)
+	defer cancel()
+	_ = r.Run(ctx)
+	_ = start
+
+	cpu := func(pid int) time.Duration {
+		st, err := ReadStat(pid)
+		if err != nil {
+			return 0
+		}
+		return st.CPU
+	}
+	groupA := cpu(a1) + cpu(a2)
+	groupB := cpu(b)
+	total := groupA + groupB
+	if total < 3*time.Second {
+		t.Skipf("host too loaded: workload got only %v", total)
+	}
+	frac := float64(groupA) / float64(total)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("group A fraction %.3f, want ~0.5 (a1=%v a2=%v b=%v)", frac, cpu(a1), cpu(a2), groupB)
+	}
+	if a2 != 0 && cpu(a2) == 0 {
+		t.Error("late-joining member never ran")
+	}
+}

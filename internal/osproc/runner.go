@@ -1,0 +1,223 @@
+package osproc
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"alps/internal/core"
+)
+
+// Task binds a core task to the real processes it covers: one PID for
+// ordinary per-process scheduling, several for a §5-style resource
+// principal.
+type Task struct {
+	ID    core.TaskID
+	Share int64
+	PIDs  []int
+}
+
+// Config parameterizes a Runner.
+type Config struct {
+	// Quantum is the ALPS quantum Q. The paper's sweet spot is
+	// 10–40 ms; note /proc accounting advances in 10 ms ticks, so
+	// quanta below 10 ms cannot observe progress.
+	Quantum time.Duration
+	// DisableLazySampling turns off the §2.3 optimization.
+	DisableLazySampling bool
+	// OnCycle receives per-cycle consumption records.
+	OnCycle func(core.CycleRecord)
+	// RefreshEvery re-resolves task membership that often via Refresh.
+	RefreshEvery time.Duration
+	// Refresh returns the current PID membership per task (e.g. from
+	// PidsOfUser). Tasks absent from the map keep their membership.
+	Refresh func() map[core.TaskID][]int
+	// OnError, if non-nil, receives non-fatal per-process errors
+	// (vanished PIDs, signal failures).
+	OnError func(error)
+}
+
+// Runner executes the ALPS control loop over real processes. Create it
+// with NewRunner, then call Run; the loop holds no goroutines besides the
+// caller's.
+type Runner struct {
+	cfg     Config
+	sched   *core.Scheduler
+	targets map[core.TaskID][]int
+	last    map[int]time.Duration
+
+	suspended map[int]bool
+	ticks     int64
+	lastRef   time.Time
+}
+
+// NewRunner builds a runner controlling the given tasks. All task
+// processes start ineligible: they are SIGSTOPped here and resumed when
+// the algorithm first grants them their allowance (§2.2). Call Run to
+// start scheduling and always let it return (or call Release) so the
+// workload is not left stopped.
+func NewRunner(cfg Config, tasks []Task) (*Runner, error) {
+	if cfg.Quantum < ClockTick {
+		return nil, fmt.Errorf("osproc: quantum %v is below the /proc accounting tick %v", cfg.Quantum, ClockTick)
+	}
+	r := &Runner{
+		cfg:       cfg,
+		targets:   make(map[core.TaskID][]int),
+		last:      make(map[int]time.Duration),
+		suspended: make(map[int]bool),
+	}
+	r.sched = core.New(core.Config{
+		Quantum:             cfg.Quantum,
+		DisableLazySampling: cfg.DisableLazySampling,
+		OnCycle:             cfg.OnCycle,
+	})
+	for _, t := range tasks {
+		if err := r.sched.Add(t.ID, t.Share); err != nil {
+			return nil, err
+		}
+		r.targets[t.ID] = append([]int(nil), t.PIDs...)
+	}
+	for _, t := range tasks {
+		for _, pid := range t.PIDs {
+			if err := Stop(pid); err != nil {
+				r.Release()
+				return nil, fmt.Errorf("osproc: cannot stop pid %d: %w", pid, err)
+			}
+			r.suspended[pid] = true
+		}
+	}
+	return r, nil
+}
+
+// Scheduler exposes the underlying core scheduler for inspection.
+func (r *Runner) Scheduler() *core.Scheduler { return r.sched }
+
+// Ticks returns the number of quanta processed.
+func (r *Runner) Ticks() int64 { return r.ticks }
+
+// Run executes the control loop until the context is cancelled or every
+// controlled process has exited. On return, all still-suspended processes
+// have been resumed.
+func (r *Runner) Run(ctx context.Context) error {
+	ticker := time.NewTicker(r.cfg.Quantum)
+	defer ticker.Stop()
+	defer r.Release()
+	r.lastRef = time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if done := r.Step(); done {
+				return nil
+			}
+		}
+	}
+}
+
+// Step runs a single quantum of the algorithm (one TickQuantum plus the
+// resulting signals). It reports true when no tasks remain. Most callers
+// use Run; Step exists for callers integrating with their own loop.
+func (r *Runner) Step() bool {
+	if r.cfg.Refresh != nil && r.cfg.RefreshEvery > 0 && time.Since(r.lastRef) >= r.cfg.RefreshEvery {
+		r.lastRef = time.Now()
+		r.refresh(r.cfg.Refresh())
+	}
+	dec := r.sched.TickQuantum(r.read)
+	for _, id := range dec.Suspend {
+		for _, pid := range r.targets[id] {
+			if err := Stop(pid); err != nil {
+				r.errf("stop pid %d: %v", pid, err)
+				continue
+			}
+			r.suspended[pid] = true
+		}
+	}
+	for _, id := range dec.Resume {
+		for _, pid := range r.targets[id] {
+			if err := Cont(pid); err != nil {
+				r.errf("cont pid %d: %v", pid, err)
+				continue
+			}
+			delete(r.suspended, pid)
+		}
+	}
+	for _, id := range dec.Dead {
+		delete(r.targets, id)
+	}
+	r.ticks++
+	return r.sched.Len() == 0
+}
+
+// read is the core.Reader over /proc.
+func (r *Runner) read(id core.TaskID) (core.Progress, bool) {
+	pids := r.targets[id]
+	var consumed time.Duration
+	alive := false
+	blocked := true
+	live := pids[:0]
+	for _, pid := range pids {
+		st, err := ReadStat(pid)
+		if err != nil || st.State == 'Z' {
+			delete(r.last, pid)
+			delete(r.suspended, pid)
+			continue
+		}
+		live = append(live, pid)
+		alive = true
+		consumed += st.CPU - r.last[pid]
+		r.last[pid] = st.CPU
+		if !st.Blocked() {
+			blocked = false
+		}
+	}
+	r.targets[id] = live
+	if !alive {
+		return core.Progress{}, false
+	}
+	return core.Progress{Consumed: consumed, Blocked: blocked}, true
+}
+
+// refresh installs new task memberships, stopping processes that join a
+// currently ineligible task.
+func (r *Runner) refresh(m map[core.TaskID][]int) {
+	ids := make([]core.TaskID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		old := make(map[int]bool, len(r.targets[id]))
+		for _, pid := range r.targets[id] {
+			old[pid] = true
+		}
+		st, err := r.sched.State(id)
+		known := err == nil
+		for _, pid := range m[id] {
+			if !old[pid] && known && st == core.Ineligible {
+				if err := Stop(pid); err == nil {
+					r.suspended[pid] = true
+				}
+			}
+		}
+		r.targets[id] = append([]int(nil), m[id]...)
+	}
+}
+
+// Release resumes every process the runner has suspended. It is called
+// automatically when Run returns; call it directly if using Step.
+func (r *Runner) Release() {
+	for pid := range r.suspended {
+		if err := Cont(pid); err != nil {
+			r.errf("release pid %d: %v", pid, err)
+		}
+		delete(r.suspended, pid)
+	}
+}
+
+func (r *Runner) errf(format string, args ...any) {
+	if r.cfg.OnError != nil {
+		r.cfg.OnError(fmt.Errorf("osproc: "+format, args...))
+	}
+}

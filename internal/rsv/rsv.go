@@ -1,0 +1,275 @@
+// Package rsv implements CPU-rate reservations on top of ALPS: a
+// feedback controller that adjusts tasks' shares so their measured
+// consumption rates track absolute targets (fractions of the machine),
+// with unreserved capacity flowing to best-effort tasks.
+//
+// The paper's related work includes user-level reservation servers built
+// on real-time priorities (Chu & Nahrstedt) and progress-based regulation
+// by share adjustment (Douceur & Bolosky; Lu et al.'s feedback control) —
+// this package is that idea expressed over ALPS's knob: because ALPS
+// re-apportions whatever CPU the kernel gives the group, a controller
+// that multiplicatively re-weights shares from observed per-cycle rates
+// converges to the reserved rates without any special priorities.
+//
+// Usage: create a Controller over the same core.Scheduler the driver
+// runs, declare reservations, and feed it every CycleRecord (from
+// Config.OnCycle) together with the cycle's wall-clock span.
+package rsv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"alps/internal/core"
+)
+
+// shareTotal is the target sum of integer shares the weights are
+// normalized onto. Keeping the total small keeps ALPS cycles short
+// (cycle = S·Q), which keeps the control loop responsive.
+const shareTotal = 120
+
+// ErrBadRate is returned for reservations outside (0, 1) or sums ≥ 1.
+var ErrBadRate = errors.New("rsv: invalid reservation rate")
+
+// ErrNoTask is returned when reserving an unregistered task.
+var ErrNoTask = errors.New("rsv: task not registered with the scheduler")
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Gain is the multiplicative adjustment exponent per cycle (0–1].
+	// Higher converges faster but overshoots more. Default 0.5.
+	Gain float64
+	// MinWeight and MaxWeight clamp any task's weight, bounding how
+	// far the controller can skew shares (defaults 0.1 and 10).
+	MinWeight, MaxWeight float64
+	// Smoothing is the EWMA coefficient applied to windowed rates
+	// before comparison (0–1; default 0.5).
+	Smoothing float64
+	// Window is the number of cycles aggregated per adjustment
+	// (default 4). Per-cycle rates oscillate by construction — a task
+	// that overshot its allowance repays the debt by sitting out the
+	// next cycle — so the controller measures across several cycles to
+	// see through the oscillation.
+	Window int
+}
+
+// Controller adjusts shares to meet reservations.
+type Controller struct {
+	cfg   Config
+	sched *core.Scheduler
+
+	targets map[core.TaskID]float64 // reserved rate per task
+	weights map[core.TaskID]float64 // continuous weight per task
+	rates   map[core.TaskID]float64 // EWMA of windowed rates
+	last    time.Duration           // wall time of previous window start
+
+	// Current measurement window.
+	winCycles   int
+	winConsumed map[core.TaskID]time.Duration
+	winBlocked  map[core.TaskID]int
+	primed      map[core.TaskID]bool
+}
+
+// New creates a controller over a scheduler. Each registered task starts
+// at a weight proportional to its current share (scaled to mean 1), so
+// attaching a controller preserves the existing relative policy for
+// best-effort tasks.
+func New(sched *core.Scheduler, cfg Config) *Controller {
+	if cfg.Gain <= 0 || cfg.Gain > 1 {
+		cfg.Gain = 0.5
+	}
+	if cfg.MinWeight <= 0 {
+		cfg.MinWeight = 0.1
+	}
+	if cfg.MaxWeight <= cfg.MinWeight {
+		cfg.MaxWeight = 10
+	}
+	if cfg.Smoothing <= 0 || cfg.Smoothing > 1 {
+		cfg.Smoothing = 0.5
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	c := &Controller{
+		cfg:     cfg,
+		sched:   sched,
+		targets: make(map[core.TaskID]float64),
+		weights: make(map[core.TaskID]float64),
+		rates:   make(map[core.TaskID]float64),
+	}
+	ids := sched.Tasks()
+	var sum float64
+	for _, id := range ids {
+		sh, _ := sched.Share(id)
+		sum += float64(sh)
+	}
+	mean := 1.0
+	if len(ids) > 0 && sum > 0 {
+		mean = sum / float64(len(ids))
+	}
+	for _, id := range ids {
+		sh, _ := sched.Share(id)
+		w := float64(sh) / mean
+		if w < cfg.MinWeight {
+			w = cfg.MinWeight
+		}
+		if w > cfg.MaxWeight {
+			w = cfg.MaxWeight
+		}
+		c.weights[id] = w
+	}
+	return c
+}
+
+// Reserve sets a task's target rate as a fraction of the machine
+// (0 < rate < 1). The sum of all reservations must stay below 1 so
+// best-effort tasks cannot be starved entirely. Passing rate 0 clears a
+// reservation, returning the task to best-effort.
+func (c *Controller) Reserve(id core.TaskID, rate float64) error {
+	if _, err := c.sched.Share(id); err != nil {
+		return fmt.Errorf("%w: %d", ErrNoTask, id)
+	}
+	if rate == 0 {
+		delete(c.targets, id)
+		return nil
+	}
+	if rate < 0 || rate >= 1 || math.IsNaN(rate) {
+		return fmt.Errorf("%w: %v", ErrBadRate, rate)
+	}
+	sum := rate
+	for tid, r := range c.targets {
+		if tid != id {
+			sum += r
+		}
+	}
+	if sum >= 1 {
+		return fmt.Errorf("%w: reservations would total %.2f", ErrBadRate, sum)
+	}
+	c.targets[id] = rate
+	return nil
+}
+
+// Reserved returns the task's reservation, or 0 for best-effort tasks.
+func (c *Controller) Reserved(id core.TaskID) float64 { return c.targets[id] }
+
+// OnCycle feeds one completed cycle into the controller: rec is the cycle
+// record and now the wall-clock time of its completion. For each reserved
+// task the measured rate (consumed / wall span) is compared to its
+// target and the task's weight adjusted multiplicatively; shares are then
+// refreshed from weights. The first call only establishes the time base.
+func (c *Controller) OnCycle(rec core.CycleRecord, now time.Duration) {
+	if c.winConsumed == nil {
+		c.winConsumed = make(map[core.TaskID]time.Duration)
+		c.winBlocked = make(map[core.TaskID]int)
+		c.primed = make(map[core.TaskID]bool)
+	}
+	for _, t := range rec.Tasks {
+		if _, ok := c.weights[t.ID]; !ok {
+			c.weights[t.ID] = 1
+		}
+		c.winConsumed[t.ID] += t.Consumed
+		c.winBlocked[t.ID] += t.BlockedQuanta
+	}
+	c.winCycles++
+	if c.winCycles < c.cfg.Window {
+		return
+	}
+	span := now - c.last
+	c.last = now
+	if span > 0 {
+		for _, t := range rec.Tasks {
+			target, reserved := c.targets[t.ID]
+			if !reserved {
+				continue
+			}
+			measured := float64(c.winConsumed[t.ID]) / float64(span)
+			if !c.primed[t.ID] {
+				c.rates[t.ID] = measured
+				c.primed[t.ID] = true
+			} else {
+				a := c.cfg.Smoothing
+				c.rates[t.ID] = a*measured + (1-a)*c.rates[t.ID]
+			}
+			rate := c.rates[t.ID]
+
+			if st, err := c.sched.State(t.ID); rate < target && err == nil && st == core.Ineligible {
+				// The task ran out of allowance — its share is the
+				// binding constraint, regardless of any blocked
+				// observations. Grow.
+				c.adjust(t.ID, math.Pow(target/rate, c.cfg.Gain))
+				continue
+			}
+			if rate < target && c.winBlocked[t.ID] > 0 {
+				// The shortfall is the task's own doing — it was
+				// observed blocked during the window. Raising its
+				// share would stall everyone (a huge unconsumed
+				// allowance keeps cycles open while the rest of the
+				// workload sits exhausted), so the weight decays
+				// toward MinWeight while the task idles and regrows
+				// within a few windows when its demand returns.
+				// Reservations are floors on opportunity, not forced
+				// allocations.
+				c.adjust(t.ID, math.Pow(0.5, c.cfg.Gain))
+				continue
+			}
+			if rate <= 0 {
+				// Saw nothing and wasn't blocked: genuinely starved;
+				// grow the weight gently rather than dividing by
+				// zero.
+				c.adjust(t.ID, math.Pow(2, c.cfg.Gain))
+				continue
+			}
+			c.adjust(t.ID, math.Pow(target/rate, c.cfg.Gain))
+		}
+		c.apply(rec)
+	}
+	c.winCycles = 0
+	for id := range c.winConsumed {
+		delete(c.winConsumed, id)
+	}
+	for id := range c.winBlocked {
+		delete(c.winBlocked, id)
+	}
+}
+
+// adjust multiplies a weight with clamping.
+func (c *Controller) adjust(id core.TaskID, factor float64) {
+	w := c.weights[id] * factor
+	if w < c.cfg.MinWeight {
+		w = c.cfg.MinWeight
+	}
+	if w > c.cfg.MaxWeight {
+		w = c.cfg.MaxWeight
+	}
+	c.weights[id] = w
+}
+
+// apply pushes the continuous weights into the scheduler as integer
+// shares, normalized so the total stays near shareTotal (short cycles =
+// responsive control).
+func (c *Controller) apply(rec core.CycleRecord) {
+	var total float64
+	for _, t := range rec.Tasks {
+		total += c.weights[t.ID]
+	}
+	if total <= 0 {
+		return
+	}
+	for _, t := range rec.Tasks {
+		share := int64(math.Round(c.weights[t.ID] / total * shareTotal))
+		if share < 1 {
+			share = 1
+		}
+		cur, err := c.sched.Share(t.ID)
+		if err != nil || cur == share {
+			continue
+		}
+		// SetShare cannot fail for a registered task with share ≥ 1.
+		_ = c.sched.SetShare(t.ID, share)
+	}
+}
+
+// Weight returns a task's current continuous weight (diagnostics).
+func (c *Controller) Weight(id core.TaskID) float64 { return c.weights[id] }

@@ -1,0 +1,152 @@
+package share
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestTable2Vectors checks the exact distributions the paper tabulates.
+func TestTable2Vectors(t *testing.T) {
+	cases := []struct {
+		m    Model
+		n    int
+		want []int64
+	}{
+		{Linear, 5, []int64{1, 3, 5, 7, 9}},
+		{Linear, 10, []int64{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}},
+		{Equal, 5, []int64{5, 5, 5, 5, 5}},
+		{Equal, 10, []int64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10}},
+		{Skewed, 5, []int64{1, 1, 1, 1, 21}},
+		{Skewed, 10, []int64{1, 1, 1, 1, 1, 1, 1, 1, 1, 91}},
+	}
+	for _, c := range cases {
+		got, err := Distribution(c.m, c.n)
+		if err != nil {
+			t.Fatalf("%v/%d: %v", c.m, c.n, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%v/%d = %v, want %v", c.m, c.n, got, c.want)
+		}
+	}
+}
+
+// TestLinear20 spot-checks Table 2's 20-process linear row (1,3,...,39)
+// and skewed row (1×19, 381).
+func TestTable2Twenty(t *testing.T) {
+	lin, _ := Distribution(Linear, 20)
+	if lin[0] != 1 || lin[19] != 39 || Total(lin) != 400 {
+		t.Errorf("linear20: first=%d last=%d total=%d", lin[0], lin[19], Total(lin))
+	}
+	sk, _ := Distribution(Skewed, 20)
+	if sk[0] != 1 || sk[19] != 381 || Total(sk) != 400 {
+		t.Errorf("skewed20: first=%d last=%d total=%d", sk[0], sk[19], Total(sk))
+	}
+}
+
+// TestTotalsAreNSquared: every model totals n² for any n (the paper's
+// convention for 25/100/400 shares).
+func TestTotalsAreNSquared(t *testing.T) {
+	f := func(n uint8) bool {
+		nn := int(n%64) + 1
+		for _, m := range Models {
+			d, err := Distribution(m, nn)
+			if err != nil {
+				return false
+			}
+			if Total(d) != int64(nn*nn) {
+				return false
+			}
+			for _, v := range d {
+				if v <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributionErrors(t *testing.T) {
+	if _, err := Distribution(Linear, 0); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := Distribution(Model(99), 5); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Linear.String() != "linear" || Equal.String() != "equal" || Skewed.String() != "skewed" {
+		t.Errorf("model names: %v %v %v", Linear, Equal, Skewed)
+	}
+	if Model(7).String() != "Model(7)" {
+		t.Errorf("unknown model string: %v", Model(7))
+	}
+}
+
+func TestGCDAndScale(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		gcd  int64
+		want []int64
+	}{
+		{[]int64{2, 4, 6}, 2, []int64{1, 2, 3}},
+		{[]int64{5, 5, 5}, 5, []int64{1, 1, 1}},
+		{[]int64{3, 7}, 1, []int64{3, 7}},
+		{[]int64{}, 0, []int64{}},
+		{[]int64{12}, 12, []int64{1}},
+	}
+	for _, c := range cases {
+		if g := GCD(c.in); g != c.gcd {
+			t.Errorf("GCD(%v) = %d, want %d", c.in, g, c.gcd)
+		}
+		if got := Scale(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Scale(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestScaleProperties: scaling preserves ratios and yields GCD 1.
+func TestScaleProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		in := make([]int64, len(raw))
+		for i, v := range raw {
+			in[i] = int64(v%50) + 1
+		}
+		out := Scale(in)
+		g := GCD(in)
+		for i := range in {
+			if out[i]*g != in[i] {
+				return false
+			}
+		}
+		return GCD(out) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractions(t *testing.T) {
+	fr := Fractions([]int64{1, 2, 3})
+	want := []float64{1.0 / 6, 2.0 / 6, 3.0 / 6}
+	for i := range want {
+		if diff := fr[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("Fractions[%d] = %v, want %v", i, fr[i], want[i])
+		}
+	}
+	if got := Fractions(nil); len(got) != 0 {
+		t.Errorf("Fractions(nil) = %v", got)
+	}
+	zero := Fractions([]int64{})
+	if len(zero) != 0 {
+		t.Errorf("Fractions(empty) = %v", zero)
+	}
+}

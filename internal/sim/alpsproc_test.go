@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"alps/internal/core"
+)
+
+func TestStartALPSValidation(t *testing.T) {
+	k := NewKernel()
+	if _, err := StartALPS(k, AlpsConfig{}, nil); err == nil {
+		t.Error("zero quantum should error")
+	}
+	pid := k.SpawnStopped("w", 0, Spin())
+	tasks := []AlpsTask{
+		{ID: 1, Share: 1, Pids: []PID{pid}},
+		{ID: 1, Share: 2, Pids: []PID{pid}},
+	}
+	if _, err := StartALPS(k, AlpsConfig{Quantum: 10 * time.Millisecond}, tasks); err == nil {
+		t.Error("duplicate task IDs should error")
+	}
+}
+
+// TestCostAccounting: with the paper's cost model, ALPS's CPU time per
+// quantum is the sum of its operation costs — here checked in aggregate
+// against a generous budget.
+func TestCostAccounting(t *testing.T) {
+	k := NewKernel()
+	tasks := startWorkload(k, []int64{5, 5})
+	a, err := StartALPS(k, AlpsConfig{Quantum: 10 * time.Millisecond, Cost: PaperCosts()}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(10 * time.Second)
+	timer, meas, sigs, _ := a.Stats()
+	want := time.Duration(timer)*9020 + time.Duration(meas)*17400 + time.Duration(timer)*1100 + time.Duration(sigs)*970
+	got := a.CPU()
+	// The MeasureBase term is only charged on quanta that measured
+	// something, so the modeled value is an upper bound within one base
+	// term per quantum.
+	if got > want || got < want-time.Duration(timer)*1100 {
+		t.Errorf("ALPS CPU %v outside modeled range [%v, %v] (timer=%d meas=%d sigs=%d)",
+			got, want-time.Duration(timer)*1100, want, timer, meas, sigs)
+	}
+}
+
+// TestZeroCostModel: a zero cost model consumes no CPU at all.
+func TestZeroCostModel(t *testing.T) {
+	k := NewKernel()
+	tasks := startWorkload(k, []int64{1, 1})
+	a, err := StartALPS(k, AlpsConfig{Quantum: 10 * time.Millisecond}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(2 * time.Second)
+	if a.CPU() != 0 {
+		t.Errorf("ALPS CPU = %v with zero cost model", a.CPU())
+	}
+	if _, meas, _, _ := a.Stats(); meas == 0 {
+		t.Error("ALPS made no measurements")
+	}
+}
+
+// TestLazySamplingReducesMeasurements reproduces the mechanism behind the
+// paper's §3.2 claim: disabling the optimization multiplies the number of
+// measurements (and therefore overhead).
+func TestLazySamplingReducesMeasurements(t *testing.T) {
+	run := func(disable bool) (int64, time.Duration) {
+		k := NewKernel()
+		tasks := startWorkload(k, []int64{5, 5, 5, 5, 5})
+		a, err := StartALPS(k, AlpsConfig{
+			Quantum:             10 * time.Millisecond,
+			Cost:                PaperCosts(),
+			DisableLazySampling: disable,
+		}, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Run(30 * time.Second)
+		_, meas, _, _ := a.Stats()
+		return meas, a.CPU()
+	}
+	lazyMeas, lazyCPU := run(false)
+	eagerMeas, eagerCPU := run(true)
+	if factor := float64(eagerMeas) / float64(lazyMeas); factor < 1.8 {
+		t.Errorf("eager/lazy measurement ratio = %.2f (%d vs %d), want ≥ 1.8 (paper's lower bound)",
+			factor, eagerMeas, lazyMeas)
+	}
+	if eagerCPU <= lazyCPU {
+		t.Errorf("eager overhead %v not above lazy %v", eagerCPU, lazyCPU)
+	}
+}
+
+// TestMissedFiringCoalescing: an ALPS whose quantum is far smaller than
+// its own processing cost must coalesce missed firings rather than fall
+// behind indefinitely.
+func TestMissedFiringCoalescing(t *testing.T) {
+	k := NewKernel()
+	tasks := startWorkload(k, []int64{1, 1})
+	cost := PaperCosts()
+	cost.TimerEvent = 25 * time.Millisecond // pathological: 2.5 quanta of work per firing
+	a, err := StartALPS(k, AlpsConfig{Quantum: 10 * time.Millisecond, Cost: cost}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(5 * time.Second)
+	timer, _, _, missed := a.Stats()
+	if missed == 0 {
+		t.Error("expected missed firings with pathological cost")
+	}
+	if timer < 100 {
+		t.Errorf("ALPS serviced only %d timer events in 5s; it stalled", timer)
+	}
+}
+
+// TestPrincipalGrouping: a multi-process task is scheduled as one
+// resource principal — its processes' combined consumption is bounded by
+// the group share (§5).
+func TestPrincipalGrouping(t *testing.T) {
+	k := NewKernel()
+	var g1, g2 []PID
+	for i := 0; i < 3; i++ {
+		g1 = append(g1, k.SpawnStopped("g1", 0, Spin()))
+		g2 = append(g2, k.SpawnStopped("g2", 0, Spin()))
+	}
+	_, err := StartALPS(k, AlpsConfig{Quantum: 20 * time.Millisecond, Cost: PaperCosts()}, []AlpsTask{
+		{ID: 1, Share: 1, Pids: g1},
+		{ID: 2, Share: 3, Pids: g2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(2 * time.Minute)
+	sum := func(pids []PID) (s time.Duration) {
+		for _, pid := range pids {
+			info, _ := k.Info(pid)
+			s += info.CPU
+		}
+		return
+	}
+	c1, c2 := sum(g1), sum(g2)
+	frac := float64(c1) / float64(c1+c2)
+	if frac < 0.20 || frac > 0.30 {
+		t.Errorf("group 1 fraction = %.3f, want ~0.25 (c1=%v c2=%v)", frac, c1, c2)
+	}
+}
+
+// TestRefreshAddsMembers: processes that appear in a principal's
+// membership after a refresh are scheduled (and charged) with the group.
+func TestRefreshAddsMembers(t *testing.T) {
+	k := NewKernel()
+	first := k.SpawnStopped("u1", 0, Spin())
+	other := k.SpawnStopped("v1", 0, Spin())
+	members := []PID{first}
+	var late PID = -1
+	k.At(5*time.Second, func() {
+		late = k.Spawn("u2", 0, Spin())
+		members = append(members, late)
+	})
+	_, err := StartALPS(k, AlpsConfig{
+		Quantum:      10 * time.Millisecond,
+		Cost:         PaperCosts(),
+		RefreshEvery: time.Second,
+		Refresh: func(k *Kernel) map[core.TaskID][]PID {
+			return map[core.TaskID][]PID{1: members}
+		},
+	}, []AlpsTask{
+		{ID: 1, Share: 1, Pids: members},
+		{ID: 2, Share: 1, Pids: []PID{other}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(65 * time.Second)
+	// Group 1 (the two u processes) should jointly hold ~50%, not 67%.
+	i1, _ := k.Info(first)
+	i2, _ := k.Info(late)
+	io, _ := k.Info(other)
+	groupU := i1.CPU + i2.CPU
+	frac := float64(groupU) / float64(groupU+io.CPU)
+	if frac < 0.42 || frac > 0.58 {
+		t.Errorf("refreshed group fraction = %.3f, want ~0.5 (u=%v v=%v)", frac, groupU, io.CPU)
+	}
+}
+
+// TestDeadWorkloadRemoved: when every process of a task exits, the task
+// is dropped and ALPS keeps scheduling the rest.
+func TestDeadWorkloadRemoved(t *testing.T) {
+	k := NewKernel()
+	mortal := k.SpawnStopped("mortal", 0, SpinFor(100*time.Millisecond))
+	immortal := k.SpawnStopped("immortal", 0, Spin())
+	a, err := StartALPS(k, AlpsConfig{Quantum: 10 * time.Millisecond}, []AlpsTask{
+		{ID: 1, Share: 1, Pids: []PID{mortal}},
+		{ID: 2, Share: 1, Pids: []PID{immortal}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(5 * time.Second)
+	if a.Scheduler().Len() != 1 {
+		t.Errorf("scheduler still tracks %d tasks, want 1", a.Scheduler().Len())
+	}
+	info, _ := k.Info(immortal)
+	if float64(info.CPU) < 0.9*float64(4*time.Second) {
+		t.Errorf("survivor got only %v after the other task died", info.CPU)
+	}
+}
+
+// TestAddTaskMidRun: a task added mid-run starts receiving its share.
+func TestAddTaskMidRun(t *testing.T) {
+	k := NewKernel()
+	first := k.SpawnStopped("first", 0, Spin())
+	a, err := StartALPS(k, AlpsConfig{Quantum: 10 * time.Millisecond}, []AlpsTask{
+		{ID: 1, Share: 1, Pids: []PID{first}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(5 * time.Second)
+	second := k.SpawnStopped("second", 0, Spin())
+	if err := a.AddTask(AlpsTask{ID: 2, Share: 1, Pids: []PID{second}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddTask(AlpsTask{ID: 2, Share: 1, Pids: []PID{second}}); err == nil {
+		t.Error("duplicate AddTask should error")
+	}
+	base, _ := k.Info(first)
+	k.Run(65 * time.Second)
+	after, _ := k.Info(first)
+	i2, _ := k.Info(second)
+	d1 := after.CPU - base.CPU
+	frac := float64(i2.CPU) / float64(i2.CPU+d1)
+	if frac < 0.42 || frac > 0.58 {
+		t.Errorf("late task fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+// TestIOTaskDetectedBlocked: a task sleeping at measurement time is
+// charged a blocked quantum (§2.4), visible in the cycle record.
+func TestIOTaskDetectedBlocked(t *testing.T) {
+	k := NewKernel()
+	sleeper := k.SpawnStopped("sleeper", 0, &PeriodicIO{Exec: 5 * time.Millisecond, Wait: 500 * time.Millisecond})
+	spinner := k.SpawnStopped("spin", 0, Spin())
+	blocked := 0
+	_, err := StartALPS(k, AlpsConfig{
+		Quantum: 10 * time.Millisecond,
+		OnCycle: func(rec core.CycleRecord) {
+			for _, task := range rec.Tasks {
+				if task.ID == 1 {
+					blocked += task.BlockedQuanta
+				}
+			}
+		},
+	}, []AlpsTask{
+		{ID: 1, Share: 1, Pids: []PID{sleeper}},
+		{ID: 2, Share: 1, Pids: []PID{spinner}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(10 * time.Second)
+	if blocked == 0 {
+		t.Error("sleeping task was never charged a blocked quantum")
+	}
+}

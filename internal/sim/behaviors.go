@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// spinChunk is the CPU-segment granularity for compute-bound behaviors.
+// The length is immaterial to the schedule (preemption slices segments
+// arbitrarily); it only bounds how long a stale completion event can
+// linger in the event queue.
+const spinChunk = time.Second
+
+// Spin returns a compute-bound behavior: the process consumes CPU forever
+// and never blocks. This is the synthetic workload of the paper's §3–§4
+// experiments.
+func Spin() Behavior {
+	return BehaviorFunc(func(k *Kernel, pid PID) Action {
+		return Action{Run: spinChunk}
+	})
+}
+
+// SpinFor returns a behavior that consumes the given total CPU time and
+// then exits.
+func SpinFor(total time.Duration) Behavior {
+	left := total
+	return BehaviorFunc(func(k *Kernel, pid PID) Action {
+		if left <= 0 {
+			return Action{Exit: true}
+		}
+		chunk := spinChunk
+		if left < chunk {
+			chunk = left
+		}
+		left -= chunk
+		return Action{Run: chunk}
+	})
+}
+
+// PeriodicIO returns the §3.3 I/O workload: the process computes
+// continuously until StartAt, then alternates Exec of CPU time with a
+// Wait-long sleep (the paper's process B: 80 ms of execution, then a
+// 240 ms sleep simulating an I/O request).
+type PeriodicIO struct {
+	// Exec is the CPU time consumed between sleeps.
+	Exec time.Duration
+	// Wait is the sleep duration simulating the I/O request.
+	Wait time.Duration
+	// Jitter, if positive, varies each sleep uniformly by ±Jitter
+	// (fraction of Wait), seeded by Seed. Real I/O completion times are
+	// not phase-locked to the scheduler's quantum grid; perfectly
+	// periodic sleeps in a deterministic simulator can alias with
+	// ALPS's sampling instants.
+	Jitter float64
+	Seed   int64
+	// StartAt is the virtual time at which the process begins doing
+	// I/O; before that it is purely compute-bound (the paper waits for
+	// the workload to reach steady state first).
+	StartAt time.Duration
+
+	execLeft time.Duration
+	rng      *rand.Rand
+}
+
+// Next implements Behavior.
+func (b *PeriodicIO) Next(k *Kernel, pid PID) Action {
+	if k.Now() < b.StartAt {
+		// Still in the warm-up phase: spin, but never overshoot the
+		// phase boundary by more than one chunk.
+		return Action{Run: spinChunk}
+	}
+	if b.execLeft <= 0 {
+		b.execLeft = b.Exec
+	}
+	chunk := b.execLeft
+	b.execLeft = 0
+	sleep := b.Wait
+	if b.Jitter > 0 {
+		if b.rng == nil {
+			b.rng = rand.New(rand.NewSource(b.Seed))
+		}
+		f := 1 + b.Jitter*(2*b.rng.Float64()-1)
+		sleep = time.Duration(float64(sleep) * f)
+	}
+	return Action{Run: chunk, Sleep: sleep}
+}
+
+// SleepLoop returns a behavior that only sleeps, in intervals of d —
+// a purely "interactive" process that consumes no measurable CPU.
+func SleepLoop(d time.Duration) Behavior {
+	return BehaviorFunc(func(k *Kernel, pid PID) Action {
+		return Action{Sleep: d}
+	})
+}

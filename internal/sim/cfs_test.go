@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"alps/internal/core"
+)
+
+func TestCFSEqualSharing(t *testing.T) {
+	k := NewKernelWithPolicy(1, PolicyCFS)
+	if k.SchedulingPolicy() != PolicyCFS {
+		t.Fatal("policy not set")
+	}
+	var pids []PID
+	for i := 0; i < 4; i++ {
+		pids = append(pids, k.Spawn("spin", 0, Spin()))
+	}
+	k.Run(20 * time.Second)
+	var total time.Duration
+	for _, pid := range pids {
+		info, _ := k.Info(pid)
+		total += info.CPU
+	}
+	if total < 19*time.Second {
+		t.Fatalf("machine idle: busy %v", total)
+	}
+	for _, pid := range pids {
+		info, _ := k.Info(pid)
+		frac := float64(info.CPU) / float64(total)
+		if frac < 0.24 || frac > 0.26 {
+			t.Errorf("pid %d got %.3f, want ~0.25 (CFS is tightly fair)", pid, frac)
+		}
+	}
+}
+
+// TestCFSNiceWeights: CFS weights CPU by nice value (≈1.25× per step).
+func TestCFSNiceWeights(t *testing.T) {
+	k := NewKernelWithPolicy(1, PolicyCFS)
+	fast := k.Spawn("fast", -5, Spin())
+	slow := k.Spawn("slow", 0, Spin())
+	k.Run(30 * time.Second)
+	fi, _ := k.Info(fast)
+	si, _ := k.Info(slow)
+	ratio := float64(fi.CPU) / float64(si.CPU)
+	// weight(-5)/weight(0) = 1.25^5 ≈ 3.05.
+	if ratio < 2.6 || ratio > 3.6 {
+		t.Errorf("nice -5 / nice 0 ratio = %.2f, want ~3.05", ratio)
+	}
+}
+
+// TestCFSSleeperPrompt: a mostly-sleeping process is scheduled promptly
+// on wake (the sleeper-placement clamp) and achieves its demand.
+func TestCFSSleeperPrompt(t *testing.T) {
+	k := NewKernelWithPolicy(1, PolicyCFS)
+	k.Spawn("spin", 0, Spin())
+	io := k.Spawn("io", 0, &PeriodicIO{Exec: 10 * time.Millisecond, Wait: 90 * time.Millisecond})
+	k.Run(20 * time.Second)
+	info, _ := k.Info(io)
+	// Demand is ~10% (10ms per ~100ms+queueing).
+	frac := float64(info.CPU) / float64(20*time.Second)
+	if frac < 0.07 {
+		t.Errorf("sleeper got only %.3f of the machine; wants ~0.09", frac)
+	}
+}
+
+// TestALPSOnCFS is the portability claim: the identical ALPS process and
+// algorithm achieve proportional shares on a CFS kernel too.
+func TestALPSOnCFS(t *testing.T) {
+	k := NewKernelWithPolicy(1, PolicyCFS)
+	shares := []int64{1, 2, 3}
+	pids := make([]PID, len(shares))
+	tasks := make([]AlpsTask, len(shares))
+	for i, s := range shares {
+		pids[i] = k.SpawnStopped("w", 0, Spin())
+		tasks[i] = AlpsTask{ID: core.TaskID(i), Share: s, Pids: []PID{pids[i]}}
+	}
+	a, err := StartALPS(k, AlpsConfig{Quantum: 10 * time.Millisecond, Cost: PaperCosts()}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(90 * time.Second)
+	var total time.Duration
+	cpus := make([]time.Duration, len(pids))
+	for i, pid := range pids {
+		info, _ := k.Info(pid)
+		cpus[i] = info.CPU
+		total += info.CPU
+	}
+	for i, s := range shares {
+		got := float64(cpus[i]) / float64(total)
+		want := float64(s) / 6
+		if got < want-0.04 || got > want+0.04 {
+			t.Errorf("task %d: %.3f of CPU, want ~%.3f", i, got, want)
+		}
+	}
+	if over := float64(a.CPU()) / float64(k.Now()); over > 0.01 {
+		t.Errorf("ALPS overhead %.4f%% on CFS exceeds 1%%", over*100)
+	}
+}
+
+// TestCFSDeterminism: CFS schedules reproduce exactly.
+func TestCFSDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		k := NewKernelWithPolicy(2, PolicyCFS)
+		var pids []PID
+		for i := 0; i < 5; i++ {
+			pids = append(pids, k.Spawn("w", i%3, &PeriodicIO{
+				Exec: time.Duration(5+i) * time.Millisecond,
+				Wait: time.Duration(30+7*i) * time.Millisecond,
+			}))
+		}
+		k.Run(5 * time.Second)
+		var out []time.Duration
+		for _, pid := range pids {
+			info, _ := k.Info(pid)
+			out = append(out, info.CPU)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("CFS runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

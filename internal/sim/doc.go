@@ -1,0 +1,32 @@
+// Package sim is a deterministic discrete-event simulator of a single-CPU
+// UNIX machine running a 4.4BSD-style time-sharing scheduler — the
+// substrate the ALPS paper (Newhouse & Pasquale, HPDC 2006) evaluates on
+// (FreeBSD 4.8 on a 2.2 GHz Pentium 4).
+//
+// The kernel model implements the classic decay-usage scheduler described
+// in McKusick et al., "The Design and Implementation of the 4.4BSD
+// Operating System" (the paper's reference [18]):
+//
+//   - a 10 ms clock tick (hz = 100) that charges p_estcpu to the running
+//     process and recomputes its user priority every fourth tick,
+//   - p_usrpri = PUSER + p_estcpu/4 + 2·p_nice, clamped to [PUSER, 127],
+//     with 32 four-priority run queues served lowest-band first,
+//   - round-robin among equal-priority processes every 100 ms,
+//   - a once-per-second schedcpu that decays every runnable process's
+//     p_estcpu by 2·load/(2·load+1) and ages sleep time, with the decay
+//     applied retroactively on wakeup (updatepri),
+//   - sleep/wakeup, interval sleeps, SIGSTOP/SIGCONT job control, and
+//     per-process CPU-time accounting.
+//
+// Processes are driven by Behavior implementations that yield Actions
+// (consume CPU, sleep, block, exit). The ALPS scheduler itself runs inside
+// the simulation as an ordinary unprivileged process (AlpsProc) executing
+// the real internal/core algorithm; its timer receipts, progress
+// measurements, and signals consume simulated CPU time per the paper's
+// measured operation costs (Table 1), so ALPS contends for the CPU with
+// the very workload it schedules — which is what produces the paper's
+// overhead curves and the loss-of-control thresholds of Section 4.2.
+//
+// The simulation is single-threaded and fully deterministic: identical
+// inputs (including RNG seeds held by behaviors) produce identical traces.
+package sim

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"alps/internal/core"
+)
+
+// TestExternalLoad validates §4.1's core claim in its general form: ALPS
+// "does not know what causes a reduction in the CPU time available to its
+// workload; it simply uses whatever is made available to it and correctly
+// apportions that time". Here the competing load is not another ALPS but
+// two uncontrolled compute-bound processes.
+func TestExternalLoad(t *testing.T) {
+	k := NewKernel()
+
+	// Uncontrolled background load.
+	bg1 := k.Spawn("bg1", 0, Spin())
+	bg2 := k.Spawn("bg2", 0, Spin())
+
+	// ALPS-controlled group with shares 1:2:3.
+	shares := []int64{1, 2, 3}
+	pids := make([]PID, len(shares))
+	tasks := make([]AlpsTask, len(shares))
+	for i, s := range shares {
+		pids[i] = k.SpawnStopped("w", 0, Spin())
+		tasks[i] = AlpsTask{ID: core.TaskID(i), Share: s, Pids: []PID{pids[i]}}
+	}
+	_, err := StartALPS(k, AlpsConfig{Quantum: 10 * time.Millisecond, Cost: PaperCosts()}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(3 * time.Minute)
+
+	var groupCPU time.Duration
+	cpus := make([]time.Duration, len(pids))
+	for i, pid := range pids {
+		info, _ := k.Info(pid)
+		cpus[i] = info.CPU
+		groupCPU += info.CPU
+	}
+	i1, _ := k.Info(bg1)
+	i2, _ := k.Info(bg2)
+	bgCPU := i1.CPU + i2.CPU
+
+	// Within-group proportions hold regardless of the external load.
+	for i, s := range shares {
+		got := float64(cpus[i]) / float64(groupCPU)
+		want := float64(s) / 6
+		if got < want-0.04 || got > want+0.04 {
+			t.Errorf("task %d: %.3f of group CPU, want ~%.3f", i, got, want)
+		}
+	}
+
+	// The group's absolute allocation is decided by the kernel. The
+	// decay-usage scheduler equalizes *per-process* rates among
+	// compute-bound peers, but ALPS's group effectively contends as
+	// fewer-than-three processes (its members take turns being
+	// eligible), so the group lands somewhere between 1/3 (one-slot
+	// contender) and 3/5 (three full contenders). The paper notes the
+	// same looseness: group-level allocation matched expectations only
+	// "very roughly, i.e., with up to 20% error".
+	frac := float64(groupCPU) / float64(groupCPU+bgCPU)
+	if frac < 0.25 || frac > 0.65 {
+		t.Errorf("group received %.3f of the machine; implausible", frac)
+	}
+	t.Logf("group=%.1f%% background=%.1f%% (kernel's division)", 100*frac, 100-100*frac)
+}
+
+// TestExternalIOLoad repeats the check with interactive background load:
+// a sleeper that wants little CPU should not disturb the group's internal
+// ratios.
+func TestExternalIOLoad(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("interactive", 0, &PeriodicIO{Exec: 5 * time.Millisecond, Wait: 200 * time.Millisecond, Jitter: 0.3, Seed: 11})
+
+	shares := []int64{1, 4}
+	pids := make([]PID, len(shares))
+	tasks := make([]AlpsTask, len(shares))
+	for i, s := range shares {
+		pids[i] = k.SpawnStopped("w", 0, Spin())
+		tasks[i] = AlpsTask{ID: core.TaskID(i), Share: s, Pids: []PID{pids[i]}}
+	}
+	_, err := StartALPS(k, AlpsConfig{Quantum: 10 * time.Millisecond, Cost: PaperCosts()}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(2 * time.Minute)
+
+	var group time.Duration
+	cpus := make([]time.Duration, len(pids))
+	for i, pid := range pids {
+		info, _ := k.Info(pid)
+		cpus[i] = info.CPU
+		group += info.CPU
+	}
+	got := float64(cpus[0]) / float64(group)
+	if got < 0.16 || got > 0.24 {
+		t.Errorf("1-share task got %.3f of group, want ~0.2", got)
+	}
+}

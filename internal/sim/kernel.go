@@ -1,0 +1,755 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Scheduler constants, following 4.4BSD (McKusick et al., ch. 4).
+const (
+	// hz is the clock-tick frequency; one tick every 10 ms.
+	tick = 10 * time.Millisecond
+	// roundRobinTicks: round-robin among equal-priority processes every
+	// 100 ms (10 ticks).
+	roundRobinTicks = 10
+	// priRecalcTicks: recompute the running process's priority every
+	// fourth tick (40 ms).
+	priRecalcTicks = 4
+	// schedcpuTicks: once per second, decay every process's estcpu.
+	schedcpuTicks = 100
+	// acctTick is the default granularity of the CPU-time accounting
+	// exposed to measurement interfaces (ProcInfo.CPUTicked): one clock
+	// tick, matching what the production substrate exposes (Linux
+	// /proc's USER_HZ units; BSD statclock charging). It is also
+	// coarse enough that ALPS's own per-quantum CPU cost (tens of
+	// microseconds) rounds away from a measured workload stint instead
+	// of leaving spurious sub-quantum allowance residues. Use
+	// Kernel.SetAccountingGranularity to model other substrates (e.g.
+	// FreeBSD's microsecond-precise getrusage); the accounting-
+	// granularity ablation in internal/exp quantifies the effect.
+	acctTick = tick
+
+	// PUSER is the base user-mode priority; MAXPRI the weakest.
+	PUSER  = 50
+	MAXPRI = 127
+	// nqs is the number of run queues; each covers four priorities.
+	nqs = 32
+)
+
+// event is a scheduled callback in virtual time.
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// cpuSlot is one processor of the simulated machine.
+type cpuSlot struct {
+	p      *proc
+	dispAt time.Duration // when p got this CPU
+}
+
+// Kernel simulates a machine (one CPU by default; see NewKernelSMP) under
+// a 4.4BSD-style scheduler. It is not safe for concurrent use; all
+// interaction happens from behaviors and events inside Run, or
+// before/after Run.
+type Kernel struct {
+	now time.Duration
+	eq  eventQueue
+	seq int64
+
+	procs   map[PID]*proc
+	nextPID PID
+
+	policy  Policy
+	runq    [nqs][]*proc
+	cfsq    []*proc // CFS: vruntime-ordered run queue
+	cpus    []cpuSlot
+	resched bool
+
+	ticks   int64
+	loadavg float64
+
+	busy    time.Duration // total CPU-busy time, summed over processors
+	stopped bool
+
+	acctGran time.Duration // CPU-accounting granularity exposed to readers
+
+	tracer *Tracer // optional context-switch recorder
+}
+
+// NewKernel creates an empty single-processor machine at virtual time
+// zero — the paper's testbed shape.
+func NewKernel() *Kernel { return NewKernelSMP(1) }
+
+// NewKernelSMP creates a machine with n processors sharing one global
+// run queue (the shape of 4.4BSD-era SMP scheduling). The paper evaluates
+// on a uniprocessor; multiprocessor support exists to study how ALPS —
+// which controls eligibility, not placement — behaves when the kernel
+// can run several eligible processes at once.
+func NewKernelSMP(n int) *Kernel { return NewKernelWithPolicy(n, PolicyBSD) }
+
+// NewKernelWithPolicy creates an n-processor machine under the given
+// native scheduling policy. ALPS runs unmodified on any of them — the
+// paper's portability claim.
+func NewKernelWithPolicy(n int, pol Policy) *Kernel {
+	if n < 1 {
+		n = 1
+	}
+	k := &Kernel{
+		procs:    make(map[PID]*proc),
+		nextPID:  1,
+		policy:   pol,
+		cpus:     make([]cpuSlot, n),
+		acctGran: acctTick,
+	}
+	k.at(tick, k.clockTick)
+	return k
+}
+
+// SchedulingPolicy returns the kernel's native policy.
+func (k *Kernel) SchedulingPolicy() Policy { return k.policy }
+
+// NCPU returns the number of simulated processors.
+func (k *Kernel) NCPU() int { return len(k.cpus) }
+
+// SetAccountingGranularity overrides the granularity at which CPU time is
+// exposed to measurement interfaces (ProcInfo.CPUTicked). The default is
+// one clock tick (10 ms), like Linux's USER_HZ accounting; pass 1 for
+// perfectly precise accounting (which real substrates do not provide —
+// see the accounting-granularity ablation in internal/exp).
+func (k *Kernel) SetAccountingGranularity(d time.Duration) {
+	if d <= 0 {
+		d = 1
+	}
+	k.acctGran = d
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// BusyTime returns the cumulative CPU-busy time summed over processors
+// (for utilization stats).
+func (k *Kernel) BusyTime() time.Duration {
+	b := k.busy
+	for i := range k.cpus {
+		if k.cpus[i].p != nil {
+			b += k.now - k.cpus[i].dispAt
+		}
+	}
+	return b
+}
+
+// At schedules fn to run at virtual time t (or immediately if t has
+// passed). Use it to stage experiment phases, e.g. spawning a new process
+// group three seconds in.
+func (k *Kernel) At(t time.Duration, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.at(t, fn)
+}
+
+func (k *Kernel) at(t time.Duration, fn func()) {
+	k.seq++
+	heap.Push(&k.eq, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// Stop ends Run at the current virtual time.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes the simulation until the given virtual time, or until Stop
+// is called. It may be called repeatedly to advance in stages.
+//
+// All events sharing a timestamp are processed before a single context
+// switch, mirroring real interrupt handling: a clock tick that triggers
+// the round-robin and simultaneously expires a timer sets rescheduling
+// flags, and one switch happens at the AST — not one per cause. Handling
+// them with separate switches would rotate the run queue twice at
+// coincident quantum boundaries and systematically skip a process's turn.
+func (k *Kernel) Run(until time.Duration) {
+	k.stopped = false
+	k.reschedule()
+	for !k.stopped && len(k.eq) > 0 {
+		at := k.eq[0].at
+		if at > until {
+			break
+		}
+		if at > k.now {
+			k.advanceTo(at)
+		}
+		for len(k.eq) > 0 && k.eq[0].at == at && !k.stopped {
+			e := heap.Pop(&k.eq).(*event)
+			e.fn()
+		}
+		k.reschedule()
+	}
+	if k.now < until && !k.stopped {
+		k.advanceTo(until)
+	}
+}
+
+// advanceTo moves the clock, charging the elapsed stint to every running
+// process.
+func (k *Kernel) advanceTo(t time.Duration) {
+	for i := range k.cpus {
+		if k.cpus[i].p != nil {
+			k.chargeSlot(i, t)
+		}
+	}
+	k.now = t
+}
+
+// chargeSlot accounts CPU time consumed on processor i up to t.
+func (k *Kernel) chargeSlot(i int, t time.Duration) {
+	s := &k.cpus[i]
+	p := s.p
+	d := t - s.dispAt
+	if d <= 0 {
+		return
+	}
+	p.cpu += d
+	p.runLeft -= d
+	k.busy += d
+	s.dispAt = t
+	// Charge usage continuously. 4.4BSD samples the running process at
+	// statclock ticks, which has the same expectation; exact accrual
+	// avoids the sampling aliasing a discrete simulator would otherwise
+	// introduce for processes (like ALPS itself) whose stints are short
+	// and phase-locked to the tick grid.
+	switch k.policy {
+	case PolicyCFS:
+		k.cfsCharge(p, d)
+	default:
+		p.estcpu += float64(d) / float64(tick)
+	}
+}
+
+// Spawn creates a runnable process with the given behavior. New processes
+// start with zero estcpu, so — exactly as the paper observes in §4.1 —
+// they are initially favored by the kernel over long-running
+// compute-bound processes.
+func (k *Kernel) Spawn(name string, nice int, b Behavior) PID {
+	return k.spawn(name, nice, b, false)
+}
+
+// SpawnStopped creates a process in the Stopped state, as if SIGSTOPped
+// at birth. ALPS drivers use this so that workload processes only begin
+// executing when the ALPS algorithm first marks them eligible.
+func (k *Kernel) SpawnStopped(name string, nice int, b Behavior) PID {
+	return k.spawn(name, nice, b, true)
+}
+
+func (k *Kernel) spawn(name string, nice int, b Behavior, stopped bool) PID {
+	pid := k.nextPID
+	k.nextPID++
+	p := &proc{pid: pid, name: name, nice: nice, beh: b, state: Ready, cpuIdx: -1}
+	k.resetPriority(p)
+	k.procs[pid] = p
+	if stopped {
+		p.state = Stopped
+		p.stoppedFrom = Ready
+	} else {
+		k.setRunnable(p)
+	}
+	return pid
+}
+
+// Info returns the externally visible status of a process, or ok=false if
+// it does not exist (or has exited). This is the simulated analogue of
+// reading /proc or calling kvm_getprocs: it is how ALPS observes CPU
+// consumption and blocked state.
+func (k *Kernel) Info(pid PID) (ProcInfo, bool) {
+	p, ok := k.procs[pid]
+	if !ok || p.state == Exited {
+		return ProcInfo{}, false
+	}
+	cpu := p.cpu
+	if p.cpuIdx >= 0 {
+		cpu += k.now - k.cpus[p.cpuIdx].dispAt
+	}
+	ticked := (cpu + k.acctGran/2) / k.acctGran * k.acctGran
+	return ProcInfo{PID: pid, Name: p.name, State: p.state, CPU: cpu, CPUTicked: ticked}, true
+}
+
+// Pids returns the live PIDs in ascending order (cf. kvm_getprocs).
+func (k *Kernel) Pids() []PID {
+	out := make([]PID, 0, len(k.procs))
+	for pid, p := range k.procs {
+		if p.state != Exited {
+			out = append(out, pid)
+		}
+	}
+	sortPIDs(out)
+	return out
+}
+
+func sortPIDs(s []PID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Signal delivers SIGSTOP or SIGCONT semantics to a process. Other
+// signals are not modeled. Unknown PIDs are ignored (the process may have
+// exited between ALPS's measurement and its decision, which the real
+// implementation also tolerates).
+func (k *Kernel) Signal(pid PID, sig Sig) {
+	p, ok := k.procs[pid]
+	if !ok || p.state == Exited {
+		return
+	}
+	switch sig {
+	case SIGSTOP:
+		k.sigstop(p)
+	case SIGCONT:
+		k.sigcont(p)
+	default:
+		panic(fmt.Sprintf("sim: unsupported signal %d", sig))
+	}
+}
+
+// Sig is a signal number for Kernel.Signal.
+type Sig int
+
+// The two job-control signals ALPS uses.
+const (
+	SIGSTOP Sig = 17 // FreeBSD numbering
+	SIGCONT Sig = 19
+)
+
+func (k *Kernel) sigstop(p *proc) {
+	switch p.state {
+	case Stopped:
+		return
+	case Running:
+		i := p.cpuIdx
+		k.chargeSlot(i, k.now)
+		p.runGen++
+		p.state = Stopped
+		p.stoppedFrom = Ready
+		k.freeSlot(i)
+	case Ready:
+		k.qremove(p)
+		p.state = Stopped
+		p.stoppedFrom = Ready
+	case Sleeping:
+		p.state = Stopped
+		p.stoppedFrom = Sleeping
+		p.pendingWake = false
+	}
+}
+
+func (k *Kernel) sigcont(p *proc) {
+	if p.state != Stopped {
+		return
+	}
+	if p.stoppedFrom == Sleeping && !p.pendingWake {
+		p.state = Sleeping
+		return
+	}
+	p.pendingWake = false
+	if k.policy == PolicyBSD {
+		k.updatePri(p)
+	}
+	k.setRunnable(p)
+}
+
+// WakeProc makes a blocked (Sleeping) process runnable, e.g. when a
+// request arrives for an idle server process. Waking a stopped process
+// records the wakeup so SIGCONT resumes it runnable. Waking a ready,
+// running, or unknown process is a no-op.
+func (k *Kernel) WakeProc(pid PID) {
+	p, ok := k.procs[pid]
+	if !ok {
+		return
+	}
+	switch p.state {
+	case Sleeping:
+		p.wakeGen++ // cancel any pending timed expiry
+		if k.policy == PolicyBSD {
+			k.updatePri(p)
+		}
+		k.wakeRunnable(p)
+	case Stopped:
+		if p.stoppedFrom == Sleeping {
+			p.pendingWake = true
+			p.stoppedFrom = Ready
+		}
+	}
+}
+
+// setRunnable puts p on its run queue and requests preemption if p has
+// strictly better priority than some running process. Used for spawn and
+// SIGCONT, which in 4.4BSD make the process runnable at its user
+// priority.
+func (k *Kernel) setRunnable(p *proc) {
+	p.state = Ready
+	p.slpsecs = 0
+	k.qput(p, false, false)
+	k.maybePreempt(p, false)
+}
+
+// wakeRunnable is setRunnable for processes waking from a sleep. A
+// tsleep wakeup in 4.4BSD briefly runs the process at its kernel sleep
+// priority (better than any user priority) until it returns to user mode,
+// which lets it jump ahead of user-priority peers. We model that boost as
+// insertion at the head of the process's user-priority band plus
+// preemption of an equal-band running process. The decayed-usage priority
+// still arbitrates across bands: while ALPS consumes less than its fair
+// share its band is at least as good as the workload's and it reclaims
+// the CPU promptly at each quantum boundary; once its usage exceeds an
+// equal share, its estcpu-driven priority falls below the workload's band
+// and the kernel schedules the workload instead — the §4.2 loss of
+// control.
+func (k *Kernel) wakeRunnable(p *proc) {
+	p.state = Ready
+	p.slpsecs = 0
+	k.qput(p, true, true)
+	k.maybePreempt(p, true)
+}
+
+// qput enqueues a runnable process under the active policy. boost is the
+// transient wakeup privilege (BSD: head of band); sleeper marks a process
+// returning from sleep (CFS: vruntime placement clamp).
+func (k *Kernel) qput(p *proc, boost, sleeper bool) {
+	if k.policy == PolicyCFS {
+		k.cfsInsert(p, sleeper, boost)
+		return
+	}
+	if boost {
+		k.enqueueHead(p)
+	} else {
+		k.enqueue(p)
+	}
+}
+
+// qremove takes a process off the run queue under the active policy.
+func (k *Kernel) qremove(p *proc) {
+	if k.policy == PolicyCFS {
+		k.cfsRemove(p)
+		return
+	}
+	k.dequeue(p)
+}
+
+// maybePreempt requests a reschedule if the newly runnable p should
+// displace a running process under the active policy. wake applies the
+// wakeup privilege (BSD: band tie wins; CFS: the smaller wakeup
+// granularity).
+func (k *Kernel) maybePreempt(p *proc, wake bool) {
+	switch k.policy {
+	case PolicyCFS:
+		for i := range k.cpus {
+			r := k.cpus[i].p
+			if r == nil {
+				k.resched = true
+				return
+			}
+			gran := cfsGranularity
+			if wake {
+				gran = cfsWakeupGranularity
+			}
+			if r.vruntime-p.vruntime > gran {
+				k.resched = true
+				return
+			}
+		}
+	default:
+		w := k.worstRunningBand()
+		if wake {
+			if band(p.usrpri) <= w {
+				k.resched = true
+			}
+		} else if band(p.usrpri) < w {
+			k.resched = true
+		}
+	}
+}
+
+// queueBeats reports whether the run-queue head should displace running
+// process p when a reschedule is pending.
+func (k *Kernel) queueBeats(p *proc) bool {
+	if k.policy == PolicyCFS {
+		return k.cfsQueueBeats(p, true)
+	}
+	return k.bestBand() <= band(p.usrpri)
+}
+
+// qpick removes and returns the next process to run, or nil.
+func (k *Kernel) qpick() *proc {
+	if k.policy == PolicyCFS {
+		if len(k.cfsq) == 0 {
+			return nil
+		}
+		p := k.cfsq[0]
+		k.cfsq = k.cfsq[1:]
+		p.queued = false
+		return p
+	}
+	b := k.bestBand()
+	if b == nqs {
+		return nil
+	}
+	p := k.runq[b][0]
+	k.runq[b] = k.runq[b][1:]
+	p.queued = false
+	return p
+}
+
+// worstRunningBand returns the weakest (highest) band among running
+// processes, or -1 if some processor is idle (no preemption needed: the
+// waker will be dispatched by the fill pass).
+func (k *Kernel) worstRunningBand() int {
+	worst := -1
+	for i := range k.cpus {
+		if k.cpus[i].p == nil {
+			return -1
+		}
+		if b := band(k.cpus[i].p.usrpri); b > worst {
+			worst = b
+		}
+	}
+	return worst
+}
+
+func band(pri int) int { return pri >> 2 }
+
+func (k *Kernel) enqueue(p *proc) {
+	if p.queued {
+		return
+	}
+	b := band(p.usrpri)
+	p.qband = b
+	p.queued = true
+	k.runq[b] = append(k.runq[b], p)
+}
+
+// enqueueHead inserts p at the head of its band's queue (transient
+// kernel-priority wakeup boost; see wakeRunnable).
+func (k *Kernel) enqueueHead(p *proc) {
+	if p.queued {
+		return
+	}
+	b := band(p.usrpri)
+	p.qband = b
+	p.queued = true
+	k.runq[b] = append([]*proc{p}, k.runq[b]...)
+}
+
+func (k *Kernel) dequeue(p *proc) {
+	if !p.queued {
+		return
+	}
+	q := k.runq[p.qband]
+	for i, x := range q {
+		if x == p {
+			k.runq[p.qband] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	p.queued = false
+}
+
+// bestBand returns the lowest non-empty run-queue band, or nqs if none.
+func (k *Kernel) bestBand() int {
+	for b := 0; b < nqs; b++ {
+		if len(k.runq[b]) > 0 {
+			return b
+		}
+	}
+	return nqs
+}
+
+// reschedule is the scheduler's AST: preempt processors whose occupant no
+// longer beats the run-queue head (at most once per processor per pass),
+// then feed every idle processor.
+func (k *Kernel) reschedule() {
+	if k.resched {
+		k.resched = false
+		for i := range k.cpus {
+			p := k.cpus[i].p
+			if p == nil {
+				continue
+			}
+			if k.queueBeats(p) {
+				k.preemptSlot(i)
+			}
+		}
+	}
+	k.fillIdle()
+}
+
+// fillIdle dispatches queued processes onto idle processors, lowest band
+// first.
+func (k *Kernel) fillIdle() {
+	for i := range k.cpus {
+		for k.cpus[i].p == nil {
+			p := k.qpick()
+			if p == nil {
+				return
+			}
+			k.dispatch(i, p)
+			// If the dispatched process retired instantaneous work
+			// and left the CPU, the slot is idle again; keep feeding.
+		}
+	}
+}
+
+// preemptSlot takes the processor away from its occupant, which rejoins
+// the tail of its run queue.
+func (k *Kernel) preemptSlot(i int) {
+	p := k.cpus[i].p
+	k.chargeSlot(i, k.now)
+	p.runGen++ // cancel completion event
+	p.state = Ready
+	k.freeSlot(i)
+	k.qput(p, false, false)
+}
+
+// freeSlot clears a processor.
+func (k *Kernel) freeSlot(i int) {
+	if p := k.cpus[i].p; p != nil {
+		p.cpuIdx = -1
+	}
+	k.cpus[i].p = nil
+	if k.tracer != nil {
+		k.tracer.close(i, k.now)
+	}
+}
+
+// dispatch puts p on processor i and drives its actions until it either
+// has CPU work to chew on (a completion event is scheduled) or leaves the
+// CPU.
+func (k *Kernel) dispatch(i int, p *proc) {
+	p.state = Running
+	p.slpsecs = 0
+	p.cpuIdx = i
+	k.cpus[i].p = p
+	k.cpus[i].dispAt = k.now
+	if k.tracer != nil {
+		k.tracer.start(i, p.pid, k.now)
+	}
+	k.continueRunning(p)
+}
+
+// continueRunning schedules the completion of p's current run segment, or
+// retires instantaneous actions on the spot. Bounded iteration guards
+// against behaviors that make no progress.
+func (k *Kernel) continueRunning(p *proc) {
+	for spin := 0; ; spin++ {
+		if spin > 256 {
+			panic(fmt.Sprintf("sim: process %d (%s) yields zero-progress actions", p.pid, p.name))
+		}
+		if !p.hasAction {
+			p.act = p.beh.Next(k, p.pid)
+			p.hasAction = true
+			p.runLeft = p.act.Run
+		}
+		if p.runLeft > 0 {
+			p.runGen++
+			gen := p.runGen
+			k.at(k.now+p.runLeft, func() { k.runComplete(p, gen) })
+			return
+		}
+		if !k.retireAction(p) {
+			return // left the CPU
+		}
+	}
+}
+
+// running reports whether p currently holds a processor.
+func (k *Kernel) running(p *proc) bool {
+	return p.cpuIdx >= 0 && k.cpus[p.cpuIdx].p == p
+}
+
+// runComplete fires when a running process finishes its CPU segment.
+func (k *Kernel) runComplete(p *proc, gen int64) {
+	if p.runGen != gen || !k.running(p) {
+		return // stale: the process was preempted or stopped
+	}
+	// advanceTo already charged the stint; runLeft may retain a
+	// sub-nanosecond remainder of zero.
+	p.runLeft = 0
+	if k.retireAction(p) {
+		k.continueRunning(p)
+	}
+}
+
+// retireAction completes the non-CPU tail of the current action: OnDone,
+// then exit/block/sleep. It reports whether the process still holds the
+// CPU afterwards.
+func (k *Kernel) retireAction(p *proc) bool {
+	act := p.act
+	p.hasAction = false
+	if act.OnDone != nil {
+		act.OnDone(k)
+		if !k.running(p) || p.state != Running {
+			// The callback stopped or killed this very process.
+			return false
+		}
+	}
+	leave := func() {
+		i := p.cpuIdx
+		k.chargeSlot(i, k.now)
+		p.runGen++
+		k.freeSlot(i)
+	}
+	switch {
+	case act.Exit:
+		leave()
+		p.state = Exited
+		delete(k.procs, p.pid)
+		return false
+	case act.Block:
+		leave()
+		p.state = Sleeping
+		return false
+	case act.Sleep > 0:
+		leave()
+		p.state = Sleeping
+		p.wakeGen++
+		gen := p.wakeGen
+		k.at(k.now+act.Sleep, func() {
+			if p.wakeGen != gen {
+				return
+			}
+			switch p.state {
+			case Sleeping:
+				k.updatePri(p)
+				k.wakeRunnable(p)
+			case Stopped:
+				if p.stoppedFrom == Sleeping {
+					p.pendingWake = true
+					p.stoppedFrom = Ready
+				}
+			}
+		})
+		return false
+	default:
+		return true
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// PID identifies a simulated process.
+type PID int32
+
+// ProcState is the scheduling state of a simulated process.
+type ProcState int8
+
+const (
+	// Ready: runnable, waiting on a run queue.
+	Ready ProcState = iota
+	// Running: currently on the CPU.
+	Running
+	// Sleeping: blocked on a timed sleep or an event (the paper's
+	// "wait channel" state — ALPS treats it as doing I/O).
+	Sleeping
+	// Stopped: suspended by SIGSTOP.
+	Stopped
+	// Exited: terminated.
+	Exited
+)
+
+// String returns the conventional single-word name of the state.
+func (s ProcState) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Sleeping:
+		return "sleeping"
+	case Stopped:
+		return "stopped"
+	case Exited:
+		return "exited"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// Action is one step of a process's life, yielded by a Behavior. The
+// kernel executes the stages in order: consume Run of CPU time, invoke
+// OnDone, then either exit, block, sleep, or immediately request the next
+// Action.
+type Action struct {
+	// Run is the CPU time to consume before the rest of the action
+	// takes effect. Zero means the action is instantaneous (but still
+	// requires the process to be scheduled).
+	Run time.Duration
+	// OnDone, if non-nil, runs (in zero simulated time) when Run
+	// completes. It may call kernel operations: send signals, read
+	// process info, spawn processes, wake blocked processes.
+	OnDone func(k *Kernel)
+	// Sleep, if positive, puts the process to sleep for that duration
+	// after OnDone.
+	Sleep time.Duration
+	// Block, if true, puts the process to sleep indefinitely after
+	// OnDone; it runs again only after Kernel.WakeProc. Takes
+	// precedence over Sleep.
+	Block bool
+	// Exit, if true, terminates the process after OnDone. Takes
+	// precedence over Block and Sleep.
+	Exit bool
+}
+
+// Behavior supplies a process's actions. Next is called each time the
+// process has finished its previous action and needs more work; it runs in
+// zero simulated time at the moment the process holds the CPU.
+type Behavior interface {
+	Next(k *Kernel, pid PID) Action
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(k *Kernel, pid PID) Action
+
+// Next calls f.
+func (f BehaviorFunc) Next(k *Kernel, pid PID) Action { return f(k, pid) }
+
+// proc is the kernel's per-process state (a miniature struct proc).
+type proc struct {
+	pid  PID
+	name string
+	nice int
+	beh  Behavior
+
+	state       ProcState
+	stoppedFrom ProcState // Ready or Sleeping: state to restore on SIGCONT
+	pendingWake bool      // wakeup arrived while stopped-from-sleeping
+
+	estcpu  float64 // p_estcpu: decaying CPU usage estimate (BSD)
+	usrpri  int     // p_usrpri: user-mode scheduling priority (BSD)
+	slpsecs int     // p_slptime: whole seconds spent sleeping/stopped (BSD)
+
+	vruntime time.Duration // weighted virtual runtime (CFS)
+
+	cpu time.Duration // total CPU time consumed
+
+	// Current action execution state.
+	hasAction bool
+	act       Action
+	runLeft   time.Duration
+
+	runGen  int64 // invalidates stale run-completion events
+	wakeGen int64 // invalidates stale sleep-expiry events
+
+	queued bool // on a run queue
+	qband  int  // band it was queued under
+
+	cpuIdx int // processor currently running this proc, or -1
+}
+
+// ProcInfo is the externally visible status of a process, the analogue of
+// what getrusage(2) plus the kernel wait-channel field expose to ALPS.
+type ProcInfo struct {
+	PID   PID
+	Name  string
+	State ProcState
+	// CPU is the total CPU time the process has consumed so far,
+	// including the currently in-progress run stint, at full precision.
+	CPU time.Duration
+	// CPUTicked is CPU rounded to the kernel's accounting granularity
+	// (exact by default, like FreeBSD's microsecond-precise getrusage;
+	// configurable via Kernel.SetAccountingGranularity to model e.g.
+	// Linux /proc's 10 ms USER_HZ units). ALPS reads this field; the
+	// evaluation instrumentation reads the precise CPU field.
+	CPUTicked time.Duration
+}

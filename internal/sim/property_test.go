@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestCPUConservation: for random workloads on random machine sizes, the
+// sum of per-process CPU equals the kernel's busy time and never exceeds
+// capacity (NCPU × wall time).
+func TestCPUConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ncpu := 1 + rng.Intn(3)
+		k := NewKernelSMP(ncpu)
+		var pids []PID
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			var b Behavior
+			switch rng.Intn(3) {
+			case 0:
+				b = Spin()
+			case 1:
+				b = SpinFor(time.Duration(rng.Intn(2000)) * time.Millisecond)
+			default:
+				b = &PeriodicIO{
+					Exec:   time.Duration(1+rng.Intn(50)) * time.Millisecond,
+					Wait:   time.Duration(1+rng.Intn(200)) * time.Millisecond,
+					Jitter: 0.3, Seed: seed + int64(i),
+				}
+			}
+			pids = append(pids, k.Spawn("w", 0, b))
+		}
+		// Random signals along the way.
+		for i := 0; i < 5; i++ {
+			pid := pids[rng.Intn(len(pids))]
+			at := time.Duration(rng.Intn(4000)) * time.Millisecond
+			sig := SIGSTOP
+			if rng.Intn(2) == 0 {
+				sig = SIGCONT
+			}
+			k.At(at, func() { k.Signal(pid, sig) })
+		}
+		wall := 5 * time.Second
+		k.Run(wall)
+
+		var sum time.Duration
+		for _, pid := range pids {
+			if info, ok := k.Info(pid); ok {
+				sum += info.CPU
+			}
+		}
+		// Exited processes' CPU is no longer visible via Info; busy
+		// time includes it, so busy ≥ sum of the living.
+		busy := k.BusyTime()
+		if busy < sum {
+			t.Logf("seed %d: busy %v < live sum %v", seed, busy, sum)
+			return false
+		}
+		if busy > time.Duration(ncpu)*wall {
+			t.Logf("seed %d: busy %v exceeds capacity %v", seed, busy, time.Duration(ncpu)*wall)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimDeterminismProperty: identical scenarios produce identical
+// traces, including on SMP.
+func TestSimDeterminismProperty(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernelSMP(1 + int(seed%3))
+		var pids []PID
+		for i := 0; i < 4; i++ {
+			pids = append(pids, k.Spawn("w", rng.Intn(5), &PeriodicIO{
+				Exec:   time.Duration(1+rng.Intn(30)) * time.Millisecond,
+				Wait:   time.Duration(1+rng.Intn(100)) * time.Millisecond,
+				Jitter: 0.5, Seed: seed + int64(i),
+			}))
+		}
+		k.Run(3 * time.Second)
+		var out []time.Duration
+		for _, pid := range pids {
+			info, _ := k.Info(pid)
+			out = append(out, info.CPU)
+		}
+		return out
+	}
+	f := func(seed int64) bool {
+		a, b := run(seed), run(seed)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Logf("seed %d: run diverged at pid %d: %v vs %v", seed, i, a[i], b[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPeriodicIOWarmup: before StartAt the behavior is purely
+// compute-bound.
+func TestPeriodicIOWarmup(t *testing.T) {
+	k := NewKernel()
+	pid := k.Spawn("io", 0, &PeriodicIO{
+		Exec:    10 * time.Millisecond,
+		Wait:    100 * time.Millisecond,
+		StartAt: 2 * time.Second,
+	})
+	k.Run(2 * time.Second)
+	info, _ := k.Info(pid)
+	if info.CPU < 1900*time.Millisecond {
+		t.Errorf("warm-up phase consumed only %v of 2s", info.CPU)
+	}
+	base := info.CPU
+	k.Run(4 * time.Second)
+	info, _ = k.Info(pid)
+	got := info.CPU - base
+	// Post-start demand is ~10ms per 110ms: ~180ms over 2s.
+	if got < 120*time.Millisecond || got > 300*time.Millisecond {
+		t.Errorf("I/O phase consumed %v over 2s, want ~180ms", got)
+	}
+}
+
+// TestPeriodicIOJitterDeterministic: the same seed gives the same jitter
+// sequence.
+func TestPeriodicIOJitterDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		k := NewKernel()
+		pid := k.Spawn("io", 0, &PeriodicIO{Exec: 5 * time.Millisecond, Wait: 50 * time.Millisecond, Jitter: 0.5, Seed: 42})
+		k.Run(5 * time.Second)
+		info, _ := k.Info(pid)
+		return info.CPU
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}

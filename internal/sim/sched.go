@@ -1,0 +1,145 @@
+package sim
+
+import "math"
+
+// loadEwma is the per-second smoothing coefficient for the load average
+// the decay filter uses (a one-minute exponentially weighted average
+// sampled at 1 Hz, approximating 4.4BSD's one-minute loadav).
+var loadEwma = math.Exp(-1.0 / 60.0)
+
+// clockTick is the 10 ms hardclock/statclock handler: charge estcpu to
+// the running process, periodically recompute priorities, run the
+// once-per-second schedcpu, and enforce the 100 ms round-robin.
+func (k *Kernel) clockTick() {
+	k.ticks++
+	if k.policy == PolicyCFS {
+		// CFS: at every tick, preempt any running process whose
+		// vruntime lead over the queue head exceeds the granularity
+		// (check_preempt_tick).
+		for i := range k.cpus {
+			if p := k.cpus[i].p; p != nil && k.cfsQueueBeats(p, false) {
+				k.resched = true
+			}
+		}
+		k.at(k.now+tick, k.clockTick)
+		return
+	}
+	if k.ticks%priRecalcTicks == 0 {
+		// Recompute every running process's priority every fourth
+		// tick (estcpu accrues continuously as it runs; see
+		// chargeSlot).
+		for i := range k.cpus {
+			if p := k.cpus[i].p; p != nil {
+				k.resetPriority(p)
+			}
+		}
+	}
+	if k.ticks%schedcpuTicks == 0 {
+		k.schedcpu()
+	}
+	// 4.4BSD only reconsiders running processes at discrete points:
+	// when priorities are recomputed (every 4th tick), at roundrobin
+	// (every 10th), and at wakeups — not on every tick. Checking more
+	// often would churn the run queue mid-quantum and is one of the
+	// things the paper's user-level rotation depends on not happening.
+	best := k.bestBand()
+	if best < nqs {
+		for i := range k.cpus {
+			p := k.cpus[i].p
+			if p == nil {
+				continue
+			}
+			if k.ticks%priRecalcTicks == 0 && best < band(p.usrpri) {
+				k.resched = true
+			} else if k.ticks%roundRobinTicks == 0 && best <= band(p.usrpri) {
+				// roundrobin(): rotate among equal-priority peers.
+				k.resched = true
+			}
+		}
+	}
+	k.at(k.now+tick, k.clockTick)
+}
+
+// resetPriority recomputes p_usrpri from p_estcpu and nice:
+// p_usrpri = PUSER + p_estcpu/4 + 2·p_nice, clamped to [PUSER, MAXPRI].
+func (k *Kernel) resetPriority(p *proc) {
+	pri := PUSER + int(p.estcpu/4) + 2*p.nice
+	if pri < PUSER {
+		pri = PUSER
+	}
+	if pri > MAXPRI {
+		pri = MAXPRI
+	}
+	p.usrpri = pri
+	if p.queued && p.qband != band(pri) {
+		k.dequeue(p)
+		k.enqueue(p)
+	}
+	if b := k.bestBand(); b < nqs {
+		for i := range k.cpus {
+			if rp := k.cpus[i].p; rp != nil && b < band(rp.usrpri) {
+				k.resched = true
+				break
+			}
+		}
+	}
+}
+
+// schedcpu is the once-per-second recomputation: refresh the load
+// average, decay every runnable process's estcpu by 2l/(2l+1), and age
+// the sleep time of blocked processes (whose decay is applied lazily by
+// updatePri when they wake).
+func (k *Kernel) schedcpu() {
+	nrun := 0
+	for _, p := range k.procs {
+		if p.state == Ready || p.state == Running {
+			nrun++
+		}
+	}
+	k.loadavg = k.loadavg*loadEwma + float64(nrun)*(1-loadEwma)
+	decay := k.decayFactor()
+	// Iterate in PID order: resetPriority may requeue processes whose
+	// band changed, and map-order iteration would make run-queue order
+	// (and therefore the whole schedule) non-deterministic.
+	for _, pid := range k.Pids() {
+		p := k.procs[pid]
+		switch p.state {
+		case Sleeping, Stopped:
+			p.slpsecs++
+			continue
+		}
+		p.estcpu = p.estcpu*decay + float64(p.nice)
+		k.resetPriority(p)
+	}
+}
+
+func (k *Kernel) decayFactor() float64 {
+	return (2 * k.loadavg) / (2*k.loadavg + 1)
+}
+
+// updatePri applies the estcpu decay a process missed while it slept
+// (4.4BSD updatepri): one decay factor per whole second asleep. Processes
+// that sleep longer than their estcpu survives simply return at base
+// priority — this is the mechanism by which the kernel favors interactive
+// processes, and (paper §4.2) why ALPS retains control slightly past the
+// predicted breakdown threshold at long quantum lengths.
+func (k *Kernel) updatePri(p *proc) {
+	if p.slpsecs > 0 {
+		decay := k.decayFactor()
+		for i := 0; i < p.slpsecs; i++ {
+			p.estcpu *= decay
+			if p.estcpu < 0.01 {
+				p.estcpu = 0
+				break
+			}
+		}
+		p.slpsecs = 0
+	}
+	k.resetPriority(p)
+}
+
+// LoadAvg returns the kernel's smoothed run-queue load average.
+func (k *Kernel) LoadAvg() float64 { return k.loadavg }
+
+// Ticks returns the number of 10 ms clock ticks processed so far.
+func (k *Kernel) Ticks() int64 { return k.ticks }

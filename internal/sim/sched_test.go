@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBandMapping: the 32 run queues each cover four priorities.
+func TestBandMapping(t *testing.T) {
+	cases := map[int]int{0: 0, 3: 0, 4: 1, 50: 12, 53: 13, 127: 31}
+	for pri, want := range cases {
+		if got := band(pri); got != want {
+			t.Errorf("band(%d) = %d, want %d", pri, got, want)
+		}
+	}
+}
+
+// TestPriorityFormula: p_usrpri = PUSER + estcpu/4 + 2·nice, clamped.
+func TestPriorityFormula(t *testing.T) {
+	k := NewKernel()
+	p := &proc{nice: 0, estcpu: 40}
+	k.resetPriority(p)
+	if p.usrpri != PUSER+10 {
+		t.Errorf("usrpri = %d, want %d", p.usrpri, PUSER+10)
+	}
+	p.nice = 5
+	k.resetPriority(p)
+	if p.usrpri != PUSER+10+10 {
+		t.Errorf("usrpri with nice = %d, want %d", p.usrpri, PUSER+20)
+	}
+	p.estcpu = 1e6
+	k.resetPriority(p)
+	if p.usrpri != MAXPRI {
+		t.Errorf("usrpri not clamped: %d", p.usrpri)
+	}
+	p.estcpu = 0
+	p.nice = -20
+	k.resetPriority(p)
+	if p.usrpri != PUSER {
+		t.Errorf("usrpri below PUSER: %d", p.usrpri)
+	}
+}
+
+// TestEstcpuDecay: a process that stops running has its estcpu decayed by
+// schedcpu each second, by 2l/(2l+1).
+func TestEstcpuDecay(t *testing.T) {
+	k := NewKernel()
+	pid := k.Spawn("spin", 0, Spin())
+	// Sample mid-second: the once-per-second schedcpu decay is severe
+	// while the load average is still converging from zero, so measure
+	// the accrual half a second after the last decay.
+	k.Run(2500 * time.Millisecond)
+	p := k.procs[pid]
+	if p.estcpu < 40 {
+		t.Fatalf("estcpu after 0.5s of accrual = %v, want ≥ 40", p.estcpu)
+	}
+	// Nice values weight against the spinner: its estcpu fluctuates
+	// around gain·decay equilibrium; with load ~1 the decay factor is
+	// 2l/(2l+1) ≈ 2/3 at l=1.
+	d := k.decayFactor()
+	if d <= 0 || d >= 1 {
+		t.Errorf("decay factor = %v, want (0,1)", d)
+	}
+}
+
+// TestNiceFavoring: under the BSD policy a nice -10 process outweighs a
+// nice 0 process (via the 2·nice priority term).
+func TestNiceFavoring(t *testing.T) {
+	k := NewKernel()
+	fast := k.Spawn("fast", -10, Spin())
+	slow := k.Spawn("slow", 0, Spin())
+	k.Run(30 * time.Second)
+	fi, _ := k.Info(fast)
+	si, _ := k.Info(slow)
+	if fi.CPU <= si.CPU {
+		t.Errorf("nice -10 got %v vs nice 0's %v; want favored", fi.CPU, si.CPU)
+	}
+}
+
+// TestEnqueueHeadOrdering: a head-inserted process is picked before
+// same-band peers.
+func TestEnqueueHeadOrdering(t *testing.T) {
+	k := NewKernel()
+	a := &proc{pid: 1, usrpri: PUSER}
+	b := &proc{pid: 2, usrpri: PUSER}
+	c := &proc{pid: 3, usrpri: PUSER}
+	k.enqueue(a)
+	k.enqueue(b)
+	k.enqueueHead(c)
+	if got := k.qpick(); got != c {
+		t.Fatalf("first pick = pid %d, want head-inserted 3", got.pid)
+	}
+	if got := k.qpick(); got != a {
+		t.Fatalf("second pick = pid %d, want FIFO 1", got.pid)
+	}
+	if got := k.qpick(); got != b {
+		t.Fatalf("third pick = pid %d, want 2", got.pid)
+	}
+	if k.qpick() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestUpdatePriAppliesMissedDecay: a long sleeper returns at a much
+// better priority than when it left.
+func TestUpdatePriAppliesMissedDecay(t *testing.T) {
+	k := NewKernel()
+	k.loadavg = 2 // decay factor 4/5
+	p := &proc{pid: 1, estcpu: 200, slpsecs: 10}
+	k.updatePri(p)
+	if p.estcpu >= 200*0.8 {
+		t.Errorf("estcpu after 10s of sleep = %v, want decayed well below 160", p.estcpu)
+	}
+	if p.slpsecs != 0 {
+		t.Errorf("slpsecs not reset: %d", p.slpsecs)
+	}
+}
+
+// TestLoadAvgStartsAtZero: an idle machine keeps load near zero.
+func TestLoadAvgStartsAtZero(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("sleeper", 0, SleepLoop(time.Hour))
+	k.Run(30 * time.Second)
+	if l := k.LoadAvg(); l > 0.1 {
+		t.Errorf("idle load average = %v", l)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Span is one contiguous stint of a process on a processor.
+type Span struct {
+	PID   PID
+	CPU   int
+	Start time.Duration
+	End   time.Duration
+}
+
+// Tracer records every run span of the simulation — the data behind a
+// Gantt-style schedule timeline, and a strong validation channel: the
+// per-process sums of traced spans must equal the kernel's CPU
+// accounting exactly.
+type Tracer struct {
+	spans []Span
+	open  map[int]Span // per-CPU in-flight span
+}
+
+// Trace attaches a Tracer to the kernel. Call before Run; spans of stints
+// still in flight appear only after EndTrace (or kernel idle).
+func (k *Kernel) Trace() *Tracer {
+	t := &Tracer{open: make(map[int]Span)}
+	k.tracer = t
+	return t
+}
+
+// EndTrace closes in-flight spans at the current time and detaches the
+// tracer.
+func (k *Kernel) EndTrace() {
+	t := k.tracer
+	if t == nil {
+		return
+	}
+	for i := range k.cpus {
+		if k.cpus[i].p != nil {
+			t.close(i, k.now)
+		}
+	}
+	k.tracer = nil
+}
+
+func (t *Tracer) start(cpu int, pid PID, at time.Duration) {
+	t.open[cpu] = Span{PID: pid, CPU: cpu, Start: at}
+}
+
+func (t *Tracer) close(cpu int, at time.Duration) {
+	s, ok := t.open[cpu]
+	if !ok {
+		return
+	}
+	delete(t.open, cpu)
+	s.End = at
+	if s.End > s.Start {
+		t.spans = append(t.spans, s)
+	}
+}
+
+// Spans returns the recorded spans in start order.
+func (t *Tracer) Spans() []Span {
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// PerProcess sums traced CPU time per PID.
+func (t *Tracer) PerProcess() map[PID]time.Duration {
+	out := make(map[PID]time.Duration)
+	for _, s := range t.spans {
+		out[s.PID] += s.End - s.Start
+	}
+	return out
+}
+
+// Switches returns the number of recorded spans (context switches are
+// span boundaries).
+func (t *Tracer) Switches() int { return len(t.spans) }
+
+// WriteTSV renders the timeline: one row per span.
+func (t *Tracer) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "pid\tcpu\tstart_us\tend_us"); err != nil {
+		return err
+	}
+	for _, s := range t.spans {
+		if _, err := fmt.Fprintf(w, "%d\t%d\t%d\t%d\n",
+			s.PID, s.CPU, s.Start.Microseconds(), s.End.Microseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"alps/internal/core"
+)
+
+// TestTraceMatchesAccounting: the sum of traced spans per process equals
+// the kernel's CPU accounting — on SMP, under ALPS, with signals flying.
+func TestTraceMatchesAccounting(t *testing.T) {
+	k := NewKernelSMP(2)
+	tr := k.Trace()
+	shares := []int64{1, 2, 3, 4}
+	pids := make([]PID, len(shares))
+	tasks := make([]AlpsTask, len(shares))
+	for i, s := range shares {
+		pids[i] = k.SpawnStopped("w", 0, Spin())
+		tasks[i] = AlpsTask{ID: core.TaskID(i), Share: s, Pids: []PID{pids[i]}}
+	}
+	a, err := StartALPS(k, AlpsConfig{Quantum: 10 * time.Millisecond, Cost: PaperCosts()}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(10 * time.Second)
+	k.EndTrace()
+
+	per := tr.PerProcess()
+	for _, pid := range append(pids, a.PID()) {
+		info, ok := k.Info(pid)
+		if !ok {
+			t.Fatalf("pid %d vanished", pid)
+		}
+		if got := per[pid]; got != info.CPU {
+			t.Errorf("pid %d: traced %v, accounted %v", pid, got, info.CPU)
+		}
+	}
+	if tr.Switches() == 0 {
+		t.Fatal("no spans recorded")
+	}
+
+	// Spans never overlap on a CPU.
+	lastEnd := map[int]time.Duration{}
+	for _, s := range tr.Spans() {
+		if s.Start < lastEnd[s.CPU] {
+			t.Fatalf("overlapping spans on cpu %d at %v", s.CPU, s.Start)
+		}
+		lastEnd[s.CPU] = s.End
+	}
+}
+
+// TestTraceTSV checks the export format.
+func TestTraceTSV(t *testing.T) {
+	k := NewKernel()
+	tr := k.Trace()
+	k.Spawn("w", 0, SpinFor(25*time.Millisecond))
+	k.Run(time.Second)
+	k.EndTrace()
+	var b strings.Builder
+	if err := tr.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "pid\tcpu\tstart_us\tend_us" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "1\t0\t0\t25000") {
+		t.Errorf("spans = %v", lines[1:])
+	}
+}
+
+// TestEndTraceIdempotent: EndTrace without an active tracer is a no-op.
+func TestEndTraceIdempotent(t *testing.T) {
+	k := NewKernel()
+	k.EndTrace()
+	k.Trace()
+	k.EndTrace()
+	k.EndTrace()
+}

@@ -1,0 +1,84 @@
+package websim
+
+import (
+	"testing"
+	"time"
+)
+
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Warmup = 40 * time.Second
+	cfg.Measure = 60 * time.Second
+	return cfg
+}
+
+// TestKernelEvenSharing reproduces the §5 baseline: without ALPS, the
+// kernel scheduler allocates the CPU roughly evenly across the three
+// sites (paper: {29, 30, 40} req/s).
+func TestKernelEvenSharing(t *testing.T) {
+	res, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, s := range res.Sites {
+		total += s.Throughput
+	}
+	t.Logf("throughputs: %.1f %.1f %.1f (total %.1f)",
+		res.Sites[0].Throughput, res.Sites[1].Throughput, res.Sites[2].Throughput, total)
+	if total < 60 {
+		t.Fatalf("total throughput %.1f req/s implausibly low", total)
+	}
+	for _, s := range res.Sites {
+		frac := s.Throughput / total
+		if frac < 0.25 || frac > 0.42 {
+			t.Errorf("%s: fraction %.2f not roughly even", s.Name, frac)
+		}
+	}
+}
+
+// TestALPSProportionalSharing reproduces the §5 headline: with ALPS
+// shares {1,2,3} and a 100 ms quantum, the throughputs follow the shares
+// (paper: {18, 35, 53} req/s).
+func TestALPSProportionalSharing(t *testing.T) {
+	cfg := quickCfg()
+	cfg.UseALPS = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, s := range res.Sites {
+		total += s.Throughput
+	}
+	t.Logf("throughputs: %.1f %.1f %.1f (total %.1f) overhead=%.3f%%",
+		res.Sites[0].Throughput, res.Sites[1].Throughput, res.Sites[2].Throughput,
+		total, res.AlpsOverheadPct)
+	t.Logf("cpu shares: %.1f%% %.1f%% %.1f%%",
+		res.Sites[0].CPUSharePct, res.Sites[1].CPUSharePct, res.Sites[2].CPUSharePct)
+	if total < 60 {
+		t.Fatalf("total throughput %.1f req/s implausibly low", total)
+	}
+	targets := []float64{1.0 / 6, 2.0 / 6, 3.0 / 6}
+	for i, s := range res.Sites {
+		frac := s.Throughput / total
+		if frac < targets[i]-0.06 || frac > targets[i]+0.06 {
+			t.Errorf("%s: fraction %.3f, want ~%.3f", s.Name, frac, targets[i])
+		}
+	}
+	if res.Sites[2].Throughput < 2.2*res.Sites[0].Throughput {
+		t.Errorf("3-share site should get ~3x the 1-share site: %.1f vs %.1f",
+			res.Sites[2].Throughput, res.Sites[0].Throughput)
+	}
+	// Latency view: the throttled 1-share site queues longer than the
+	// 3-share site, and percentiles are ordered.
+	for _, s := range res.Sites {
+		if s.LatencyP50 <= 0 || s.LatencyP95 < s.LatencyP50 || s.LatencyP99 < s.LatencyP95 {
+			t.Errorf("%s: implausible latency percentiles %v/%v/%v", s.Name, s.LatencyP50, s.LatencyP95, s.LatencyP99)
+		}
+	}
+	if res.Sites[0].LatencyP50 <= res.Sites[2].LatencyP50 {
+		t.Errorf("1-share site median latency (%v) should exceed 3-share site's (%v)",
+			res.Sites[0].LatencyP50, res.Sites[2].LatencyP50)
+	}
+}

@@ -1,0 +1,30 @@
+package alps
+
+import (
+	"alps/internal/rsv"
+)
+
+// CPU-rate reservations (in the spirit of the paper's related work on
+// user-level reservation servers and progress-based regulation): a
+// feedback controller re-weights ALPS shares each few cycles so measured
+// consumption rates track absolute targets, with unreserved capacity
+// flowing to best-effort tasks.
+
+// ReservationConfig parameterizes a ReservationController.
+type ReservationConfig = rsv.Config
+
+// ReservationController adjusts a scheduler's shares to meet reserved
+// rates. Feed it every cycle record via OnCycle.
+type ReservationController = rsv.Controller
+
+// Reservation errors.
+var (
+	ErrBadReservationRate = rsv.ErrBadRate
+	ErrReservationNoTask  = rsv.ErrNoTask
+)
+
+// NewReservationController creates a controller over a scheduler; declare
+// targets with Reserve and feed cycle records via OnCycle.
+func NewReservationController(s *Scheduler, cfg ReservationConfig) *ReservationController {
+	return rsv.New(s, cfg)
+}

@@ -1,0 +1,38 @@
+package alps
+
+import (
+	"alps/internal/osproc"
+)
+
+// Real-process facade: drive ALPS over actual processes on Linux using
+// /proc sampling and SIGSTOP/SIGCONT. Requires no privileges beyond the
+// right to signal the target processes (i.e. owning them).
+
+// RunnerConfig parameterizes a real-process Runner.
+type RunnerConfig = osproc.Config
+
+// RunnerTask binds a task and share to real PIDs.
+type RunnerTask = osproc.Task
+
+// Runner executes the ALPS control loop over real processes.
+type Runner = osproc.Runner
+
+// NewRunner builds a runner controlling the given tasks. The tasks'
+// processes are suspended immediately and resumed as the algorithm grants
+// allowances; Run (or Release) resumes everything on the way out.
+func NewRunner(cfg RunnerConfig, tasks []RunnerTask) (*Runner, error) {
+	return osproc.NewRunner(cfg, tasks)
+}
+
+// PidsOfUser returns the live PIDs owned by a uid (for resource-principal
+// scheduling, where the share holder is a user rather than a process).
+func PidsOfUser(uid uint32) ([]int, error) { return osproc.PidsOfUser(uid) }
+
+// ReadStat reads a process's cumulative CPU time and run state from
+// /proc/<pid>/stat.
+func ReadStat(pid int) (osproc.Stat, error) { return osproc.ReadStat(pid) }
+
+// Descendants returns a process and all its live descendants (by
+// /proc ppid lineage) — for scheduling a whole process tree, such as a
+// prefork server, as one resource principal.
+func Descendants(root int) ([]int, error) { return osproc.Descendants(root) }

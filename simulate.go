@@ -1,0 +1,126 @@
+package alps
+
+import (
+	"time"
+
+	"alps/internal/share"
+	"alps/internal/sim"
+	"alps/internal/websim"
+)
+
+// Simulation facade: a deterministic discrete-event model of a single-CPU
+// machine under a 4.4BSD-style kernel scheduler, with ALPS running inside
+// it as an ordinary process. See package alps's doc for a quick start.
+
+// Kernel is the simulated machine.
+type Kernel = sim.Kernel
+
+// SimPID identifies a simulated process.
+type SimPID = sim.PID
+
+// ProcState is a simulated process's scheduling state.
+type ProcState = sim.ProcState
+
+// ProcInfo is the externally visible status of a simulated process.
+type ProcInfo = sim.ProcInfo
+
+// Action is one step of a simulated process's behavior.
+type Action = sim.Action
+
+// Behavior supplies a simulated process's actions.
+type Behavior = sim.Behavior
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc = sim.BehaviorFunc
+
+// SimConfig configures an ALPS instance inside the simulation.
+type SimConfig = sim.AlpsConfig
+
+// SimTask binds a task ID and share to simulated processes.
+type SimTask = sim.AlpsTask
+
+// SimALPS is an ALPS scheduler running as a simulated process.
+type SimALPS = sim.AlpsProc
+
+// CostModel gives the CPU cost of each ALPS operation in the simulation.
+type CostModel = sim.CostModel
+
+// NewKernel creates an empty simulated machine at virtual time zero.
+func NewKernel() *Kernel { return sim.NewKernel() }
+
+// NewKernelSMP creates a simulated machine with n processors sharing one
+// run queue. The paper evaluates on a uniprocessor; see the SMP extension
+// experiment (alps-bench smp) for how ALPS behaves with more.
+func NewKernelSMP(n int) *Kernel { return sim.NewKernelSMP(n) }
+
+// KernelPolicy selects the simulated kernel's native scheduling policy.
+type KernelPolicy = sim.Policy
+
+// The available native kernel policies.
+const (
+	PolicyBSD = sim.PolicyBSD
+	PolicyCFS = sim.PolicyCFS
+)
+
+// NewKernelWithPolicy creates an n-processor machine under the given
+// native policy; ALPS runs unchanged on any of them (the paper's
+// portability claim — see alps-bench portability).
+func NewKernelWithPolicy(n int, pol KernelPolicy) *Kernel {
+	return sim.NewKernelWithPolicy(n, pol)
+}
+
+// StartALPS spawns an ALPS process into a simulated kernel.
+func StartALPS(k *Kernel, cfg SimConfig, tasks []SimTask) (*SimALPS, error) {
+	return sim.StartALPS(k, cfg, tasks)
+}
+
+// PaperCosts returns the paper's measured operation costs (Table 1),
+// giving paper-comparable overhead numbers in simulation.
+func PaperCosts() CostModel { return sim.PaperCosts() }
+
+// Tracer records every run span of a simulation (Kernel.Trace) — the
+// data behind a schedule timeline, exportable as TSV.
+type Tracer = sim.Tracer
+
+// Span is one contiguous stint of a simulated process on a processor.
+type Span = sim.Span
+
+// Spin returns a compute-bound simulated behavior.
+func Spin() Behavior { return sim.Spin() }
+
+// SpinFor returns a behavior that consumes the given CPU time, then exits.
+func SpinFor(d time.Duration) Behavior { return sim.SpinFor(d) }
+
+// PeriodicIO is a behavior alternating CPU bursts with I/O sleeps.
+type PeriodicIO = sim.PeriodicIO
+
+// ShareModel names a share-distribution shape from the paper's Table 2.
+type ShareModel = share.Model
+
+// The Table 2 share-distribution models.
+const (
+	LinearShares = share.Linear
+	EqualShares  = share.Equal
+	SkewedShares = share.Skewed
+)
+
+// ShareDistribution returns the Table 2 share vector for n processes.
+func ShareDistribution(m ShareModel, n int) ([]int64, error) {
+	return share.Distribution(m, n)
+}
+
+// WebConfig configures the §5 shared-web-server workload.
+type WebConfig = websim.Config
+
+// WebSite configures one hosted site of the shared web server.
+type WebSite = websim.SiteConfig
+
+// WebResult is the outcome of a shared-web-server run.
+type WebResult = websim.Result
+
+// DefaultWebConfig returns the paper's §5 configuration (three sites,
+// shares 1:2:3, 50 servers and 325 clients each, 100 ms quantum).
+func DefaultWebConfig() WebConfig { return websim.DefaultConfig() }
+
+// RunWebServer executes a shared-web-server experiment.
+func RunWebServer(cfg WebConfig) (*WebResult, error) { return websim.Run(cfg) }
