@@ -1,0 +1,26 @@
+# Standard checks for the ALPS repository. `make check` is the
+# pre-commit gate: vet, build, and the full test suite under the race
+# detector (every fault-injection test is deterministic and fake-backed,
+# so -race adds coverage without flakiness).
+
+GO ?= go
+
+.PHONY: check vet build test race short
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fast loop: skips the end-to-end tests that spawn real processes.
+short:
+	$(GO) test -short ./...

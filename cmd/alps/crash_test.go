@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"alps"
+)
+
+// End-to-end crash safety: whatever way the controller dies — an orderly
+// SIGTERM or a panic mid-cycle — no workload process may be left
+// SIGSTOPped.
+
+func requireE2E(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if _, err := os.Stat("/proc/self/stat"); err != nil {
+		t.Skip("needs Linux /proc")
+	}
+}
+
+func buildAlps(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "alps")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func spawnShellSpinner(t *testing.T) int {
+	t.Helper()
+	cmd := exec.Command("/bin/sh", "-c", "while :; do :; done")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	return cmd.Process.Pid
+}
+
+// waitNotStopped fails the test if any of the given processes is still
+// in the stopped state once the grace period runs out. A process that
+// exited counts as not frozen.
+func waitNotStopped(t *testing.T, pids ...int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		frozen := ""
+		for _, pid := range pids {
+			st, err := alps.ReadStat(pid)
+			if err != nil {
+				continue
+			}
+			if st.State == 'T' {
+				frozen = fmt.Sprintf("pid %d still stopped", pid)
+			}
+		}
+		if frozen == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workload left SIGSTOPped after controller exit: %s", frozen)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestCrashSafetySIGTERM(t *testing.T) {
+	requireE2E(t)
+	bin := buildAlps(t)
+	p1 := spawnShellSpinner(t)
+	p2 := spawnShellSpinner(t)
+
+	cmd := exec.Command(bin, "attach", "-q", "20ms",
+		fmt.Sprintf("%d:1", p1), fmt.Sprintf("%d:3", p2))
+	var errBuf bytes.Buffer
+	cmd.Stderr = &errBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	time.Sleep(2 * time.Second)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("alps exited with %v on SIGTERM, want success\nstderr:\n%s", err, errBuf.String())
+		}
+	case <-time.After(5 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("alps did not exit on SIGTERM")
+	}
+	waitNotStopped(t, p1, p2)
+	if !strings.Contains(errBuf.String(), "alps: health:") {
+		t.Errorf("stderr missing health snapshot:\n%s", errBuf.String())
+	}
+}
+
+func TestCrashSafetyPanic(t *testing.T) {
+	requireE2E(t)
+	bin := buildAlps(t)
+	p1 := spawnShellSpinner(t)
+	p2 := spawnShellSpinner(t)
+
+	cmd := exec.Command(bin, "attach", "-q", "20ms",
+		fmt.Sprintf("%d:1", p1), fmt.Sprintf("%d:3", p2))
+	cmd.Env = append(os.Environ(), "ALPS_PANIC_AFTER_CYCLES=3")
+	var errBuf bytes.Buffer
+	cmd.Stderr = &errBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Errorf("alps exited successfully despite injected panic\nstderr:\n%s", errBuf.String())
+		}
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("alps did not exit after injected panic")
+	}
+	if !strings.Contains(errBuf.String(), "panic") {
+		t.Errorf("stderr does not report the panic:\n%s", errBuf.String())
+	}
+	waitNotStopped(t, p1, p2)
+}
+
+// TestAttachAllGoneAtStartup: attaching to PIDs that are already dead
+// must fail fast with a clear message, not spin on an empty schedule.
+func TestAttachAllGoneAtStartup(t *testing.T) {
+	requireE2E(t)
+	bin := buildAlps(t)
+	// Spawn and immediately reap a process to obtain a dead PID.
+	probe := exec.Command("/bin/true")
+	if err := probe.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dead := probe.Process.Pid
+	out, err := exec.Command(bin, "attach", "-q", "20ms", fmt.Sprintf("%d:1", dead)).CombinedOutput()
+	if err == nil {
+		t.Fatalf("attach to dead pid succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "no live target process") {
+		t.Errorf("missing clear error message, got:\n%s", out)
+	}
+}

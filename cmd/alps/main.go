@@ -77,11 +77,42 @@ func commonFlags(fs *flag.FlagSet) (q *time.Duration, logCycles *bool) {
 	return
 }
 
-func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask) error {
+func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask) (err error) {
+	// Test hook: panic after N completed cycles, so the end-to-end crash
+	// test can prove that no workload process stays SIGSTOPped when the
+	// controller dies mid-flight (see crash_test.go).
+	if n := os.Getenv("ALPS_PANIC_AFTER_CYCLES"); n != "" {
+		after, perr := strconv.Atoi(n)
+		if perr != nil || after <= 0 {
+			return fmt.Errorf("bad ALPS_PANIC_AFTER_CYCLES %q", n)
+		}
+		inner := cfg.OnCycle
+		cycles := 0
+		cfg.OnCycle = func(rec core.CycleRecord) {
+			if inner != nil {
+				inner(rec)
+			}
+			if cycles++; cycles >= after {
+				panic(fmt.Sprintf("injected panic after %d cycles", cycles))
+			}
+		}
+	}
 	r, err := alps.NewRunner(cfg, tasks)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		// The Runner resumes the workload on every exit from Run,
+		// including panics unwinding out of its own loop; this converts
+		// any panic reaching here (from callbacks, logging, ...) into an
+		// orderly error exit after one more belt-and-braces Release, so
+		// a controller crash never leaves a process frozen.
+		if p := recover(); p != nil {
+			r.Release()
+			err = fmt.Errorf("panic: %v", p)
+		}
+		fmt.Fprintln(os.Stderr, "alps: health:", r.Health())
+	}()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = r.Run(ctx)
@@ -272,6 +303,13 @@ func cmdUser(args []string) error {
 		return m
 	}
 	initial := membership()
+	live := 0
+	for _, pids := range initial {
+		live += len(pids)
+	}
+	if live == 0 {
+		return fmt.Errorf("no live processes found for any of the given users (nothing to schedule)")
+	}
 	var tasks []alps.RunnerTask
 	for i, p := range principals {
 		tasks = append(tasks, alps.RunnerTask{ID: alps.TaskID(i), Share: p.share, PIDs: initial[alps.TaskID(i)]})

@@ -1,0 +1,329 @@
+package osproc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"syscall"
+	"time"
+)
+
+// FaultCall selects which Sys operation a scheduled fault applies to.
+type FaultCall int
+
+const (
+	// CallRead targets Sys.ReadStat.
+	CallRead FaultCall = iota
+	// CallStop targets Sys.Stop.
+	CallStop
+	// CallCont targets Sys.Cont.
+	CallCont
+)
+
+// FaultKind is one injectable failure mode of the OS surface.
+type FaultKind int
+
+const (
+	// FaultESRCH fails the call with syscall.ESRCH (process gone).
+	FaultESRCH FaultKind = iota
+	// FaultEPERM fails the call with syscall.EPERM (unsignalable).
+	FaultEPERM
+	// FaultEINTR fails the call with syscall.EINTR (transient race).
+	FaultEINTR
+	// FaultZombie makes ReadStat report state 'Z' (exited, unreaped).
+	FaultZombie
+	// FaultSlow makes the call succeed only after advancing the fake
+	// clock by SlowDelay, modelling a stalled /proc read or signal
+	// delivery that eats into (or overruns) the quantum.
+	FaultSlow
+)
+
+type faultKey struct {
+	pid  int
+	call FaultCall
+}
+
+// FaultProc is one simulated process in a FaultSys table.
+type FaultProc struct {
+	PID int
+	// UID owns the process (for PidsOfUser).
+	UID uint32
+	// State is the run state reported while not stopped: 'R', 'S', 'D'
+	// or 'Z'.
+	State byte
+	// CPU is cumulative consumption, advanced by FaultSys.Advance.
+	CPU time.Duration
+	// Start is the start-time incarnation stamp (cf. Stat.Start).
+	Start uint64
+	// Rate is the fraction of virtual time the process consumes while
+	// in state 'R' and not stopped (1.0 = a busy loop).
+	Rate float64
+
+	stopped bool
+}
+
+// FaultSys is a deterministic, scriptable fake of the Sys surface: an
+// in-memory process table plus a virtual clock and per-(pid, call) FIFO
+// fault schedules. It lets tests drive the Runner through ESRCH, EPERM,
+// /proc read races, zombies, slow reads, PID reuse, and timer overruns —
+// with no real child processes, in microseconds, reproducibly.
+//
+// FaultSys is not safe for concurrent use; fault tests drive the Runner
+// through Step on a single goroutine.
+type FaultSys struct {
+	base    time.Time
+	elapsed time.Duration
+
+	procs  map[int]*FaultProc
+	faults map[faultKey][]FaultKind
+
+	// SlowDelay is how far FaultSlow advances the clock (default 0:
+	// set it before scheduling FaultSlow).
+	SlowDelay time.Duration
+
+	// Log records every operation in order ("stop 42", "read 42:
+	// EINTR", ...), for asserting on the exact recovery sequence.
+	Log []string
+
+	// Sleeps counts backoff sleeps; their durations advance the clock.
+	Sleeps int
+
+	rng      *rand.Rand
+	chaosP   float64
+	chaosOps int
+}
+
+// NewFaultSys creates an empty fault-injecting fake. The virtual clock
+// starts at an arbitrary fixed epoch.
+func NewFaultSys() *FaultSys {
+	return &FaultSys{
+		base:   time.Unix(1_000_000_000, 0),
+		procs:  make(map[int]*FaultProc),
+		faults: make(map[faultKey][]FaultKind),
+	}
+}
+
+// AddProc installs a process. Zero-value State means 'R'; zero Rate with
+// state 'R' defaults to 1.0 (busy loop).
+func (f *FaultSys) AddProc(p FaultProc) {
+	if p.State == 0 {
+		p.State = 'R'
+	}
+	if p.Rate == 0 && p.State == 'R' {
+		p.Rate = 1.0
+	}
+	cp := p
+	f.procs[p.PID] = &cp
+}
+
+// Kill removes a process: subsequent operations on the PID fail ESRCH.
+func (f *FaultSys) Kill(pid int) { delete(f.procs, pid) }
+
+// Reuse replaces a PID with a fresh incarnation: a new start-time stamp
+// and zeroed CPU, running and unsuspended — the kernel recycled the PID
+// for an unrelated process.
+func (f *FaultSys) Reuse(pid int, start uint64) {
+	p, ok := f.procs[pid]
+	if !ok {
+		f.AddProc(FaultProc{PID: pid, Start: start})
+		return
+	}
+	p.Start = start
+	p.CPU = 0
+	p.State = 'R'
+	p.Rate = 1.0
+	p.stopped = false
+}
+
+// SetState changes the run state a process reports while not stopped.
+func (f *FaultSys) SetState(pid int, state byte) {
+	if p, ok := f.procs[pid]; ok {
+		p.State = state
+	}
+}
+
+// Inject queues faults for the given pid and call; each matching call
+// consumes one fault in FIFO order, then the call proceeds normally.
+func (f *FaultSys) Inject(pid int, call FaultCall, kinds ...FaultKind) {
+	k := faultKey{pid, call}
+	f.faults[k] = append(f.faults[k], kinds...)
+}
+
+// Chaos enables seeded random transient faults: each operation
+// independently fails with EINTR with probability p. Deterministic for a
+// given seed and call sequence.
+func (f *FaultSys) Chaos(seed int64, p float64) {
+	f.rng = rand.New(rand.NewSource(seed))
+	f.chaosP = p
+}
+
+// Advance moves the virtual clock forward, accruing CPU to every
+// running, unsuspended process at its Rate.
+func (f *FaultSys) Advance(d time.Duration) {
+	f.elapsed += d
+	for _, pid := range f.pids() {
+		p := f.procs[pid]
+		if !p.stopped && p.State == 'R' {
+			p.CPU += time.Duration(float64(d) * p.Rate)
+		}
+	}
+}
+
+// Now returns the virtual wall-clock time; point Runner's clock here so
+// slow reads and sleeps surface as quantum lateness.
+func (f *FaultSys) Now() time.Time { return f.base.Add(f.elapsed) }
+
+// Sleep advances the virtual clock (the fake analogue of a backoff
+// sleep) and counts the call.
+func (f *FaultSys) Sleep(d time.Duration) {
+	f.Sleeps++
+	f.elapsed += d
+}
+
+// IsStopped reports whether the process is currently SIGSTOPped.
+func (f *FaultSys) IsStopped(pid int) bool {
+	p, ok := f.procs[pid]
+	return ok && p.stopped
+}
+
+// StoppedPIDs returns the currently suspended PIDs in ascending order —
+// the assertion surface for the "never leave the workload frozen"
+// invariant.
+func (f *FaultSys) StoppedPIDs() []int {
+	var out []int
+	for pid, p := range f.procs {
+		if p.stopped {
+			out = append(out, pid)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Proc returns the table entry for a PID, or nil.
+func (f *FaultSys) Proc(pid int) *FaultProc { return f.procs[pid] }
+
+func (f *FaultSys) pids() []int {
+	out := make([]int, 0, len(f.procs))
+	for pid := range f.procs {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// pop consumes the next scheduled fault for (pid, call). Chaos mode may
+// substitute a transient fault when no fault is scheduled.
+func (f *FaultSys) pop(pid int, call FaultCall) (FaultKind, bool) {
+	k := faultKey{pid, call}
+	if q := f.faults[k]; len(q) > 0 {
+		f.faults[k] = q[1:]
+		return q[0], true
+	}
+	if f.rng != nil && f.rng.Float64() < f.chaosP {
+		f.chaosOps++
+		return FaultEINTR, true
+	}
+	return 0, false
+}
+
+func (f *FaultSys) logf(format string, args ...any) {
+	f.Log = append(f.Log, fmt.Sprintf(format, args...))
+}
+
+// ReadStat implements Sys over the fault table.
+func (f *FaultSys) ReadStat(pid int) (Stat, error) {
+	if kind, ok := f.pop(pid, CallRead); ok {
+		switch kind {
+		case FaultESRCH:
+			f.logf("read %d: ESRCH", pid)
+			return Stat{}, syscall.ESRCH
+		case FaultEPERM:
+			f.logf("read %d: EPERM", pid)
+			return Stat{}, syscall.EPERM
+		case FaultEINTR:
+			f.logf("read %d: EINTR", pid)
+			return Stat{}, syscall.EINTR
+		case FaultZombie:
+			f.logf("read %d: zombie", pid)
+			return Stat{PID: pid, Comm: "fake", State: 'Z'}, nil
+		case FaultSlow:
+			f.logf("read %d: slow %v", pid, f.SlowDelay)
+			f.elapsed += f.SlowDelay
+		}
+	}
+	p, ok := f.procs[pid]
+	if !ok {
+		f.logf("read %d: gone", pid)
+		return Stat{}, syscall.ESRCH
+	}
+	f.logf("read %d", pid)
+	state := p.State
+	if p.stopped {
+		state = 'T'
+	}
+	return Stat{PID: pid, Comm: "fake", State: state, CPU: p.CPU, Start: p.Start}, nil
+}
+
+// Stop implements Sys.
+func (f *FaultSys) Stop(pid int) error {
+	if kind, ok := f.pop(pid, CallStop); ok {
+		if err := sigErr(kind); err != nil {
+			f.logf("stop %d: %v", pid, err)
+			return err
+		}
+	}
+	p, ok := f.procs[pid]
+	if !ok || p.State == 'Z' {
+		f.logf("stop %d: gone", pid)
+		return syscall.ESRCH
+	}
+	f.logf("stop %d", pid)
+	p.stopped = true
+	return nil
+}
+
+// Cont implements Sys.
+func (f *FaultSys) Cont(pid int) error {
+	if kind, ok := f.pop(pid, CallCont); ok {
+		if err := sigErr(kind); err != nil {
+			f.logf("cont %d: %v", pid, err)
+			return err
+		}
+	}
+	p, ok := f.procs[pid]
+	if !ok || p.State == 'Z' {
+		f.logf("cont %d: gone", pid)
+		return syscall.ESRCH
+	}
+	f.logf("cont %d", pid)
+	p.stopped = false
+	return nil
+}
+
+// sigErr maps a fault kind to the error a signal call returns. FaultSlow
+// has no clock to advance for signals in the fake (kill(2) does not
+// block); it degrades to success.
+func sigErr(kind FaultKind) error {
+	switch kind {
+	case FaultESRCH:
+		return syscall.ESRCH
+	case FaultEPERM:
+		return syscall.EPERM
+	case FaultEINTR:
+		return syscall.EINTR
+	}
+	return nil
+}
+
+// PidsOfUser implements Sys: live (non-zombie) PIDs owned by uid.
+func (f *FaultSys) PidsOfUser(uid uint32) ([]int, error) {
+	var out []int
+	for _, pid := range f.pids() {
+		p := f.procs[pid]
+		if p.UID == uid && p.State != 'Z' {
+			out = append(out, pid)
+		}
+	}
+	return out, nil
+}

@@ -68,27 +68,40 @@ func TestReadStatFixtureMissing(t *testing.T) {
 	}
 }
 
+// newFixtureRunner builds a Runner over the real procfs reader (pointed
+// at the fixture tree) without spawning or signalling anything.
+func newFixtureRunner(targets map[core.TaskID][]int) *Runner {
+	return &Runner{
+		sys:       RealSys{},
+		targets:   targets,
+		known:     make(map[int]pidState),
+		badSig:    make(map[int]int),
+		badRead:   make(map[int]int),
+		suspended: make(map[int]bool),
+		now:       time.Now,
+	}
+}
+
 // TestRunnerReaderOverFixture drives the Runner's procfs reader against a
-// fixture: CPU growth is observed as consumption, and the run state
-// drives blocked detection — without any live processes or signals.
+// fixture: the first read of an unbaselined PID establishes a baseline
+// (charging none of its historical CPU), subsequent CPU growth is
+// observed as consumption, and the run state drives blocked detection —
+// without any live processes or signals.
 func TestRunnerReaderOverFixture(t *testing.T) {
 	root := withFakeProc(t)
 	stat := func(pid, ticks int, state string) string {
-		return itoa(pid) + " (w) " + state + " 1 1 1 0 -1 0 0 0 0 0 " + itoa(ticks) + " 0 0 0 20 0 1 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0"
+		return itoa(pid) + " (w) " + state + " 1 1 1 0 -1 0 0 0 0 0 " + itoa(ticks) + " 0 0 0 20 0 1 0 7 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0"
 	}
 	writeStat(t, root, 101, stat(101, 5, "R"))
 	writeStat(t, root, 102, stat(102, 9, "S"))
 
-	r := &Runner{
-		targets: map[core.TaskID][]int{1: {101, 102}},
-		last:    map[int]time.Duration{},
-	}
+	r := newFixtureRunner(map[core.TaskID][]int{1: {101, 102}})
 	p, ok := r.read(1)
 	if !ok {
 		t.Fatal("task reported dead")
 	}
-	if p.Consumed != 14*ClockTick {
-		t.Errorf("first read consumed = %v, want %v", p.Consumed, 14*ClockTick)
+	if p.Consumed != 0 {
+		t.Errorf("first (baselining) read consumed = %v, want 0", p.Consumed)
 	}
 	if p.Blocked {
 		t.Error("group with a running member reported blocked")
@@ -115,5 +128,30 @@ func TestRunnerReaderOverFixture(t *testing.T) {
 	}
 	if _, ok := r.read(1); ok {
 		t.Error("task with only zombie/vanished members should be dead")
+	}
+	if len(r.known) != 0 {
+		t.Errorf("bookkeeping leak: %d stale baseline entries after all PIDs died", len(r.known))
+	}
+}
+
+// TestReaderDetectsPIDReuse: a PID whose /proc start time changes is an
+// unrelated process and must be dropped, not charged.
+func TestReaderDetectsPIDReuse(t *testing.T) {
+	root := withFakeProc(t)
+	stat := func(pid, ticks int, start string) string {
+		return itoa(pid) + " (w) R 1 1 1 0 -1 0 0 0 0 0 " + itoa(ticks) + " 0 0 0 20 0 1 0 " + start + " 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0"
+	}
+	writeStat(t, root, 55, stat(55, 10, "111"))
+	r := newFixtureRunner(map[core.TaskID][]int{1: {55}})
+	if _, ok := r.read(1); !ok {
+		t.Fatal("live task reported dead")
+	}
+	// Same PID, different start time, huge CPU: a recycled PID.
+	writeStat(t, root, 55, stat(55, 100000, "999"))
+	if _, ok := r.read(1); ok {
+		t.Error("task whose only PID was recycled should be dead")
+	}
+	if r.Health().ReusedPIDs != 1 {
+		t.Errorf("ReusedPIDs = %d, want 1", r.Health().ReusedPIDs)
 	}
 }

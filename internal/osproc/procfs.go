@@ -46,6 +46,12 @@ type Stat struct {
 	PPID int
 	// CPU is utime+stime converted to a duration (ClockTick units).
 	CPU time.Duration
+	// Start is the process start time (field 22, clock ticks since
+	// boot). It uniquely identifies a process incarnation: if a PID's
+	// start time changes, the kernel has recycled the PID for an
+	// unrelated process, and any accounting baseline held for the old
+	// incarnation is invalid.
+	Start uint64
 }
 
 // Blocked reports whether the state indicates the process is waiting on
@@ -93,6 +99,15 @@ func parseStat(pid int, raw string) (Stat, error) {
 		return Stat{}, fmt.Errorf("osproc: bad stime for pid %d: %w", pid, err)
 	}
 	st.CPU = time.Duration(ut+stt) * ClockTick
+	// starttime is field 22 (rest[19]); real kernels always emit ≥ 44
+	// fields, but tolerate short fixture lines by leaving Start zero.
+	if len(rest) >= 20 {
+		start, err := strconv.ParseUint(rest[19], 10, 64)
+		if err != nil {
+			return Stat{}, fmt.Errorf("osproc: bad starttime for pid %d: %w", pid, err)
+		}
+		st.Start = start
+	}
 	return st, nil
 }
 

@@ -2,6 +2,7 @@ package osproc
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,12 +19,12 @@ func TestRunnerRefreshRealProcesses(t *testing.T) {
 	}
 	a1 := spawnSpinner(t)
 	b := spawnSpinner(t)
-	var a2 int // joins task 1 after two seconds
+	var a2 atomic.Int64 // joins task 1 after two seconds
 	start := time.Now()
 	refresh := func() map[core.TaskID][]int {
 		m := map[core.TaskID][]int{0: {a1}, 1: {b}}
-		if a2 != 0 {
-			m[0] = []int{a1, a2}
+		if pid := a2.Load(); pid != 0 {
+			m[0] = []int{a1, int(pid)}
 		}
 		return m
 	}
@@ -40,7 +41,7 @@ func TestRunnerRefreshRealProcesses(t *testing.T) {
 	}
 	go func() {
 		time.Sleep(2 * time.Second)
-		a2 = spawnSpinner(t)
+		a2.Store(int64(spawnSpinner(t)))
 	}()
 	ctx, cancel := context.WithTimeout(context.Background(), 7*time.Second)
 	defer cancel()
@@ -54,7 +55,7 @@ func TestRunnerRefreshRealProcesses(t *testing.T) {
 		}
 		return st.CPU
 	}
-	groupA := cpu(a1) + cpu(a2)
+	groupA := cpu(a1) + cpu(int(a2.Load()))
 	groupB := cpu(b)
 	total := groupA + groupB
 	if total < 3*time.Second {
@@ -62,9 +63,9 @@ func TestRunnerRefreshRealProcesses(t *testing.T) {
 	}
 	frac := float64(groupA) / float64(total)
 	if frac < 0.35 || frac > 0.65 {
-		t.Errorf("group A fraction %.3f, want ~0.5 (a1=%v a2=%v b=%v)", frac, cpu(a1), cpu(a2), groupB)
+		t.Errorf("group A fraction %.3f, want ~0.5 (a1=%v a2=%v b=%v)", frac, cpu(a1), cpu(int(a2.Load())), groupB)
 	}
-	if a2 != 0 && cpu(a2) == 0 {
+	if pid := int(a2.Load()); pid != 0 && cpu(pid) == 0 {
 		t.Error("late-joining member never ran")
 	}
 }

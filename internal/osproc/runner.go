@@ -34,38 +34,87 @@ type Config struct {
 	// PidsOfUser). Tasks absent from the map keep their membership.
 	Refresh func() map[core.TaskID][]int
 	// OnError, if non-nil, receives non-fatal per-process errors
-	// (vanished PIDs, signal failures).
+	// (vanished PIDs, signal failures, refresh problems).
 	OnError func(error)
+	// Sys overrides the OS surface; nil means the real /proc + kill(2)
+	// implementation. Tests install a fault-injecting fake here.
+	Sys Sys
+}
+
+// Fault-tolerance knobs. Real systems exhibit every one of these failure
+// modes routinely (PIDs vanishing mid-cycle, /proc read races, EPERM
+// after a setuid exec, timer overruns under load); the constants bound
+// how much of a quantum the loop spends recovering from them.
+const (
+	// maxSignalAttempts bounds transient-failure retries for one signal
+	// delivery within a quantum.
+	maxSignalAttempts = 3
+	// maxReadAttempts bounds immediate retries of a transiently failing
+	// /proc read (read races clear without waiting).
+	maxReadAttempts = 2
+	// maxBadPIDStrikes is the number of consecutive failing quanta
+	// after which a PID that exists but refuses us (EPERM on signals,
+	// unreadable stat) is dropped so the rest of the workload keeps its
+	// guarantees.
+	maxBadPIDStrikes = 3
+	// maxCatchUpTicks caps the extra algorithm invocations issued in
+	// one Step to compensate overrun quanta, so a long scheduler stall
+	// cannot trigger a storm of signals on resume.
+	maxCatchUpTicks = 4
+)
+
+// pidState is the accounting baseline for one live process incarnation.
+type pidState struct {
+	cpu   time.Duration // last observed cumulative CPU
+	start uint64        // /proc start time when baselined (reuse guard)
 }
 
 // Runner executes the ALPS control loop over real processes. Create it
 // with NewRunner, then call Run; the loop holds no goroutines besides the
-// caller's.
+// caller's. Health may be called from any goroutine.
 type Runner struct {
-	cfg     Config
-	sched   *core.Scheduler
+	cfg   Config
+	sys   Sys
+	sched *core.Scheduler
+
 	targets map[core.TaskID][]int
-	last    map[int]time.Duration
+	known   map[int]pidState // accounting baseline per live PID
+	badSig  map[int]int      // consecutive failed signal deliveries
+	badRead map[int]int      // consecutive denied stat reads
 
 	suspended map[int]bool
 	ticks     int64
 	lastRef   time.Time
+	lastTick  time.Time
+
+	now    func() time.Time // injectable clock for overrun tests
+	health healthCounters
 }
 
-// NewRunner builds a runner controlling the given tasks. All task
+// NewRunner builds a runner controlling the given tasks. All live task
 // processes start ineligible: they are SIGSTOPped here and resumed when
-// the algorithm first grants them their allowance (§2.2). Call Run to
-// start scheduling and always let it return (or call Release) so the
-// workload is not left stopped.
+// the algorithm first grants them their allowance (§2.2). PIDs that are
+// already gone are dropped (and counted in Health); if every requested
+// PID is gone, NewRunner fails with ErrNoLiveProcess rather than
+// pretending to schedule an empty workload. Call Run to start scheduling
+// and always let it return (or call Release) so the workload is not left
+// stopped.
 func NewRunner(cfg Config, tasks []Task) (*Runner, error) {
 	if cfg.Quantum < ClockTick {
 		return nil, fmt.Errorf("osproc: quantum %v is below the /proc accounting tick %v", cfg.Quantum, ClockTick)
 	}
+	if cfg.Sys == nil {
+		cfg.Sys = RealSys{}
+	}
 	r := &Runner{
 		cfg:       cfg,
+		sys:       cfg.Sys,
 		targets:   make(map[core.TaskID][]int),
-		last:      make(map[int]time.Duration),
+		known:     make(map[int]pidState),
+		badSig:    make(map[int]int),
+		badRead:   make(map[int]int),
 		suspended: make(map[int]bool),
+		now:       time.Now,
 	}
 	r.sched = core.New(core.Config{
 		Quantum:             cfg.Quantum,
@@ -76,16 +125,45 @@ func NewRunner(cfg Config, tasks []Task) (*Runner, error) {
 		if err := r.sched.Add(t.ID, t.Share); err != nil {
 			return nil, err
 		}
-		r.targets[t.ID] = append([]int(nil), t.PIDs...)
 	}
+	requested, live := 0, 0
 	for _, t := range tasks {
+		var alive []int
 		for _, pid := range t.PIDs {
-			if err := Stop(pid); err != nil {
+			requested++
+			if err := r.sys.Stop(pid); err != nil {
+				if classify(err) == errGone {
+					r.health.vanished.Add(1)
+					r.errf("stop pid %d at startup: %v (already gone)", pid, err)
+					continue
+				}
 				r.Release()
 				return nil, fmt.Errorf("osproc: cannot stop pid %d: %w", pid, err)
 			}
+			// Baseline after the stop so the baseline covers all CPU
+			// consumed up to suspension; a PID that died in the window
+			// (or turns out to be a zombie) is dropped.
+			st, err := r.readStat(pid)
+			if err != nil || st.State == 'Z' {
+				_ = r.sys.Cont(pid) // harmless if gone
+				r.health.vanished.Add(1)
+				if err != nil {
+					r.errf("baseline pid %d at startup: %v", pid, err)
+				} else {
+					r.errf("baseline pid %d at startup: zombie", pid)
+				}
+				continue
+			}
 			r.suspended[pid] = true
+			r.known[pid] = pidState{cpu: st.CPU, start: st.Start}
+			alive = append(alive, pid)
+			live++
 		}
+		r.targets[t.ID] = alive
+	}
+	if requested > 0 && live == 0 {
+		r.Release()
+		return nil, ErrNoLiveProcess
 	}
 	return r, nil
 }
@@ -96,14 +174,20 @@ func (r *Runner) Scheduler() *core.Scheduler { return r.sched }
 // Ticks returns the number of quanta processed.
 func (r *Runner) Ticks() int64 { return r.ticks }
 
+// Health returns a snapshot of the runner's fault and timing telemetry.
+// Safe to call from any goroutine.
+func (r *Runner) Health() Health { return r.health.snapshot() }
+
 // Run executes the control loop until the context is cancelled or every
-// controlled process has exited. On return, all still-suspended processes
-// have been resumed.
+// controlled process has exited. On return — including a panic unwinding
+// out of the loop — all still-suspended processes have been resumed: the
+// workload is never left frozen.
 func (r *Runner) Run(ctx context.Context) error {
 	ticker := time.NewTicker(r.cfg.Quantum)
 	defer ticker.Stop()
 	defer r.Release()
-	r.lastRef = time.Now()
+	r.lastRef = r.now()
+	r.lastTick = r.now()
 	for {
 		select {
 		case <-ctx.Done():
@@ -116,41 +200,153 @@ func (r *Runner) Run(ctx context.Context) error {
 	}
 }
 
-// Step runs a single quantum of the algorithm (one TickQuantum plus the
-// resulting signals). It reports true when no tasks remain. Most callers
-// use Run; Step exists for callers integrating with their own loop.
-func (r *Runner) Step() bool {
-	if r.cfg.Refresh != nil && r.cfg.RefreshEvery > 0 && time.Since(r.lastRef) >= r.cfg.RefreshEvery {
-		r.lastRef = time.Now()
+// Step runs a single quantum of the algorithm (one or more TickQuantum
+// invocations plus the resulting signals). It reports true when no tasks
+// remain. Most callers use Run; Step exists for callers integrating with
+// their own loop. If a panic escapes Step (from an OnCycle callback, or
+// a bug), every suspended process is resumed before the panic continues
+// unwinding.
+func (r *Runner) Step() (done bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.Release()
+			panic(p)
+		}
+	}()
+	now := r.now()
+	passes := 1
+	if !r.lastTick.IsZero() {
+		// Timer-overrun detection: a tick that fires ≥ 2Q after its
+		// predecessor means quanta were missed (scheduler stall, slow
+		// /proc reads, suspend/resume of the controller itself).
+		// Without compensation the cycle silently stretches in wall
+		// time — blocked tasks are charged Q per *invocation*, not per
+		// elapsed quantum — so issue capped catch-up invocations.
+		late := now.Sub(r.lastTick) - r.cfg.Quantum
+		if late < 0 {
+			late = 0
+		}
+		r.health.noteLateness(late)
+		if missed := int64(late / r.cfg.Quantum); missed > 0 {
+			r.health.missedTicks.Add(missed)
+			extra := missed
+			if extra > maxCatchUpTicks {
+				extra = maxCatchUpTicks
+			}
+			r.health.catchUpTicks.Add(extra)
+			passes += int(extra)
+		}
+	}
+	r.lastTick = now
+
+	if r.cfg.Refresh != nil && r.cfg.RefreshEvery > 0 && now.Sub(r.lastRef) >= r.cfg.RefreshEvery {
+		r.lastRef = now
 		r.refresh(r.cfg.Refresh())
 	}
+
+	for i := 0; i < passes && !done; i++ {
+		done = r.tickOnce()
+	}
+	return done
+}
+
+// tickOnce is one algorithm invocation: TickQuantum plus enacting its
+// eligibility transitions.
+func (r *Runner) tickOnce() bool {
 	dec := r.sched.TickQuantum(r.read)
 	for _, id := range dec.Suspend {
 		for _, pid := range r.targets[id] {
-			if err := Stop(pid); err != nil {
-				r.errf("stop pid %d: %v", pid, err)
-				continue
+			if r.signal(pid, true) {
+				r.suspended[pid] = true
 			}
-			r.suspended[pid] = true
 		}
 	}
 	for _, id := range dec.Resume {
 		for _, pid := range r.targets[id] {
-			if err := Cont(pid); err != nil {
-				r.errf("cont pid %d: %v", pid, err)
-				continue
+			if r.signal(pid, false) {
+				delete(r.suspended, pid)
 			}
-			delete(r.suspended, pid)
 		}
 	}
 	for _, id := range dec.Dead {
-		delete(r.targets, id)
+		r.forgetTask(id)
 	}
+	r.reconcile()
 	r.ticks++
+	r.health.ticks.Add(1)
 	return r.sched.Len() == 0
 }
 
-// read is the core.Reader over /proc.
+// reconcile retries eligibility enforcement that previously failed. The
+// decision stream alone is not enough under faults: a resume that failed
+// leaves the PID frozen while its task is eligible — and since the task
+// then consumes nothing, no new transition ever fires to retry the
+// SIGCONT — while a stop that failed leaves the PID free-riding through
+// its task's ineligible phase. Each quantum, any PID whose actual
+// suspension state disagrees with its task's eligibility gets the signal
+// re-sent (accumulating unsignalability strikes on failure, so a
+// permanently refusing PID is eventually dropped).
+func (r *Runner) reconcile() {
+	for _, id := range r.sched.Tasks() {
+		st, err := r.sched.State(id)
+		if err != nil {
+			continue
+		}
+		for _, pid := range r.targets[id] {
+			if st == core.Eligible && r.suspended[pid] {
+				if r.signal(pid, false) {
+					delete(r.suspended, pid)
+				}
+			} else if st == core.Ineligible && !r.suspended[pid] {
+				if r.signal(pid, true) {
+					r.suspended[pid] = true
+				}
+			}
+		}
+	}
+}
+
+// forgetTask clears every per-PID bookkeeping entry of a task the
+// scheduler declared dead — dropping only r.targets would leak known/
+// suspended entries for the departed PIDs.
+func (r *Runner) forgetTask(id core.TaskID) {
+	for _, pid := range r.targets[id] {
+		if r.suspended[pid] {
+			// Defensive: a dead task's PIDs were observed gone, but if
+			// one is merely unreadable, never leave it frozen.
+			_ = r.sys.Cont(pid)
+			delete(r.suspended, pid)
+		}
+		delete(r.known, pid)
+		delete(r.badSig, pid)
+		delete(r.badRead, pid)
+	}
+	delete(r.targets, id)
+}
+
+// readStat reads a PID's stat with immediate retries for transient
+// errors (/proc read races clear without waiting).
+func (r *Runner) readStat(pid int) (st Stat, err error) {
+	for attempt := 0; attempt < maxReadAttempts; attempt++ {
+		if st, err = r.sys.ReadStat(pid); err == nil {
+			return st, nil
+		}
+		if classify(err) != errTransient {
+			return Stat{}, err
+		}
+		r.health.readRetries.Add(1)
+	}
+	return Stat{}, err
+}
+
+// read is the core.Reader over the Sys surface. Failure handling per
+// class: gone/zombie PIDs are dropped (permanent); transiently
+// unreadable PIDs are kept and charged nothing this quantum — the
+// cumulative counters mean the consumption is charged at the next good
+// read, never lost; repeatedly denied PIDs are dropped after
+// maxBadPIDStrikes. A PID whose start time changed is an unrelated
+// process that inherited the number (PID reuse) and is dropped before a
+// single nanosecond of its CPU can be charged to the task.
 func (r *Runner) read(id core.TaskID) (core.Progress, bool) {
 	pids := r.targets[id]
 	var consumed time.Duration
@@ -158,16 +354,61 @@ func (r *Runner) read(id core.TaskID) (core.Progress, bool) {
 	blocked := true
 	live := pids[:0]
 	for _, pid := range pids {
-		st, err := ReadStat(pid)
-		if err != nil || st.State == 'Z' {
-			delete(r.last, pid)
-			delete(r.suspended, pid)
+		st, err := r.readStat(pid)
+		if err != nil {
+			switch classify(err) {
+			case errGone:
+				r.health.vanished.Add(1)
+				r.forgetPID(pid)
+			case errDenied:
+				r.badRead[pid]++
+				if r.badRead[pid] >= maxBadPIDStrikes {
+					r.health.unsignalable.Add(1)
+					r.errf("read pid %d: %v (dropping after %d denied quanta)", pid, err, r.badRead[pid])
+					r.forgetPID(pid)
+					continue
+				}
+				fallthrough
+			default:
+				// Keep the PID, assume it is running (do not charge
+				// the §2.4 blocked penalty on a guess).
+				live = append(live, pid)
+				alive = true
+				blocked = false
+			}
 			continue
 		}
+		delete(r.badRead, pid)
+		if st.State == 'Z' {
+			r.health.vanished.Add(1)
+			r.forgetPID(pid)
+			continue
+		}
+		prev, ok := r.known[pid]
+		if !ok {
+			// No baseline (a join path was skipped): establish one now
+			// and charge nothing, so the process's historical CPU is
+			// never billed as one quantum's consumption.
+			r.known[pid] = pidState{cpu: st.CPU, start: st.Start}
+			live = append(live, pid)
+			alive = true
+			if !st.Blocked() {
+				blocked = false
+			}
+			continue
+		}
+		if st.Start != prev.start {
+			r.health.reused.Add(1)
+			r.errf("pid %d was recycled by the kernel (start %d -> %d); dropping", pid, prev.start, st.Start)
+			r.forgetPID(pid)
+			continue
+		}
+		if d := st.CPU - prev.cpu; d > 0 {
+			consumed += d
+		}
+		r.known[pid] = pidState{cpu: st.CPU, start: st.Start}
 		live = append(live, pid)
 		alive = true
-		consumed += st.CPU - r.last[pid]
-		r.last[pid] = st.CPU
 		if !st.Blocked() {
 			blocked = false
 		}
@@ -179,8 +420,88 @@ func (r *Runner) read(id core.TaskID) (core.Progress, bool) {
 	return core.Progress{Consumed: consumed, Blocked: blocked}, true
 }
 
-// refresh installs new task memberships, stopping processes that join a
-// currently ineligible task.
+// forgetPID clears a PID's bookkeeping without touching r.targets (used
+// from read, which is rebuilding the target slice it iterates).
+func (r *Runner) forgetPID(pid int) {
+	delete(r.known, pid)
+	delete(r.suspended, pid)
+	delete(r.badSig, pid)
+	delete(r.badRead, pid)
+}
+
+// dropPID removes a PID from all bookkeeping and from every task's
+// membership (the permanent-failure path for signal delivery).
+func (r *Runner) dropPID(pid int) {
+	r.forgetPID(pid)
+	for id, pids := range r.targets {
+		for i, p := range pids {
+			if p != pid {
+				continue
+			}
+			nw := make([]int, 0, len(pids)-1)
+			nw = append(nw, pids[:i]...)
+			nw = append(nw, pids[i+1:]...)
+			r.targets[id] = nw
+			break
+		}
+	}
+}
+
+// signal delivers SIGSTOP (stop=true) or SIGCONT with classified
+// recovery: transient errors retry with capped exponential backoff
+// within the quantum; ESRCH drops the PID immediately; EPERM (and
+// exhausted retries) count a strike, and a PID that keeps refusing
+// signals for maxBadPIDStrikes consecutive deliveries is dropped so the
+// remaining workload's guarantees survive. Reports whether the signal
+// was delivered.
+func (r *Runner) signal(pid int, stop bool) bool {
+	op, name := r.sys.Cont, "cont"
+	if stop {
+		op, name = r.sys.Stop, "stop"
+	}
+	backoff := r.cfg.Quantum / 64
+	if backoff <= 0 {
+		backoff = 100 * time.Microsecond
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(pid); err == nil {
+			delete(r.badSig, pid)
+			return true
+		}
+		class := classify(err)
+		if class == errGone {
+			r.health.vanished.Add(1)
+			r.errf("%s pid %d: %v (vanished)", name, pid, err)
+			r.dropPID(pid)
+			return false
+		}
+		if class == errDenied || attempt >= maxSignalAttempts {
+			break
+		}
+		r.health.sigRetries.Add(1)
+		r.sys.Sleep(backoff)
+		backoff *= 2
+	}
+	r.health.sigFailures.Add(1)
+	r.badSig[pid]++
+	if r.badSig[pid] >= maxBadPIDStrikes {
+		r.health.unsignalable.Add(1)
+		r.errf("%s pid %d: %v (unsignalable after %d failed deliveries; dropping)", name, pid, err, r.badSig[pid])
+		r.dropPID(pid)
+	} else {
+		r.errf("%s pid %d: %v", name, pid, err)
+	}
+	return false
+}
+
+// refresh installs new task memberships. A PID joining the workload is
+// baselined *before* it can ever be measured, so its historical CPU is
+// not charged to the task as one quantum's consumption; joiners of an
+// ineligible task are stopped, and a suspended PID moving into an
+// eligible task is resumed. Memberships for tasks the scheduler no
+// longer knows are ignored. PIDs that left the workload entirely are
+// resumed (never leave a departed process frozen) and forgotten.
 func (r *Runner) refresh(m map[core.TaskID][]int) {
 	ids := make([]core.TaskID, 0, len(m))
 	for id := range m {
@@ -188,28 +509,112 @@ func (r *Runner) refresh(m map[core.TaskID][]int) {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
+		st, err := r.sched.State(id)
+		if err != nil {
+			// Task unknown to the scheduler (died mid-run, or the
+			// Refresh callback reported an ID that was never
+			// registered): its membership has no share to bill to.
+			r.health.refreshErrors.Add(1)
+			r.errf("refresh: ignoring membership for unknown task %d", id)
+			continue
+		}
 		old := make(map[int]bool, len(r.targets[id]))
 		for _, pid := range r.targets[id] {
 			old[pid] = true
 		}
-		st, err := r.sched.State(id)
-		known := err == nil
+		live := make([]int, 0, len(m[id]))
 		for _, pid := range m[id] {
-			if !old[pid] && known && st == core.Ineligible {
-				if err := Stop(pid); err == nil {
-					r.suspended[pid] = true
+			if _, have := r.known[pid]; !have {
+				bst, err := r.readStat(pid)
+				if err != nil || bst.State == 'Z' {
+					// Not installable this round; if it is a transient
+					// glitch the next refresh retries.
+					r.health.refreshErrors.Add(1)
+					r.errf("refresh: cannot baseline joining pid %d (err=%v)", pid, err)
+					continue
+				}
+				r.known[pid] = pidState{cpu: bst.CPU, start: bst.Start}
+			}
+			if !old[pid] {
+				// Align the joiner's run state with its new task's
+				// eligibility (covers both fresh joins and a PID
+				// moving between tasks of different states).
+				if st == core.Ineligible && !r.suspended[pid] {
+					if r.signal(pid, true) {
+						r.suspended[pid] = true
+					}
+				} else if st == core.Eligible && r.suspended[pid] {
+					if r.signal(pid, false) {
+						delete(r.suspended, pid)
+					}
+				}
+				if _, ok := r.known[pid]; !ok {
+					continue // signal() dropped it (ESRCH)
 				}
 			}
+			live = append(live, pid)
 		}
-		r.targets[id] = append([]int(nil), m[id]...)
+		r.targets[id] = live
+	}
+	r.prune()
+}
+
+// prune forgets bookkeeping for PIDs no longer in any task's membership,
+// resuming any that the runner had suspended: a process that left the
+// workload must not stay frozen.
+func (r *Runner) prune() {
+	inUse := make(map[int]bool)
+	for _, pids := range r.targets {
+		for _, pid := range pids {
+			inUse[pid] = true
+		}
+	}
+	for pid := range r.suspended {
+		if inUse[pid] {
+			continue
+		}
+		if err := r.sys.Cont(pid); err != nil && classify(err) != errGone {
+			r.errf("release departed pid %d: %v", pid, err)
+		}
+		delete(r.suspended, pid)
+	}
+	for pid := range r.known {
+		if !inUse[pid] {
+			delete(r.known, pid)
+		}
+	}
+	for pid := range r.badSig {
+		if !inUse[pid] {
+			delete(r.badSig, pid)
+		}
+	}
+	for pid := range r.badRead {
+		if !inUse[pid] {
+			delete(r.badRead, pid)
+		}
 	}
 }
 
+// releaseAttempts bounds Release's per-PID retries. Release is the last
+// line of the "never leave the workload frozen" invariant, so it is far
+// more persistent than in-loop signal delivery.
+const releaseAttempts = 8
+
 // Release resumes every process the runner has suspended. It is called
-// automatically when Run returns; call it directly if using Step.
+// automatically when Run returns (and when a panic unwinds out of Step);
+// call it directly if using Step. Idempotent: transient failures are
+// retried persistently, and ESRCH (the process died while suspended — it
+// can no longer be frozen) is not an error.
 func (r *Runner) Release() {
 	for pid := range r.suspended {
-		if err := Cont(pid); err != nil {
+		var err error
+		for attempt := 1; attempt <= releaseAttempts; attempt++ {
+			if err = r.sys.Cont(pid); err == nil || classify(err) != errTransient {
+				break
+			}
+			r.sys.Sleep(time.Millisecond)
+		}
+		if err != nil && classify(err) != errGone {
 			r.errf("release pid %d: %v", pid, err)
 		}
 		delete(r.suspended, pid)

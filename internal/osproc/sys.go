@@ -1,0 +1,44 @@
+package osproc
+
+import "time"
+
+// Sys is the operating-system surface the Runner depends on: reading a
+// process's accounting state, delivering the two job-control signals, and
+// enumerating a user's processes. The production implementation (RealSys)
+// forwards to /proc and kill(2); FaultSys is a scriptable fake that
+// injects the failure modes a live system exhibits — vanished PIDs, PID
+// reuse, EPERM, /proc read races, slow reads — so every failure path in
+// the control loop is unit-testable without spawning a single process.
+type Sys interface {
+	// ReadStat returns the accounting snapshot for pid
+	// (/proc/<pid>/stat on Linux).
+	ReadStat(pid int) (Stat, error)
+	// Stop suspends pid (SIGSTOP).
+	Stop(pid int) error
+	// Cont resumes pid (SIGCONT).
+	Cont(pid int) error
+	// PidsOfUser enumerates the live PIDs owned by uid.
+	PidsOfUser(uid uint32) ([]int, error)
+	// Sleep pauses the calling goroutine, used for the capped retry
+	// backoff between signal attempts. Fakes advance a virtual clock
+	// instead so fault tests run in microseconds.
+	Sleep(d time.Duration)
+}
+
+// RealSys is the production Sys over /proc and kill(2).
+type RealSys struct{}
+
+// ReadStat parses /proc/<pid>/stat.
+func (RealSys) ReadStat(pid int) (Stat, error) { return ReadStat(pid) }
+
+// Stop sends SIGSTOP.
+func (RealSys) Stop(pid int) error { return Stop(pid) }
+
+// Cont sends SIGCONT.
+func (RealSys) Cont(pid int) error { return Cont(pid) }
+
+// PidsOfUser scans /proc for processes owned by uid.
+func (RealSys) PidsOfUser(uid uint32) ([]int, error) { return PidsOfUser(uid) }
+
+// Sleep is time.Sleep.
+func (RealSys) Sleep(d time.Duration) { time.Sleep(d) }

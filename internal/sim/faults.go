@@ -1,0 +1,102 @@
+package sim
+
+import "time"
+
+// Fault injection for the simulated machine, mirroring the fault
+// schedules the real-OS substrate is tested against (internal/osproc's
+// FaultSys): processes dying or blocking at chosen virtual times while
+// an ALPS instance is steering them. The real substrate's faults are
+// errno-shaped (ESRCH, EPERM); here the analogue is the state change
+// itself — a PID vanishing between measurement and decision, or a
+// process entering an indefinite wait the scheduler must classify as
+// blocked (§2.4).
+
+// Kill terminates a process immediately, as if an external SIGKILL
+// arrived: it is removed from its CPU or run queue without running its
+// behavior's exit path, and all its pending events are invalidated.
+// Reports whether the process existed. Killing the process a behavior
+// callback belongs to is supported (the kernel detects the vacated CPU
+// exactly as it does for a callback that stops its own process).
+func (k *Kernel) Kill(pid PID) bool {
+	p, ok := k.procs[pid]
+	if !ok || p.state == Exited {
+		return false
+	}
+	switch p.state {
+	case Running:
+		i := p.cpuIdx
+		k.chargeSlot(i, k.now)
+		k.freeSlot(i)
+	case Ready:
+		k.qremove(p)
+	}
+	p.runGen++  // cancel any in-flight run-completion event
+	p.wakeGen++ // cancel any pending sleep expiry
+	p.state = Exited
+	delete(k.procs, p.pid)
+	return true
+}
+
+// BlockProc forces a process into an indefinite wait, as if the
+// resource it depends on stalled (a hung NFS server, an empty request
+// queue): a running process leaves the CPU mid-stint, a ready one
+// leaves its run queue, a timed sleeper's expiry is cancelled so the
+// sleep becomes indefinite, and a stopped process will wake into the
+// Sleeping state on SIGCONT. Only Kernel.WakeProc makes it runnable
+// again; its unfinished CPU segment resumes where it left off. Reports
+// whether the process existed.
+func (k *Kernel) BlockProc(pid PID) bool {
+	p, ok := k.procs[pid]
+	if !ok || p.state == Exited {
+		return false
+	}
+	switch p.state {
+	case Running:
+		i := p.cpuIdx
+		k.chargeSlot(i, k.now)
+		p.runGen++
+		k.freeSlot(i)
+		p.state = Sleeping
+	case Ready:
+		k.qremove(p)
+		p.state = Sleeping
+	case Sleeping:
+		p.wakeGen++ // timed sleep becomes indefinite
+	case Stopped:
+		p.stoppedFrom = Sleeping
+		p.pendingWake = false
+	}
+	return true
+}
+
+// Fault is one scheduled perturbation of the simulated workload. At
+// virtual time At, the non-zero actions fire in order: Kill, Block,
+// Wake. PIDs that no longer exist are ignored, like signals to exited
+// processes.
+type Fault struct {
+	At    time.Duration
+	Kill  PID
+	Block PID
+	Wake  PID
+}
+
+// InjectFaults schedules a fault script against the kernel. It is the
+// simulated twin of FaultSys.Inject in internal/osproc: experiments
+// list the perturbations up front and the event queue delivers them
+// deterministically.
+func InjectFaults(k *Kernel, faults []Fault) {
+	for _, f := range faults {
+		f := f
+		k.At(f.At, func() {
+			if f.Kill != 0 {
+				k.Kill(f.Kill)
+			}
+			if f.Block != 0 {
+				k.BlockProc(f.Block)
+			}
+			if f.Wake != 0 {
+				k.WakeProc(f.Wake)
+			}
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"alps/internal/core"
+)
+
+// Kernel-level fault primitives: Kill and BlockProc must leave the
+// machine consistent from every process state.
+
+func TestKillRemovesProcess(t *testing.T) {
+	k := NewKernel()
+	a := k.Spawn("a", 0, Spin())
+	b := k.Spawn("b", 0, Spin())
+	k.Run(1 * time.Second)
+	if !k.Kill(a) {
+		t.Fatal("Kill reported missing process")
+	}
+	if _, ok := k.Info(a); ok {
+		t.Error("killed process still visible")
+	}
+	if k.Kill(a) {
+		t.Error("double Kill reported success")
+	}
+	before, _ := k.Info(b)
+	k.Run(2 * time.Second)
+	after, _ := k.Info(b)
+	if got := after.CPU - before.CPU; got < 990*time.Millisecond {
+		t.Errorf("survivor got %v of the last second, want ~all of it", got)
+	}
+}
+
+func TestKillRunningMidEvent(t *testing.T) {
+	k := NewKernel()
+	a := k.Spawn("a", 0, Spin())
+	k.At(500*time.Millisecond, func() { k.Kill(a) })
+	k.Run(time.Second)
+	if _, ok := k.Info(a); ok {
+		t.Error("killed process still visible")
+	}
+	// The only process died at 500 ms; the machine must have been busy
+	// exactly until then (a stale run-completion event must not charge
+	// a dead process or crash).
+	if got := k.BusyTime(); got != 500*time.Millisecond {
+		t.Errorf("BusyTime = %v, want 500ms", got)
+	}
+}
+
+func TestKillStoppedProcess(t *testing.T) {
+	k := NewKernel()
+	a := k.SpawnStopped("a", 0, Spin())
+	k.Run(100 * time.Millisecond)
+	if !k.Kill(a) {
+		t.Fatal("Kill reported missing process")
+	}
+	if _, ok := k.Info(a); ok {
+		t.Error("killed stopped process still visible")
+	}
+	if got := len(k.Pids()); got != 0 {
+		t.Errorf("Pids() = %d entries, want 0", got)
+	}
+}
+
+func TestBlockProcRunning(t *testing.T) {
+	k := NewKernel()
+	a := k.Spawn("a", 0, SpinFor(300*time.Millisecond))
+	k.At(100*time.Millisecond, func() { k.BlockProc(a) })
+	k.Run(time.Second)
+	info, ok := k.Info(a)
+	if !ok {
+		t.Fatal("blocked process vanished")
+	}
+	if info.State != Sleeping {
+		t.Fatalf("state = %v, want sleeping", info.State)
+	}
+	if info.CPU != 100*time.Millisecond {
+		t.Errorf("CPU at block = %v, want 100ms", info.CPU)
+	}
+	// The unfinished CPU segment resumes after a wake, and the process
+	// completes its full 300 ms before exiting.
+	k.WakeProc(a)
+	k.Run(2 * time.Second)
+	if _, ok := k.Info(a); ok {
+		t.Error("process should have finished its work and exited")
+	}
+	if got := k.BusyTime(); got != 300*time.Millisecond {
+		t.Errorf("BusyTime = %v, want 300ms", got)
+	}
+}
+
+func TestBlockTimedSleeperBecomesIndefinite(t *testing.T) {
+	k := NewKernel()
+	a := k.Spawn("a", 0, &PeriodicIO{Exec: 10 * time.Millisecond, Wait: 50 * time.Millisecond})
+	// Let it enter its first timed sleep, then block it: the pending
+	// expiry must be cancelled, not wake it 50 ms later.
+	k.Run(15 * time.Millisecond)
+	info, _ := k.Info(a)
+	if info.State != Sleeping {
+		t.Fatalf("state = %v, want sleeping (timed)", info.State)
+	}
+	k.BlockProc(a)
+	before := info.CPU
+	k.Run(1 * time.Second)
+	info, _ = k.Info(a)
+	if info.State != Sleeping || info.CPU != before {
+		t.Errorf("blocked sleeper ran anyway: state=%v cpu=%v", info.State, info.CPU)
+	}
+	k.WakeProc(a)
+	k.Run(2 * time.Second)
+	info, _ = k.Info(a)
+	if info.CPU <= before {
+		t.Error("woken process never ran again")
+	}
+}
+
+func TestBlockStoppedWakesIntoSleep(t *testing.T) {
+	k := NewKernel()
+	a := k.SpawnStopped("a", 0, Spin())
+	k.BlockProc(a)
+	k.Signal(a, SIGCONT)
+	k.Run(100 * time.Millisecond)
+	info, _ := k.Info(a)
+	if info.State != Sleeping {
+		t.Fatalf("SIGCONT after block = %v, want sleeping", info.State)
+	}
+	if info.CPU != 0 {
+		t.Errorf("blocked process consumed %v", info.CPU)
+	}
+	k.WakeProc(a)
+	k.Run(200 * time.Millisecond)
+	info, _ = k.Info(a)
+	if info.CPU == 0 {
+		t.Error("woken process never ran")
+	}
+}
+
+// TestALPSObservesInjectedFaults is the simulated twin of the osproc
+// fault-schedule tests: an ALPS instance steering two equal-share
+// spinners while one of them blocks (§2.4 charging), wakes, and finally
+// dies (task-retirement path) at scripted virtual times.
+func TestALPSObservesInjectedFaults(t *testing.T) {
+	k := NewKernel()
+	w1 := k.SpawnStopped("w1", 0, Spin())
+	w2 := k.SpawnStopped("w2", 0, Spin())
+	var recs []core.CycleRecord
+	a, err := StartALPS(k, AlpsConfig{
+		Quantum: 20 * time.Millisecond,
+		OnCycle: func(r core.CycleRecord) { recs = append(recs, r) },
+	}, []AlpsTask{
+		{ID: 1, Share: 1, Pids: []PID{w1}},
+		{ID: 2, Share: 1, Pids: []PID{w2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	InjectFaults(k, []Fault{
+		{At: 1 * time.Second, Block: w1},
+		{At: 2 * time.Second, Wake: w1},
+		{At: 3 * time.Second, Kill: w1},
+	})
+	k.Run(4 * time.Second)
+
+	if got := a.Scheduler().Len(); got != 1 {
+		t.Errorf("scheduler has %d tasks after kill, want 1", got)
+	}
+	if _, ok := k.Info(w1); ok {
+		t.Error("killed process still visible")
+	}
+	blocked := 0
+	var consumed1, consumed2 time.Duration
+	for _, r := range recs {
+		for _, ct := range r.Tasks {
+			switch ct.ID {
+			case 1:
+				blocked += ct.BlockedQuanta
+				consumed1 += ct.Consumed
+			case 2:
+				consumed2 += ct.Consumed
+			}
+		}
+	}
+	if blocked == 0 {
+		t.Error("blocked phase never observed (§2.4 blocked-task charge path)")
+	}
+	// While w1 was blocked or dead (~2 of 4 seconds), w2 had the
+	// machine to itself; its total consumption must clearly exceed w1's.
+	if consumed2 <= consumed1 {
+		t.Errorf("survivor consumed %v <= faulty task's %v", consumed2, consumed1)
+	}
+	info, ok := k.Info(w2)
+	if !ok {
+		t.Fatal("surviving workload vanished")
+	}
+	if info.State == Stopped {
+		t.Error("survivor left SIGSTOPped after faulty task retired")
+	}
+}

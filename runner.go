@@ -17,6 +17,15 @@ type RunnerTask = osproc.Task
 // Runner executes the ALPS control loop over real processes.
 type Runner = osproc.Runner
 
+// RunnerHealth is a snapshot of a Runner's fault and timing telemetry
+// (vanished or recycled PIDs, signal retries and failures, missed and
+// caught-up quanta); obtain one with Runner.Health.
+type RunnerHealth = osproc.Health
+
+// ErrNoLiveProcess is returned by NewRunner when every target PID was
+// already gone before scheduling began.
+var ErrNoLiveProcess = osproc.ErrNoLiveProcess
+
 // NewRunner builds a runner controlling the given tasks. The tasks'
 // processes are suspended immediately and resumed as the algorithm grants
 // allowances; Run (or Release) resumes everything on the way out.
