@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short
+.PHONY: check vet build test race short bench
 
 check: vet build race
 
@@ -24,3 +24,9 @@ race:
 # Fast loop: skips the end-to-end tests that spawn real processes.
 short:
 	$(GO) test -short ./...
+
+# Observability overhead benchmark: ns/quantum with the observer off vs
+# on, written to BENCH_obs.json (see cmd/alps-bench/obs.go). QUICK=1
+# trims iterations for CI.
+bench:
+	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) obs

@@ -50,6 +50,7 @@ var experiments = []experiment{
 	{"smp", "extension: ALPS on 1/2/4-processor machines", runSMP},
 	{"portability", "extension: ALPS on BSD vs CFS kernel policies", runPortability},
 	{"servicelag", "extension: worst-case service lag (stride-style error bound)", runServiceLag},
+	{"obs", "observability overhead: observer off vs on (writes BENCH_obs.json)", runObs},
 }
 
 func main() {

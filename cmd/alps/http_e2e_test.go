@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe to read while the child process is
+// still writing to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRe = regexp.MustCompile(`msg="observability listening" addr=([0-9.:\[\]]+)`)
+
+// TestEndToEndHTTP drives the full observability surface of a real run:
+// spawn two busy loops with -http 127.0.0.1:0, discover the bound
+// address from the structured stderr line, and exercise /metrics,
+// /healthz, /debug/journal, /debug/pprof/ and the SIGUSR1 journal dump
+// before shutting down with SIGINT.
+func TestEndToEndHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if _, err := os.Stat("/proc/self/stat"); err != nil {
+		t.Skip("needs Linux /proc")
+	}
+	bin := filepath.Join(t.TempDir(), "alps")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "spawn", "-q", "20ms", "-http", "127.0.0.1:0",
+		"-shares", "1,3", "--", "/bin/sh", "-c", "while :; do :; done")
+	var outBuf bytes.Buffer
+	errBuf := &syncBuffer{}
+	cmd.Stdout = &outBuf
+	cmd.Stderr = errBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	defer func() {
+		_ = cmd.Process.Signal(syscall.SIGINT)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			_ = cmd.Process.Kill()
+		}
+	}()
+
+	// The listener address appears on stderr as soon as the runner is up.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := listenRe.FindStringSubmatch(errBuf.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listening announcement on stderr:\n%s", errBuf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Let a few cycles complete so the journal and share-error
+	// histograms have data.
+	time.Sleep(2 * time.Second)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// /metrics: Prometheus text with scheduler-event, runner-health and
+	// share-error families.
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE alps_sched_events_total counter",
+		`alps_sched_events_total{kind="measure"}`,
+		"alps_runner_ticks_total",
+		"alps_runner_cycle_lateness_seconds_bucket",
+		`alps_share_error_ratio_count{task="0"}`,
+		`alps_share_error_ratio_count{task="1"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /healthz: indented JSON of the runner's Health snapshot.
+	code, body = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var health map[string]any
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("/healthz is not JSON: %v\n%s", err, body)
+	}
+	if ticks, ok := health["Ticks"].(float64); !ok || ticks < 1 {
+		t.Errorf("/healthz Ticks = %v, want >= 1", health["Ticks"])
+	}
+
+	// /debug/journal: the ring-buffer dump with at least one cycle.
+	code, body = get("/debug/journal")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/journal status %d", code)
+	}
+	var journal struct {
+		TotalCycles int64 `json:"total_cycles"`
+		Entries     []struct {
+			Cycle int64 `json:"cycle"`
+			Tasks []struct {
+				ID int64 `json:"id"`
+			} `json:"tasks"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &journal); err != nil {
+		t.Fatalf("/debug/journal is not JSON: %v\n%s", err, body)
+	}
+	if journal.TotalCycles < 1 || len(journal.Entries) == 0 {
+		t.Errorf("journal has no cycles: total=%d entries=%d",
+			journal.TotalCycles, len(journal.Entries))
+	} else if n := len(journal.Entries[0].Tasks); n != 2 {
+		t.Errorf("journal entry has %d tasks, want 2", n)
+	}
+
+	// /debug/pprof/ index.
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+
+	// SIGUSR1 dumps the journal to stderr.
+	if err := cmd.Process.Signal(syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(3 * time.Second)
+	for !strings.Contains(errBuf.String(), "journal:") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no journal dump on stderr after SIGUSR1:\n%s", errBuf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Clean shutdown.
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("alps did not exit on SIGINT")
+	}
+	if !strings.Contains(errBuf.String(), "alps: health:") {
+		t.Errorf("stderr missing health summary:\n%s", errBuf.String())
+	}
+}

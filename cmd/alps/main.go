@@ -25,6 +25,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -65,19 +66,24 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  alps attach [-q quantum] [-log] pid:share ...
-  alps spawn  [-q quantum] [-log] [-children] -shares 1,2,3 -- command [args...]
-  alps user   [-q quantum] [-log] [-refresh 1s] name:share ...
+  alps attach [-q quantum] [-log] [-http addr] pid:share ...
+  alps spawn  [-q quantum] [-log] [-http addr] [-children] -shares 1,2,3 -- command [args...]
+  alps user   [-q quantum] [-log] [-http addr] [-refresh 1s] name:share ...
+
+-http serves /metrics (Prometheus text), /healthz (JSON), /debug/journal
+(last cycles, JSON) and /debug/pprof/ on the given address. SIGUSR1 dumps
+the cycle journal to stderr.
 `)
 }
 
-func commonFlags(fs *flag.FlagSet) (q *time.Duration, logCycles *bool) {
+func commonFlags(fs *flag.FlagSet) (q *time.Duration, logCycles *bool, httpAddr *string) {
 	q = fs.Duration("q", 20*time.Millisecond, "ALPS quantum")
 	logCycles = fs.Bool("log", false, "print per-cycle consumption")
+	httpAddr = fs.String("http", "", "serve /metrics, /healthz, /debug/journal and /debug/pprof/ on this address (e.g. :9090)")
 	return
 }
 
-func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask) (err error) {
+func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack) (err error) {
 	// Test hook: panic after N completed cycles, so the end-to-end crash
 	// test can prove that no workload process stays SIGSTOPped when the
 	// controller dies mid-flight (see crash_test.go).
@@ -101,6 +107,16 @@ func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask) (err error) 
 	if err != nil {
 		return err
 	}
+	if st != nil {
+		st.lateness = func() time.Duration { return r.Health().LastLateness }
+		shutdown, serr := st.serve(func() any { return r.Health() })
+		if serr != nil {
+			r.Release()
+			return serr
+		}
+		defer shutdown()
+		defer st.dumpOnSIGUSR1()()
+	}
 	defer func() {
 		// The Runner resumes the workload on every exit from Run,
 		// including panics unwinding out of its own loop; this converts
@@ -122,25 +138,34 @@ func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask) (err error) 
 	return err
 }
 
+// cycleLogger returns the -log consumption logger: one structured line
+// per completed cycle on stdout (msg "cycle", one taskN attribute per
+// task), or nil when disabled so the OnCycle chain stays minimal.
 func cycleLogger(enabled bool) func(core.CycleRecord) {
 	if !enabled {
 		return nil
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stdout, nil))
 	return func(rec core.CycleRecord) {
-		var b strings.Builder
-		fmt.Fprintf(&b, "cycle %d:", rec.Index)
 		var total time.Duration
 		for _, t := range rec.Tasks {
 			total += t.Consumed
+		}
+		attrs := []any{
+			slog.Int("index", rec.Index),
+			slog.Int64("tick", rec.Tick),
+			slog.Duration("length", rec.Length),
 		}
 		for _, t := range rec.Tasks {
 			pct := 0.0
 			if total > 0 {
 				pct = 100 * float64(t.Consumed) / float64(total)
 			}
-			fmt.Fprintf(&b, " task%d=%v(%.1f%%)", t.ID, t.Consumed.Round(time.Millisecond), pct)
+			attrs = append(attrs, slog.String(
+				fmt.Sprintf("task%d", t.ID),
+				fmt.Sprintf("%v(%.1f%%)", t.Consumed.Round(time.Millisecond), pct)))
 		}
-		fmt.Println(b.String())
+		logger.Info("cycle", attrs...)
 	}
 }
 
@@ -169,7 +194,7 @@ func parsePidShares(args []string) ([]alps.RunnerTask, error) {
 
 func cmdAttach(args []string) error {
 	fs := flag.NewFlagSet("attach", flag.ExitOnError)
-	q, logCycles := commonFlags(fs)
+	q, logCycles, httpAddr := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -177,12 +202,15 @@ func cmdAttach(args []string) error {
 	if err != nil {
 		return err
 	}
-	return runUntilSignal(alps.RunnerConfig{Quantum: *q, OnCycle: cycleLogger(*logCycles)}, tasks)
+	cfg := alps.RunnerConfig{Quantum: *q}
+	st := newObsStack(*httpAddr)
+	st.wire(&cfg, cycleLogger(*logCycles))
+	return runUntilSignal(cfg, tasks, st)
 }
 
 func cmdSpawn(args []string) error {
 	fs := flag.NewFlagSet("spawn", flag.ExitOnError)
-	q, logCycles := commonFlags(fs)
+	q, logCycles, httpAddr := commonFlags(fs)
 	sharesStr := fs.String("shares", "", "comma-separated shares, one process per share")
 	children := fs.Bool("children", false, "track each command's descendants (prefork servers), refreshed every second")
 	if err := fs.Parse(args); err != nil {
@@ -225,7 +253,9 @@ func cmdSpawn(args []string) error {
 			_ = p.Wait()
 		}
 	}()
-	cfg := alps.RunnerConfig{Quantum: *q, OnCycle: cycleLogger(*logCycles)}
+	cfg := alps.RunnerConfig{Quantum: *q}
+	st := newObsStack(*httpAddr)
+	st.wire(&cfg, cycleLogger(*logCycles))
 	if *children {
 		// Each spawned command is a resource principal covering its
 		// whole process tree (e.g. a prefork server and its workers),
@@ -247,12 +277,12 @@ func cmdSpawn(args []string) error {
 			return m
 		}
 	}
-	return runUntilSignal(cfg, tasks)
+	return runUntilSignal(cfg, tasks, st)
 }
 
 func cmdUser(args []string) error {
 	fs := flag.NewFlagSet("user", flag.ExitOnError)
-	q, logCycles := commonFlags(fs)
+	q, logCycles, httpAddr := commonFlags(fs)
 	refresh := fs.Duration("refresh", time.Second, "membership refresh period")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -314,10 +344,12 @@ func cmdUser(args []string) error {
 	for i, p := range principals {
 		tasks = append(tasks, alps.RunnerTask{ID: alps.TaskID(i), Share: p.share, PIDs: initial[alps.TaskID(i)]})
 	}
-	return runUntilSignal(alps.RunnerConfig{
+	cfg := alps.RunnerConfig{
 		Quantum:      *q,
-		OnCycle:      cycleLogger(*logCycles),
 		RefreshEvery: *refresh,
 		Refresh:      membership,
-	}, tasks)
+	}
+	st := newObsStack(*httpAddr)
+	st.wire(&cfg, cycleLogger(*logCycles))
+	return runUntilSignal(cfg, tasks, st)
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"alps"
+	"alps/internal/core"
+	"alps/internal/metrics"
+	"alps/internal/obs"
+)
+
+// errlog is the structured logger for operational messages (stderr).
+// Cycle lines from -log go to stdout via cycleLogger instead, keeping
+// machine-readable telemetry separable from the consumption stream.
+var errlog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+// obsStack bundles one run's observability surface: the metrics
+// registry, the bounded cycle journal, the decision-event feed, and the
+// optional HTTP listener (-http).
+type obsStack struct {
+	reg      *obs.Registry
+	journal  *obs.Journal
+	addr     string
+	lateness func() time.Duration // reads the runner's health; set by runUntilSignal
+}
+
+func newObsStack(addr string) *obsStack {
+	return &obsStack{
+		reg:     obs.NewRegistry(),
+		journal: obs.NewJournal(obs.DefaultJournalSize),
+		addr:    addr,
+	}
+}
+
+// wire installs the stack into a runner config: the decision-event
+// metrics feed, the health-counter and latency-histogram registry, and
+// an OnCycle chain that records the journal entry and the per-principal
+// share-error histograms before invoking inner (the -log cycle logger).
+func (st *obsStack) wire(cfg *alps.RunnerConfig, inner func(core.CycleRecord)) {
+	cfg.Metrics = st.reg
+	cfg.Observer = obs.NewMetricsObserver(st.reg)
+	cfg.OnCycle = func(rec core.CycleRecord) {
+		st.recordCycle(rec)
+		if inner != nil {
+			inner(rec)
+		}
+	}
+}
+
+const shareErrHelp = "Per-principal relative share error per cycle: |consumed/total - share/S| / (share/S)."
+
+func (st *obsStack) recordCycle(rec core.CycleRecord) {
+	e := obs.JournalEntry{
+		Cycle:  rec.Index,
+		Tick:   rec.Tick,
+		At:     time.Now(),
+		Length: rec.Length,
+		Tasks:  make([]obs.JournalTask, 0, len(rec.Tasks)),
+	}
+	if st.lateness != nil {
+		e.Lateness = st.lateness()
+	}
+	consumed := make([]float64, 0, len(rec.Tasks))
+	shares := make([]float64, 0, len(rec.Tasks))
+	for _, t := range rec.Tasks {
+		e.Tasks = append(e.Tasks, obs.JournalTask{
+			ID: int64(t.ID), Share: t.Share,
+			Consumed: t.Consumed, BlockedQuanta: t.BlockedQuanta,
+		})
+		consumed = append(consumed, t.Consumed.Seconds())
+		shares = append(shares, float64(t.Share))
+	}
+	st.journal.Append(e)
+	// An all-idle cycle has no defined share error; skip it rather than
+	// pollute the histograms.
+	if errs, err := metrics.ShareErrors(consumed, shares); err == nil {
+		for i, t := range rec.Tasks {
+			st.reg.Histogram(
+				fmt.Sprintf(`alps_share_error_ratio{task="%d"}`, t.ID),
+				shareErrHelp, obs.RatioBuckets,
+			).Observe(errs[i])
+		}
+	}
+}
+
+// serve starts the observability HTTP server (/metrics, /healthz,
+// /debug/journal, /debug/pprof/) when -http was given. The bound address
+// is logged to stderr, so ":0" works for tests. Returns a shutdown func.
+func (st *obsStack) serve(health func() any) (shutdown func(), err error) {
+	if st.addr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", st.addr)
+	if err != nil {
+		return nil, fmt.Errorf("observability listener on %s: %w", st.addr, err)
+	}
+	srv := &http.Server{Handler: obs.NewMux(st.reg, health, st.journal)}
+	go func() { _ = srv.Serve(ln) }()
+	errlog.Info("observability listening", "addr", ln.Addr().String())
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}, nil
+}
+
+// dumpOnSIGUSR1 dumps the journal to stderr whenever SIGUSR1 arrives.
+// Returns a stop func.
+func (st *obsStack) dumpOnSIGUSR1() func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				_ = st.journal.WriteText(os.Stderr)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

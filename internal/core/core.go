@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"alps/internal/obs"
 )
 
 // TaskID identifies a task under ALPS control. A task is the unit of
@@ -62,6 +64,18 @@ type Config struct {
 	// accuracy evaluation (§3.1). The record's slices are owned by the
 	// callee.
 	OnCycle func(CycleRecord)
+
+	// Observer, if non-nil, receives a structured obs.Event at each
+	// step of the Figure 3 algorithm: quantum start/end, measurements
+	// taken (with consumption, blocked state, and post-charge
+	// allowance), postponements (with the predicted wake quantum),
+	// per-cycle grants (with the §2.2 carryover), and every eligibility
+	// transition with its reason. Both substrates feed the same
+	// observer, so one tracer explains why a process was stopped in the
+	// simulator and on a live host alike. When nil, the emission sites
+	// reduce to a branch: the quantum loop performs no observability
+	// work and no allocation.
+	Observer obs.Observer
 }
 
 // CycleRecord logs one completed cycle (paper §3.1 instrumentation).

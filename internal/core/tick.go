@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"alps/internal/obs"
+)
 
 // Reader reports a task's progress since its previous measurement. The
 // second result is false when the task no longer exists (e.g. the process
@@ -24,14 +28,23 @@ type Reader func(TaskID) (Progress, bool)
 //  3. Re-partition tasks into eligible/ineligible by the sign of their
 //     allowance, and schedule the next measurement of each just-measured
 //     task ⌈allowance/Q⌉ quanta out (§2.3).
+//
+// When cfg.Observer is set, each stage additionally emits one obs.Event
+// per decision. Every emission site is guarded by a nil check and events
+// are flat value structs, so a disabled observer costs one predictable
+// branch per site and zero allocations.
 func (s *Scheduler) TickQuantum(read Reader) Decision {
 	var d Decision
 	if len(s.tasks) == 0 {
 		return d
 	}
+	o := s.cfg.Observer
 	s.sortOrder()
 	q := s.cfg.Quantum
 	s.count++
+	if o != nil {
+		o.Observe(obs.Event{Kind: obs.KindQuantumStart, Tick: s.count, Task: -1, N: len(s.tasks)})
+	}
 
 	// Stage 1: measurement loop.
 	var dead []TaskID
@@ -60,13 +73,29 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 		} else if p.Consumed > 0 {
 			t.blocked = false
 		}
+		if o != nil {
+			o.Observe(obs.Event{
+				Kind:      obs.KindMeasure,
+				Tick:      s.count,
+				Task:      int64(id),
+				Consumed:  p.Consumed,
+				Blocked:   p.Blocked,
+				Allowance: t.allowance,
+			})
+		}
 	}
 	for _, id := range dead {
 		// Remove cannot fail here: the ID was just iterated.
 		_ = s.Remove(id)
+		if o != nil {
+			o.Observe(obs.Event{Kind: obs.KindDead, Tick: s.count, Task: int64(id)})
+		}
 	}
 	d.Dead = dead
 	if len(s.tasks) == 0 {
+		if o != nil {
+			o.Observe(obs.Event{Kind: obs.KindQuantumEnd, Tick: s.count, Task: -1, Cycle: int64(s.cycles)})
+		}
 		return d
 	}
 
@@ -76,6 +105,16 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 		grants = 1
 		s.cycleTime += s.CycleLength()
 		s.emitCycle()
+		if o != nil {
+			o.Observe(obs.Event{
+				Kind:   obs.KindCycle,
+				Tick:   s.count,
+				Task:   -1,
+				Cycle:  int64(s.cycles),
+				N:      len(s.tasks),
+				Length: s.CycleLength(),
+			})
+		}
 		s.cycles++
 		d.CycleCompleted = true
 	}
@@ -84,7 +123,18 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 	for _, id := range s.order {
 		t := s.tasks[id]
 		if grants > 0 {
+			carry := t.allowance
 			t.allowance += time.Duration(t.share) * q
+			if o != nil {
+				o.Observe(obs.Event{
+					Kind:      obs.KindGrant,
+					Tick:      s.count,
+					Task:      int64(id),
+					Cycle:     int64(s.cycles - 1),
+					Carry:     carry,
+					Allowance: t.allowance,
+				})
+			}
 		}
 		next := Ineligible
 		if t.allowance > 0 {
@@ -96,6 +146,25 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 				d.Resume = append(d.Resume, id)
 			} else {
 				d.Suspend = append(d.Suspend, id)
+			}
+			if o != nil {
+				reason := obs.ReasonExhausted
+				switch {
+				case next == Eligible && grants > 0:
+					reason = obs.ReasonGrant
+				case next == Eligible:
+					reason = obs.ReasonAdmitted
+				case t.blocked:
+					reason = obs.ReasonBlocked
+				}
+				o.Observe(obs.Event{
+					Kind:      obs.KindTransition,
+					Tick:      s.count,
+					Task:      int64(id),
+					Eligible:  next == Eligible,
+					Reason:    reason,
+					Allowance: t.allowance,
+				})
 			}
 		}
 		if t.update <= s.count {
@@ -111,8 +180,26 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 				t.update = s.count + 1
 			} else {
 				t.update = s.count + ceilDiv(t.allowance, q)
+				if o != nil && t.update > s.count+1 {
+					o.Observe(obs.Event{
+						Kind:      obs.KindPostpone,
+						Tick:      s.count,
+						Task:      int64(id),
+						Allowance: t.allowance,
+						Wake:      t.update,
+					})
+				}
 			}
 		}
+	}
+	if o != nil {
+		o.Observe(obs.Event{
+			Kind:  obs.KindQuantumEnd,
+			Tick:  s.count,
+			Task:  -1,
+			N:     len(d.Measured),
+			Cycle: int64(s.cycles),
+		})
 	}
 	return d
 }

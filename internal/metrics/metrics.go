@@ -53,13 +53,50 @@ func StdDev(xs []float64) (float64, error) {
 	if len(xs) < 2 {
 		return 0, ErrEmpty
 	}
-	m, _ := Mean(xs)
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
 	var s float64
 	for _, x := range xs {
 		d := x - m
 		s += d * d
 	}
 	return math.Sqrt(s / float64(len(xs)-1)), nil
+}
+
+// ShareErrors returns each task's relative share error for one cycle:
+// |consumed_i/total − share_i/S| ÷ (share_i/S), where total is the
+// cycle's aggregate consumption and S the share sum. Zero means the task
+// received exactly its entitled fraction; 1 means it was off by its
+// whole entitlement. This is the per-principal statistic behind the
+// alps_share_error_ratio histogram family, and the per-cycle granular
+// form of the paper's §3.1 accuracy metric (RMSRelativeError aggregates
+// its squares).
+func ShareErrors(consumed []float64, shares []float64) ([]float64, error) {
+	if len(consumed) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(consumed) != len(shares) {
+		return nil, fmt.Errorf("metrics: length mismatch %d vs %d", len(consumed), len(shares))
+	}
+	var total, s float64
+	for i := range consumed {
+		if shares[i] <= 0 {
+			return nil, fmt.Errorf("metrics: share[%d] = %v, want > 0", i, shares[i])
+		}
+		total += consumed[i]
+		s += shares[i]
+	}
+	if total == 0 {
+		return nil, errors.New("metrics: no consumption in cycle")
+	}
+	out := make([]float64, len(consumed))
+	for i := range consumed {
+		ideal := shares[i] / s
+		out[i] = math.Abs(consumed[i]/total-ideal) / ideal
+	}
+	return out, nil
 }
 
 // Line is a fitted line y = Slope·x + Intercept.

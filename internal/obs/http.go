@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the operator HTTP surface served by `cmd/alps -http`:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/healthz        JSON of health() (e.g. the Runner's Health snapshot)
+//	/debug/journal  JSON dump of the cycle journal
+//	/debug/pprof/   net/http/pprof profiles
+//
+// Any of reg, health, journal may be nil; the corresponding endpoint is
+// then omitted. pprof is always mounted: the ROADMAP's perf work needs a
+// profiling surface on live controllers.
+func NewMux(reg *Registry, health func() any, journal *Journal) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	if health != nil {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(health())
+		})
+	}
+	if journal != nil {
+		mux.Handle("/debug/journal", journal)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("alps_ticks_total", "ticks").Add(9)
+	j := NewJournal(4)
+	j.Append(entry(0))
+	type health struct {
+		Ticks    int64
+		Degraded bool
+	}
+	mux := NewMux(reg, func() any { return health{Ticks: 9} }, j)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/metrics"); code != 200 || !strings.Contains(body, "alps_ticks_total 9") {
+		t.Errorf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, `"Ticks": 9`) {
+		t.Errorf("/healthz: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, srv, "/debug/journal"); code != 200 || !strings.Contains(body, `"total_cycles": 1`) {
+		t.Errorf("/debug/journal: code=%d body=%q", code, body)
+	}
+	if code, body := get(t, srv, "/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline: code=%d", code)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/: code=%d", code)
+	}
+}
+
+func TestMuxNilComponents(t *testing.T) {
+	srv := httptest.NewServer(NewMux(nil, nil, nil))
+	defer srv.Close()
+	if code, _ := get(t, srv, "/metrics"); code != 404 {
+		t.Errorf("/metrics without a registry: code=%d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("pprof should always be mounted: code=%d", code)
+	}
+}

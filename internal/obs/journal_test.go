@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func entry(cycle int) JournalEntry {
+	return JournalEntry{
+		Cycle:  cycle,
+		Tick:   int64(cycle * 6),
+		At:     time.Unix(1_000_000_000, 0).Add(time.Duration(cycle) * time.Second),
+		Length: 120 * time.Millisecond,
+		Tasks: []JournalTask{
+			{ID: 0, Share: 1, Consumed: 20 * time.Millisecond},
+			{ID: 1, Share: 2, Consumed: 40 * time.Millisecond, BlockedQuanta: 1},
+		},
+	}
+}
+
+func TestJournalRingEviction(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(entry(i))
+	}
+	if j.Total() != 10 {
+		t.Errorf("Total = %d, want 10", j.Total())
+	}
+	snap := j.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d entries, want 4", len(snap))
+	}
+	for i, e := range snap {
+		if e.Cycle != 6+i {
+			t.Errorf("snap[%d].Cycle = %d, want %d (oldest-first order)", i, e.Cycle, 6+i)
+		}
+	}
+}
+
+func TestJournalPartialFill(t *testing.T) {
+	j := NewJournal(8)
+	j.Append(entry(0))
+	j.Append(entry(1))
+	snap := j.Snapshot()
+	if len(snap) != 2 || snap[0].Cycle != 0 || snap[1].Cycle != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestJournalJSON(t *testing.T) {
+	j := NewJournal(4)
+	j.Append(entry(3))
+	var b strings.Builder
+	if err := j.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		TotalCycles int64 `json:"total_cycles"`
+		Entries     []struct {
+			Cycle int `json:"cycle"`
+			Tasks []struct {
+				ID       int64 `json:"id"`
+				Consumed int64 `json:"consumed_ns"`
+			} `json:"tasks"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &dump); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if dump.TotalCycles != 1 || len(dump.Entries) != 1 || dump.Entries[0].Cycle != 3 {
+		t.Errorf("dump = %+v", dump)
+	}
+	if dump.Entries[0].Tasks[1].Consumed != int64(40*time.Millisecond) {
+		t.Errorf("consumed_ns = %d", dump.Entries[0].Tasks[1].Consumed)
+	}
+}
+
+func TestJournalText(t *testing.T) {
+	j := NewJournal(4)
+	j.Append(entry(7))
+	var b strings.Builder
+	if err := j.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"1 cycles retained (1 total)", "cycle 7 tick=42", "task0=20ms(33.3%", "task1=40ms(66.7%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

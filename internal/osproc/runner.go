@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"alps/internal/core"
+	"alps/internal/obs"
 )
 
 // Task binds a core task to the real processes it covers: one PID for
@@ -39,6 +40,15 @@ type Config struct {
 	// Sys overrides the OS surface; nil means the real /proc + kill(2)
 	// implementation. Tests install a fault-injecting fake here.
 	Sys Sys
+	// Observer, if non-nil, receives the core algorithm's decision
+	// events (see obs.Event). Events are stamped with the wall time
+	// elapsed since the runner was created.
+	Observer obs.Observer
+	// Metrics, if non-nil, receives the runner's health telemetry
+	// (exported at scrape time from the same atomics Health reads) and
+	// latency histograms: step lateness, per-task sample duration, and
+	// signal-delivery duration.
+	Metrics *obs.Registry
 }
 
 // Fault-tolerance knobs. Real systems exhibit every one of these failure
@@ -88,7 +98,9 @@ type Runner struct {
 	lastTick  time.Time
 
 	now    func() time.Time // injectable clock for overrun tests
+	start  time.Time        // creation time, origin for event timestamps
 	health healthCounters
+	mx     *runnerMetrics // nil unless Config.Metrics was set
 }
 
 // NewRunner builds a runner controlling the given tasks. All live task
@@ -116,11 +128,18 @@ func NewRunner(cfg Config, tasks []Task) (*Runner, error) {
 		suspended: make(map[int]bool),
 		now:       time.Now,
 	}
+	r.start = r.now()
 	r.sched = core.New(core.Config{
 		Quantum:             cfg.Quantum,
 		DisableLazySampling: cfg.DisableLazySampling,
 		OnCycle:             cfg.OnCycle,
+		Observer: obs.Stamp(func() time.Duration {
+			return r.now().Sub(r.start)
+		}, cfg.Observer),
 	})
+	if cfg.Metrics != nil {
+		r.registerMetrics(cfg.Metrics)
+	}
 	for _, t := range tasks {
 		if err := r.sched.Add(t.ID, t.Share); err != nil {
 			return nil, err
@@ -227,6 +246,9 @@ func (r *Runner) Step() (done bool) {
 			late = 0
 		}
 		r.health.noteLateness(late)
+		if r.mx != nil {
+			r.mx.cycleLateness.Observe(late.Seconds())
+		}
 		if missed := int64(late / r.cfg.Quantum); missed > 0 {
 			r.health.missedTicks.Add(missed)
 			extra := missed
@@ -348,6 +370,10 @@ func (r *Runner) readStat(pid int) (st Stat, err error) {
 // process that inherited the number (PID reuse) and is dropped before a
 // single nanosecond of its CPU can be charged to the task.
 func (r *Runner) read(id core.TaskID) (core.Progress, bool) {
+	if r.mx != nil {
+		begin := r.now()
+		defer func() { r.mx.sampleDur.Observe(r.now().Sub(begin).Seconds()) }()
+	}
 	pids := r.targets[id]
 	var consumed time.Duration
 	alive := false
@@ -455,6 +481,10 @@ func (r *Runner) dropPID(pid int) {
 // remaining workload's guarantees survive. Reports whether the signal
 // was delivered.
 func (r *Runner) signal(pid int, stop bool) bool {
+	if r.mx != nil {
+		begin := r.now()
+		defer func() { r.mx.signalDur.Observe(r.now().Sub(begin).Seconds()) }()
+	}
 	op, name := r.sys.Cont, "cont"
 	if stop {
 		op, name = r.sys.Stop, "stop"

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"alps/internal/core"
+	"alps/internal/obs"
 )
 
 // CostModel gives the CPU cost of each primary ALPS operation, charged to
@@ -71,6 +72,12 @@ type AlpsConfig struct {
 	// Refresh returns the current membership of each task. Tasks
 	// absent from the result keep their membership.
 	Refresh func(k *Kernel) map[core.TaskID][]PID
+	// Observer, if non-nil, receives the core algorithm's decision
+	// events, stamped with the kernel's virtual time (see
+	// StampObserver). The same Observer attached to an osproc.Runner
+	// sees the identical event vocabulary, making decision traces
+	// directly comparable across substrates.
+	Observer obs.Observer
 }
 
 // AlpsProc is an ALPS scheduler running as an ordinary simulated process.
@@ -140,6 +147,7 @@ func StartALPS(k *Kernel, cfg AlpsConfig, tasks []AlpsTask) (*AlpsProc, error) {
 		Quantum:             cfg.Quantum,
 		DisableLazySampling: cfg.DisableLazySampling,
 		OnCycle:             onCycle,
+		Observer:            StampObserver(k, cfg.Observer),
 	})
 	for _, t := range tasks {
 		if err := a.sched.Add(t.ID, t.Share); err != nil {

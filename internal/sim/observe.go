@@ -1,0 +1,22 @@
+package sim
+
+import (
+	"time"
+
+	"alps/internal/obs"
+)
+
+// StampObserver adapts an obs.Observer to the simulator's virtual clock:
+// every event is stamped with the kernel time at which the simulated
+// ALPS process ran the algorithm. StartALPS applies it automatically to
+// AlpsConfig.Observer, so the same Observer implementation — an
+// obs.EventLog, a metrics feed, a decision tracer — can be attached to a
+// sim.Kernel run and to an osproc.Runner and produce directly comparable
+// event streams; only the At timestamps differ in origin (kernel virtual
+// time here, wall time since runner creation there).
+//
+// Returns nil when o is nil, preserving the core scheduler's
+// zero-cost-when-disabled path.
+func StampObserver(k *Kernel, o obs.Observer) obs.Observer {
+	return obs.Stamp(func() time.Duration { return k.Now() }, o)
+}
