@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench
+.PHONY: check vet build test race short bench chaos vulncheck
 
 check: vet build race
 
@@ -25,8 +25,29 @@ race:
 short:
 	$(GO) test -short ./...
 
-# Observability overhead benchmark: ns/quantum with the observer off vs
-# on, written to BENCH_obs.json (see cmd/alps-bench/obs.go). QUICK=1
-# trims iterations for CI.
+# Benchmarks, each writing a JSON report next to the repo root:
+#   obs        — observer off vs on, ns/quantum (BENCH_obs.json)
+#   robustness — checkpoint write latency and per-cycle checkpoint
+#                overhead vs the 5%-of-quantum budget
+#                (BENCH_robustness.json)
+# QUICK=1 trims iterations for CI.
 bench:
 	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) obs
+	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) robustness
+
+# Crash/restart end-to-end suite under the race detector: SIGKILL the
+# scheduler mid-run, restart from the -state file, require shares to
+# reconverge and no workload process to be left SIGSTOPped; plus the
+# restore-failure sweep and live-reconfig (SIGHUP + /admin/config)
+# e2e tests. Spawns real processes; not part of `short`.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestRestoreFailure|TestAdminConfig' -v ./cmd/alps/
+
+# Known-vulnerability scan, gated on the tool being installed (the CI
+# image may not ship it; we never install dependencies on the fly).
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi

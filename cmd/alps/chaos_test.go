@@ -1,0 +1,332 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Chaos end-to-end: SIGKILL the controller mid-run — the one signal it
+// cannot handle — restart it from the -state checkpoint, and prove that
+// (a) the cycle counter continues where the dead instance left off,
+// (b) per-principal shares reconverge within 50 cycles of the restart,
+// and (c) no workload process is left SIGSTOPped at the end.
+
+var (
+	cycleIdxRe  = regexp.MustCompile(`msg=cycle index=(\d+)`)
+	cycleTaskRe = regexp.MustCompile(`task(\d+)="?([^("]+)\(`)
+)
+
+type cycleLine struct {
+	index    int
+	consumed map[int]time.Duration
+}
+
+// parseCycles extracts the -log cycle lines from a run's stdout.
+func parseCycles(t *testing.T, out string) []cycleLine {
+	t.Helper()
+	var cycles []cycleLine
+	for _, line := range strings.Split(out, "\n") {
+		m := cycleIdxRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		idx, err := strconv.Atoi(m[1])
+		if err != nil {
+			t.Fatalf("bad cycle index in %q: %v", line, err)
+		}
+		c := cycleLine{index: idx, consumed: make(map[int]time.Duration)}
+		for _, tm := range cycleTaskRe.FindAllStringSubmatch(line, -1) {
+			id, err := strconv.Atoi(tm[1])
+			if err != nil {
+				t.Fatalf("bad task id in %q: %v", line, err)
+			}
+			d, err := time.ParseDuration(tm[2])
+			if err != nil {
+				t.Fatalf("bad consumed duration in %q: %v", line, err)
+			}
+			c.consumed[id] = d
+		}
+		cycles = append(cycles, c)
+	}
+	return cycles
+}
+
+// startAlps launches the binary with stdout/stderr capture.
+func startAlps(t *testing.T, bin string, args ...string) (*exec.Cmd, *syncBuffer, *syncBuffer, chan error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, errb := &syncBuffer{}, &syncBuffer{}
+	cmd.Stdout = out
+	cmd.Stderr = errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	return cmd, out, errb, done
+}
+
+// waitCycles polls until the run has logged a cycle with index >= want.
+func waitCycles(t *testing.T, out *syncBuffer, want int, timeout time.Duration) []cycleLine {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		cycles := parseCycles(t, out.String())
+		if len(cycles) > 0 && cycles[len(cycles)-1].index >= want {
+			return cycles
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for cycle %d; have %d cycles", want, len(cycles))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestChaosKillRestartReconverges(t *testing.T) {
+	requireE2E(t)
+	bin := buildAlps(t)
+	p1 := spawnShellSpinner(t)
+	p2 := spawnShellSpinner(t)
+	stateFile := filepath.Join(t.TempDir(), "alps.state")
+	shares := map[int]float64{0: 1, 1: 3}
+	args := []string{"attach", "-q", "20ms", "-log", "-state", stateFile,
+		fmt.Sprintf("%d:1", p1), fmt.Sprintf("%d:3", p2)}
+
+	// Run 1: let several cycles checkpoint, then die without warning.
+	cmd1, out1, _, done1 := startAlps(t, bin, args...)
+	run1 := waitCycles(t, out1, 5, 15*time.Second)
+	if err := cmd1.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatal(err)
+	}
+	<-done1
+	lastIdx1 := run1[len(run1)-1].index
+	if _, err := os.Stat(stateFile); err != nil {
+		t.Fatalf("no state file after %d cycles: %v", lastIdx1, err)
+	}
+
+	// Run 2: restart from the checkpoint and run 50+ more cycles. The
+	// convergence bound is counted in cycles, not wall time: a cycle is
+	// nominally S·Q ≈ 330ms here, but -race and a loaded host stretch
+	// that, so the deadline is generous.
+	cmd2, out2, err2, done2 := startAlps(t, bin, args...)
+	defer func() { _ = cmd2.Process.Kill() }()
+	run2 := waitCycles(t, out2, lastIdx1+58, 90*time.Second)
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case werr := <-done2:
+		if werr != nil {
+			t.Errorf("restarted alps exited with %v on SIGTERM\nstderr:\n%s", werr, err2.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("restarted alps did not exit on SIGTERM")
+	}
+	run2 = parseCycles(t, out2.String())
+
+	// Nothing may stay frozen — including whatever the SIGKILLed
+	// instance left SIGSTOPped and the restart re-adopted.
+	waitNotStopped(t, p1, p2)
+
+	if !strings.Contains(err2.String(), "resumed from state file") {
+		t.Errorf("restart did not announce the restore:\n%s", err2.String())
+	}
+
+	// Cycle-counter continuity proves this was a restore, not a fresh
+	// start: a fresh run's first cycle index would be far below run 1's
+	// last.
+	firstIdx2 := run2[0].index
+	if firstIdx2 < lastIdx1 {
+		t.Errorf("run 2 starts at cycle %d, before run 1's last cycle %d; state was not restored", firstIdx2, lastIdx1)
+	}
+
+	// Reconvergence: skip 10 warmup cycles after the restart, then
+	// aggregate consumption over the next 40 and require the RMS
+	// relative share error across principals under 5%.
+	total := make(map[int]time.Duration)
+	used := 0
+	for _, c := range run2 {
+		if c.index <= firstIdx2+10 || c.index > firstIdx2+50 {
+			continue
+		}
+		for id, d := range c.consumed {
+			total[id] += d
+		}
+		used++
+	}
+	if used < 30 {
+		t.Fatalf("only %d cycles in the measurement window", used)
+	}
+	var sum time.Duration
+	for _, d := range total {
+		sum += d
+	}
+	if sum == 0 {
+		t.Fatal("no consumption recorded in the measurement window")
+	}
+	var shareSum float64
+	for _, s := range shares {
+		shareSum += s
+	}
+	var sq float64
+	for id, s := range shares {
+		ideal := s / shareSum
+		got := float64(total[id]) / float64(sum)
+		rel := (got - ideal) / ideal
+		sq += rel * rel
+	}
+	rms := math.Sqrt(sq / float64(len(shares)))
+	if rms >= 0.05 {
+		t.Errorf("RMS relative share error %.3f over cycles %d..%d, want < 0.05 (consumed: %v)",
+			rms, firstIdx2+11, firstIdx2+50, total)
+	}
+}
+
+// A damaged state file must fail closed — no partial restore, a clear
+// diagnostic — while still freeing a workload the dead instance left
+// SIGSTOPped.
+func TestRestoreFailureSweep(t *testing.T) {
+	requireE2E(t)
+	bin := buildAlps(t)
+	p1 := spawnShellSpinner(t)
+	stateFile := filepath.Join(t.TempDir(), "alps.state")
+	if err := os.WriteFile(stateFile, []byte("ALPSCKPT this is not a checkpoint at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(p1, syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "attach", "-q", "20ms", "-state", stateFile,
+		fmt.Sprintf("%d:1", p1)).CombinedOutput()
+	if err == nil {
+		t.Fatalf("alps started from a corrupt state file:\n%s", out)
+	}
+	if !strings.Contains(string(out), "refusing partial restore") {
+		t.Errorf("missing fail-closed diagnostic, got:\n%s", out)
+	}
+	waitNotStopped(t, p1)
+}
+
+// Live reconfiguration end-to-end: /admin/config GET/POST and a SIGHUP
+// reload of the -config file, against a real run.
+func TestAdminConfigAndSIGHUP(t *testing.T) {
+	requireE2E(t)
+	bin := buildAlps(t)
+	p1 := spawnShellSpinner(t)
+	p2 := spawnShellSpinner(t)
+	confFile := filepath.Join(t.TempDir(), "alps.conf")
+
+	cmd, _, errb, done := startAlps(t, bin, "attach", "-q", "20ms",
+		"-http", "127.0.0.1:0", "-config", confFile,
+		fmt.Sprintf("%d:1", p1), fmt.Sprintf("%d:3", p2))
+	defer func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			_ = cmd.Process.Kill()
+		}
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := listenRe.FindStringSubmatch(errb.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listening announcement:\n%s", errb.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	url := fmt.Sprintf("http://%s/admin/config", addr)
+
+	getDoc := func() configDoc {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /admin/config: %d", resp.StatusCode)
+		}
+		var doc configDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	doc := getDoc()
+	if len(doc.Tasks) != 2 || doc.Quantum != "20ms" {
+		t.Fatalf("initial config = %+v, want 2 tasks at 20ms", doc)
+	}
+
+	// POST a share change; the response reflects the applied state.
+	resp, err := http.Post(url, "application/json",
+		bytes.NewReader([]byte(`{"tasks":[{"id":1,"share":5}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST share change: %d", resp.StatusCode)
+	}
+	found := false
+	for _, ct := range getDoc().Tasks {
+		if ct.ID == 1 && ct.Share == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("share change not visible in GET: %+v", getDoc())
+	}
+
+	// POST an invalid document: rejected with 400, nothing applied.
+	resp, err = http.Post(url, "application/json",
+		bytes.NewReader([]byte(`{"tasks":[{"id":7,"share":2}]}`))) // add with no pids
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid POST: status %d, want 400", resp.StatusCode)
+	}
+	if n := len(getDoc().Tasks); n != 2 {
+		t.Errorf("invalid POST changed the task set: %d tasks", n)
+	}
+
+	// SIGHUP reload: write a quantum change and signal.
+	if err := os.WriteFile(confFile, []byte(`{"quantum":"40ms"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for getDoc().Quantum != "40ms" {
+		if time.Now().After(deadline) {
+			t.Fatalf("quantum still %s after SIGHUP; stderr:\n%s", getDoc().Quantum, errb.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !strings.Contains(errb.String(), "config reloaded") {
+		t.Errorf("stderr missing reload announcement:\n%s", errb.String())
+	}
+
+	waitNotStopped(t, p1, p2)
+}

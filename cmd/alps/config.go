@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"alps"
+)
+
+// Live reconfiguration: the same JSON document drives the -config file
+// (applied at startup and on SIGHUP) and the /admin/config endpoint
+// (GET returns the current configuration, POST applies a new one).
+// Translation to a Reconfig batch is diff-based — unchanged entries are
+// skipped — so re-applying a document is idempotent, and the Runner's
+// validate-then-apply semantics make every application all-or-nothing.
+
+// configDoc is the operator-facing reconfiguration document.
+//
+//	{
+//	  "quantum": "20ms",
+//	  "tasks": [
+//	    {"id": 0, "share": 3},
+//	    {"id": 1, "share": 1, "pids": [4321, 4322]},
+//	    {"id": 2, "remove": true}
+//	  ]
+//	}
+type configDoc struct {
+	Quantum string       `json:"quantum,omitempty"`
+	Tasks   []configTask `json:"tasks,omitempty"`
+}
+
+type configTask struct {
+	ID     int64 `json:"id"`
+	Share  int64 `json:"share,omitempty"`
+	PIDs   []int `json:"pids,omitempty"`
+	Remove bool  `json:"remove,omitempty"`
+}
+
+func parseConfigDoc(r io.Reader) (configDoc, error) {
+	var doc configDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return doc, fmt.Errorf("bad config document: %v", err)
+	}
+	return doc, nil
+}
+
+// toReconfig diffs the document against the runner's current state:
+// known task IDs become share updates and PID rebinds, unknown IDs
+// become adds, remove:true becomes removes.
+func (d configDoc) toReconfig(cur alps.RunnerState) (alps.Reconfig, error) {
+	var rc alps.Reconfig
+	if d.Quantum != "" {
+		q, err := time.ParseDuration(d.Quantum)
+		if err != nil {
+			return rc, fmt.Errorf("bad quantum %q: %v", d.Quantum, err)
+		}
+		if q != cur.BaseQuantum {
+			rc.Quantum = q
+		}
+	}
+	type binding struct {
+		share int64
+		pids  []int
+	}
+	known := make(map[alps.TaskID]binding, len(cur.Tasks))
+	for _, t := range cur.Tasks {
+		b := binding{share: t.Share}
+		for _, p := range t.PIDs {
+			b.pids = append(b.pids, p.PID)
+		}
+		known[t.ID] = b
+	}
+	for _, ct := range d.Tasks {
+		id := alps.TaskID(ct.ID)
+		if ct.Remove {
+			rc.Remove = append(rc.Remove, id)
+			continue
+		}
+		b, exists := known[id]
+		if !exists {
+			rc.Add = append(rc.Add, alps.RunnerTask{ID: id, Share: ct.Share, PIDs: ct.PIDs})
+			continue
+		}
+		if ct.Share > 0 && ct.Share != b.share {
+			if rc.SetShares == nil {
+				rc.SetShares = make(map[alps.TaskID]int64)
+			}
+			rc.SetShares[id] = ct.Share
+		}
+		if len(ct.PIDs) > 0 && !samePIDs(ct.PIDs, b.pids) {
+			if rc.SetPIDs == nil {
+				rc.SetPIDs = make(map[alps.TaskID][]int)
+			}
+			rc.SetPIDs[id] = ct.PIDs
+		}
+	}
+	return rc, nil
+}
+
+func samePIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := make(map[int]bool, len(b))
+	for _, p := range b {
+		in[p] = true
+	}
+	for _, p := range a {
+		if !in[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func emptyReconfig(rc alps.Reconfig) bool {
+	return rc.Quantum == 0 && len(rc.SetShares) == 0 && len(rc.SetPIDs) == 0 &&
+		len(rc.Add) == 0 && len(rc.Remove) == 0
+}
+
+// applyConfigFile reads, diffs and applies path against r's current
+// state. An invalid document or rejected batch changes nothing.
+func applyConfigFile(r *alps.Runner, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := parseConfigDoc(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	rc, err := doc.toReconfig(r.State())
+	if err != nil {
+		return err
+	}
+	if emptyReconfig(rc) {
+		return nil
+	}
+	return r.Reconfigure(rc)
+}
+
+// reloadOnSIGHUP re-applies the -config file whenever SIGHUP arrives.
+// A rejected reload is logged and the previous configuration stays in
+// force. Returns a stop func.
+func reloadOnSIGHUP(r *alps.Runner, path string) func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				if err := applyConfigFile(r, path); err != nil {
+					errlog.Error("config reload rejected", "path", path, "err", err)
+				} else {
+					errlog.Info("config reloaded", "path", path)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}
+
+// adminConfigHandler serves /admin/config: GET returns the current
+// configuration as a configDoc, POST applies one (400 with the
+// validation error on rejection, so a bad document changes nothing).
+func adminConfigHandler(r *alps.Runner) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.Method {
+		case http.MethodGet:
+			writeConfigDoc(w, r.State())
+		case http.MethodPost:
+			doc, err := parseConfigDoc(io.LimitReader(req.Body, 1<<20))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			rc, err := doc.toReconfig(r.State())
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if !emptyReconfig(rc) {
+				if err := r.Reconfigure(rc); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+			}
+			writeConfigDoc(w, r.State())
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+func writeConfigDoc(w http.ResponseWriter, st alps.RunnerState) {
+	doc := configDoc{Quantum: st.BaseQuantum.String()}
+	for _, t := range st.Tasks {
+		ct := configTask{ID: int64(t.ID), Share: t.Share}
+		for _, p := range t.PIDs {
+			ct.PIDs = append(ct.PIDs, p.PID)
+		}
+		doc.Tasks = append(doc.Tasks, ct)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}

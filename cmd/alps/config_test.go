@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"alps"
+	"alps/internal/osproc"
+)
+
+func twoTaskState() alps.RunnerState {
+	return alps.RunnerState{
+		Tasks: []osproc.TaskRecord{
+			{ID: 0, Share: 1, PIDs: []osproc.PIDRecord{{PID: 100, Start: 1}}},
+			{ID: 1, Share: 3, PIDs: []osproc.PIDRecord{{PID: 200, Start: 2}}},
+		},
+		BaseQuantum: 20 * time.Millisecond,
+	}
+}
+
+// toReconfig is a diff: entries matching the current state produce no
+// change, so re-applying a document is idempotent.
+func TestConfigDocDiff(t *testing.T) {
+	cur := twoTaskState()
+
+	same := configDoc{Quantum: "20ms", Tasks: []configTask{
+		{ID: 0, Share: 1, PIDs: []int{100}},
+		{ID: 1, Share: 3, PIDs: []int{200}},
+	}}
+	rc, err := same.toReconfig(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !emptyReconfig(rc) {
+		t.Errorf("identical document produced changes: %+v", rc)
+	}
+
+	changed := configDoc{Quantum: "40ms", Tasks: []configTask{
+		{ID: 0, Share: 2},                       // share update
+		{ID: 1, PIDs: []int{200, 201}},          // rebind
+		{ID: 2, Share: 1, PIDs: []int{300}},     // new task -> add
+		{ID: 3, Remove: true},                   // remove
+	}}
+	rc, err = changed.toReconfig(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Quantum != 40*time.Millisecond {
+		t.Errorf("quantum = %v, want 40ms", rc.Quantum)
+	}
+	if rc.SetShares[0] != 2 || len(rc.SetShares) != 1 {
+		t.Errorf("SetShares = %v, want {0:2}", rc.SetShares)
+	}
+	if got := rc.SetPIDs[1]; len(got) != 2 {
+		t.Errorf("SetPIDs = %v, want {1:[200 201]}", rc.SetPIDs)
+	}
+	if len(rc.Add) != 1 || rc.Add[0].ID != 2 || rc.Add[0].Share != 1 {
+		t.Errorf("Add = %+v, want task 2 share 1", rc.Add)
+	}
+	if len(rc.Remove) != 1 || rc.Remove[0] != 3 {
+		t.Errorf("Remove = %v, want [3]", rc.Remove)
+	}
+}
+
+func TestConfigDocBadQuantum(t *testing.T) {
+	if _, err := (configDoc{Quantum: "fast"}).toReconfig(twoTaskState()); err == nil {
+		t.Error("unparseable quantum accepted")
+	}
+}
+
+// Unknown fields are rejected so a typo ("sahre") cannot silently apply
+// an empty change.
+func TestParseConfigDocStrict(t *testing.T) {
+	if _, err := parseConfigDoc(strings.NewReader(`{"tasks":[{"id":0,"sahre":5}]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	doc, err := parseConfigDoc(strings.NewReader(`{"quantum":"20ms","tasks":[{"id":0,"share":5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Quantum != "20ms" || len(doc.Tasks) != 1 || doc.Tasks[0].Share != 5 {
+		t.Errorf("doc = %+v", doc)
+	}
+}

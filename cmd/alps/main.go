@@ -19,6 +19,15 @@
 //
 // All modes run until interrupted; on exit every suspended process is
 // resumed. Add -log to print per-cycle consumption.
+//
+// -state FILE checkpoints the scheduler after every cycle and, on
+// restart, resumes from the checkpoint: still-live PIDs are re-adopted
+// mid-cycle (anything a crashed instance left SIGSTOPped is freed) and
+// shares continue where they left off. -config FILE names a JSON
+// reconfiguration document applied at startup and re-applied on SIGHUP;
+// the same document format is served and accepted at /admin/config when
+// -http is on. -maxq bounds the overload guard's quantum stretching
+// (0 disables the guard).
 package main
 
 import (
@@ -66,24 +75,105 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  alps attach [-q quantum] [-log] [-http addr] pid:share ...
-  alps spawn  [-q quantum] [-log] [-http addr] [-children] -shares 1,2,3 -- command [args...]
-  alps user   [-q quantum] [-log] [-http addr] [-refresh 1s] name:share ...
+  alps attach [common flags] pid:share ...
+  alps spawn  [common flags] [-children] -shares 1,2,3 -- command [args...]
+  alps user   [common flags] [-refresh 1s] name:share ...
 
--http serves /metrics (Prometheus text), /healthz (JSON), /debug/journal
-(last cycles, JSON) and /debug/pprof/ on the given address. SIGUSR1 dumps
-the cycle journal to stderr.
+common flags:
+  -q 20ms       ALPS quantum
+  -log          print per-cycle consumption
+  -http addr    serve /metrics, /healthz, /debug/journal, /debug/pprof/
+                and /admin/config on this address (e.g. :9090)
+  -state FILE   checkpoint scheduler state each cycle; resume from it on
+                restart (not with spawn: its children die with alps)
+  -config FILE  JSON reconfiguration document, applied at startup and on
+                SIGHUP (see README: quantum, tasks[].{id,share,pids,remove})
+  -maxq 40ms    overload guard: stretch the quantum up to this bound under
+                sustained overload; 0 disables the guard. The default
+                scales up to 2x the quantum when -q exceeds it
+
+SIGUSR1 dumps the cycle journal to stderr. SIGHUP reloads -config.
 `)
 }
 
-func commonFlags(fs *flag.FlagSet) (q *time.Duration, logCycles *bool, httpAddr *string) {
-	q = fs.Duration("q", 20*time.Millisecond, "ALPS quantum")
-	logCycles = fs.Bool("log", false, "print per-cycle consumption")
-	httpAddr = fs.String("http", "", "serve /metrics, /healthz, /debug/journal and /debug/pprof/ on this address (e.g. :9090)")
-	return
+// commonOpts are the flags every mode shares. validate() enforces the
+// operator-input contract up front so a typo fails fast with a clear
+// message instead of surfacing as a scheduling anomaly later.
+type commonOpts struct {
+	q         *time.Duration
+	logCycles *bool
+	httpAddr  *string
+	state     *string
+	conf      *string
+	maxq      *time.Duration
+	fs        *flag.FlagSet // nil when constructed directly (tests)
 }
 
-func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack) (err error) {
+func commonFlags(fs *flag.FlagSet) commonOpts {
+	return commonOpts{
+		q:         fs.Duration("q", 20*time.Millisecond, "ALPS quantum"),
+		logCycles: fs.Bool("log", false, "print per-cycle consumption"),
+		httpAddr:  fs.String("http", "", "serve /metrics, /healthz, /debug/journal, /debug/pprof/ and /admin/config on this address (e.g. :9090)"),
+		state:     fs.String("state", "", "checkpoint file: written each cycle, resumed from on restart"),
+		conf:      fs.String("config", "", "JSON reconfiguration document, applied at startup and on SIGHUP"),
+		maxq:      fs.Duration("maxq", 40*time.Millisecond, "overload guard quantum bound (0 disables the guard; default scales to 2q when -q exceeds it)"),
+		fs:        fs,
+	}
+}
+
+// maxqSet reports whether the operator passed -maxq explicitly. The
+// 40ms default is a Figure 4 number for 10–20ms quanta; with a larger
+// -q it is not an operator decision to honour but a stale default to
+// rescale, so only an explicit value is held against -q in validate().
+func (o commonOpts) maxqSet() bool {
+	if o.fs == nil {
+		return true
+	}
+	set := false
+	o.fs.Visit(func(f *flag.Flag) {
+		if f.Name == "maxq" {
+			set = true
+		}
+	})
+	return set
+}
+
+func (o commonOpts) validate() error {
+	if *o.q <= 0 {
+		return fmt.Errorf("quantum must be positive, got -q %v", *o.q)
+	}
+	if *o.maxq < 0 {
+		return fmt.Errorf("-maxq must be zero (guard off) or positive, got %v", *o.maxq)
+	}
+	if *o.maxq > 0 && *o.maxq < *o.q && o.maxqSet() {
+		return fmt.Errorf("-maxq %v is below the quantum -q %v; the guard could never stretch", *o.maxq, *o.q)
+	}
+	return nil
+}
+
+// config builds the RunnerConfig these flags describe.
+func (o commonOpts) config() alps.RunnerConfig {
+	maxq := *o.maxq
+	if maxq > 0 && maxq < *o.q {
+		maxq = 2 * *o.q // defaulted bound below a large -q: keep one stretch level
+	}
+	return alps.RunnerConfig{
+		Quantum: *o.q,
+		Overload: alps.OverloadConfig{
+			Enable:     maxq > 0,
+			MaxQuantum: maxq,
+		},
+	}
+}
+
+// runOpts carries the crash-safety and live-reconfiguration paths into
+// runUntilSignal.
+type runOpts struct {
+	statePath string // -state: per-cycle checkpoint file; empty disables
+	confPath  string // -config: SIGHUP reload source; empty disables
+}
+
+func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack, ro runOpts) (err error) {
 	// Test hook: panic after N completed cycles, so the end-to-end crash
 	// test can prove that no workload process stays SIGSTOPped when the
 	// controller dies mid-flight (see crash_test.go).
@@ -103,13 +193,40 @@ func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack
 			}
 		}
 	}
-	r, err := alps.NewRunner(cfg, tasks)
+	if ro.statePath != "" && st != nil {
+		w := newCheckpointWriter(ro.statePath, st.reg)
+		cfg.Checkpoint = func(s alps.RunnerState) { w.Offer(s) }
+		// Close flushes the newest state, so an orderly shutdown leaves
+		// the final cycle durable for the next restart-in-place.
+		defer w.Close()
+	}
+	r, err := buildRunner(cfg, tasks, ro.statePath)
 	if err != nil {
 		return err
 	}
+	if ro.confPath != "" {
+		defer reloadOnSIGHUP(r, ro.confPath)()
+		// Initial apply: a missing file is fine (it may be written later
+		// and SIGHUPped in), but an invalid one fails the start — with
+		// the workload resumed by Release on the way out.
+		if _, serr := os.Stat(ro.confPath); serr == nil {
+			if cerr := applyConfigFile(r, ro.confPath); cerr != nil {
+				r.Release()
+				return fmt.Errorf("initial -config %s: %w", ro.confPath, cerr)
+			}
+			errlog.Info("config applied", "path", ro.confPath)
+		}
+	}
 	if st != nil {
 		st.lateness = func() time.Duration { return r.Health().LastLateness }
-		shutdown, serr := st.serve(func() any { return r.Health() })
+		st.admin = adminConfigHandler(r)
+		shutdown, serr := st.serve(func() any {
+			h := r.Health()
+			return struct {
+				alps.RunnerHealth
+				Degraded bool
+			}{h, h.Degraded()}
+		})
 		if serr != nil {
 			r.Release()
 			return serr
@@ -174,6 +291,7 @@ func parsePidShares(args []string) ([]alps.RunnerTask, error) {
 		return nil, fmt.Errorf("no pid:share pairs given")
 	}
 	var tasks []alps.RunnerTask
+	seen := make(map[int]bool, len(args))
 	for i, a := range args {
 		pidStr, shareStr, ok := strings.Cut(a, ":")
 		if !ok {
@@ -183,9 +301,19 @@ func parsePidShares(args []string) ([]alps.RunnerTask, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad pid in %q: %v", a, err)
 		}
+		if pid <= 0 {
+			return nil, fmt.Errorf("pid must be positive in %q", a)
+		}
+		if seen[pid] {
+			return nil, fmt.Errorf("duplicate pid %d: each process belongs to exactly one principal", pid)
+		}
+		seen[pid] = true
 		share, err := strconv.ParseInt(shareStr, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad share in %q: %v", a, err)
+		}
+		if share <= 0 {
+			return nil, fmt.Errorf("share must be positive in %q", a)
 		}
 		tasks = append(tasks, alps.RunnerTask{ID: alps.TaskID(i), Share: share, PIDs: []int{pid}})
 	}
@@ -194,27 +322,39 @@ func parsePidShares(args []string) ([]alps.RunnerTask, error) {
 
 func cmdAttach(args []string) error {
 	fs := flag.NewFlagSet("attach", flag.ExitOnError)
-	q, logCycles, httpAddr := commonFlags(fs)
+	opts := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := opts.validate(); err != nil {
 		return err
 	}
 	tasks, err := parsePidShares(fs.Args())
 	if err != nil {
 		return err
 	}
-	cfg := alps.RunnerConfig{Quantum: *q}
-	st := newObsStack(*httpAddr)
-	st.wire(&cfg, cycleLogger(*logCycles))
-	return runUntilSignal(cfg, tasks, st)
+	cfg := opts.config()
+	st := newObsStack(*opts.httpAddr)
+	st.wire(&cfg, cycleLogger(*opts.logCycles))
+	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf})
 }
 
 func cmdSpawn(args []string) error {
 	fs := flag.NewFlagSet("spawn", flag.ExitOnError)
-	q, logCycles, httpAddr := commonFlags(fs)
+	opts := commonFlags(fs)
 	sharesStr := fs.String("shares", "", "comma-separated shares, one process per share")
 	children := fs.Bool("children", false, "track each command's descendants (prefork servers), refreshed every second")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	if *opts.state != "" {
+		// Spawned children are killed when alps exits, so there is
+		// nothing for a restarted instance to re-adopt; a stale state
+		// file would only mask that.
+		return fmt.Errorf("-state is not supported in spawn mode (spawned processes die with alps; use attach to schedule independent processes)")
 	}
 	cmdArgs := fs.Args()
 	if len(cmdArgs) == 0 {
@@ -228,6 +368,9 @@ func cmdSpawn(args []string) error {
 		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
 		if err != nil {
 			return fmt.Errorf("bad share %q: %v", s, err)
+		}
+		if v <= 0 {
+			return fmt.Errorf("share must be positive, got %q", s)
 		}
 		shares = append(shares, v)
 	}
@@ -253,9 +396,9 @@ func cmdSpawn(args []string) error {
 			_ = p.Wait()
 		}
 	}()
-	cfg := alps.RunnerConfig{Quantum: *q}
-	st := newObsStack(*httpAddr)
-	st.wire(&cfg, cycleLogger(*logCycles))
+	cfg := opts.config()
+	st := newObsStack(*opts.httpAddr)
+	st.wire(&cfg, cycleLogger(*opts.logCycles))
 	if *children {
 		// Each spawned command is a resource principal covering its
 		// whole process tree (e.g. a prefork server and its workers),
@@ -277,15 +420,21 @@ func cmdSpawn(args []string) error {
 			return m
 		}
 	}
-	return runUntilSignal(cfg, tasks, st)
+	return runUntilSignal(cfg, tasks, st, runOpts{confPath: *opts.conf})
 }
 
 func cmdUser(args []string) error {
 	fs := flag.NewFlagSet("user", flag.ExitOnError)
-	q, logCycles, httpAddr := commonFlags(fs)
+	opts := commonFlags(fs)
 	refresh := fs.Duration("refresh", time.Second, "membership refresh period")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	if *refresh <= 0 {
+		return fmt.Errorf("refresh period must be positive, got -refresh %v", *refresh)
 	}
 	type principal struct {
 		uid   uint32
@@ -344,12 +493,10 @@ func cmdUser(args []string) error {
 	for i, p := range principals {
 		tasks = append(tasks, alps.RunnerTask{ID: alps.TaskID(i), Share: p.share, PIDs: initial[alps.TaskID(i)]})
 	}
-	cfg := alps.RunnerConfig{
-		Quantum:      *q,
-		RefreshEvery: *refresh,
-		Refresh:      membership,
-	}
-	st := newObsStack(*httpAddr)
-	st.wire(&cfg, cycleLogger(*logCycles))
-	return runUntilSignal(cfg, tasks, st)
+	cfg := opts.config()
+	cfg.RefreshEvery = *refresh
+	cfg.Refresh = membership
+	st := newObsStack(*opts.httpAddr)
+	st.wire(&cfg, cycleLogger(*opts.logCycles))
+	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf})
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"flag"
 	"testing"
+	"time"
 )
 
 func TestParsePidShares(t *testing.T) {
@@ -19,16 +21,83 @@ func TestParsePidShares(t *testing.T) {
 
 func TestParsePidSharesErrors(t *testing.T) {
 	cases := [][]string{
-		{},              // empty
-		{"100"},         // no colon
-		{"x:1"},         // bad pid
-		{"100:y"},       // bad share
-		{"100:1", "::"}, // garbage
+		{},                   // empty
+		{"100"},              // no colon
+		{"x:1"},              // bad pid
+		{"100:y"},            // bad share
+		{"100:1", "::"},      // garbage
+		{"0:1"},              // pid must be positive
+		{"-5:1"},             // negative pid
+		{"100:0"},            // share must be positive
+		{"100:-2"},           // negative share
+		{"100:1", "100:3"},   // duplicate pid
+		{"100:1", "200:0"},   // one bad pair poisons the set
 	}
 	for _, args := range cases {
 		if _, err := parsePidShares(args); err == nil {
 			t.Errorf("parsePidShares(%v) should fail", args)
 		}
+	}
+}
+
+func TestCommonOptsValidate(t *testing.T) {
+	mk := func(q, maxq time.Duration) commonOpts {
+		return commonOpts{q: &q, maxq: &maxq}
+	}
+	cases := []struct {
+		name string
+		opts commonOpts
+		ok   bool
+	}{
+		{"defaults", mk(20*time.Millisecond, 40*time.Millisecond), true},
+		{"guard off", mk(20*time.Millisecond, 0), true},
+		{"maxq equals q", mk(20*time.Millisecond, 20*time.Millisecond), true},
+		{"zero quantum", mk(0, 40*time.Millisecond), false},
+		{"negative quantum", mk(-time.Millisecond, 40*time.Millisecond), false},
+		{"negative maxq", mk(20*time.Millisecond, -time.Millisecond), false},
+		{"maxq below q", mk(20*time.Millisecond, 10*time.Millisecond), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.opts.validate(); (err == nil) != tc.ok {
+				t.Errorf("validate() = %v, want ok=%t", err, tc.ok)
+			}
+		})
+	}
+}
+
+// A -q above the defaulted 40ms -maxq must not be an error — the
+// default rescales to 2q so README's `user -q 100ms` works — while an
+// explicit -maxq below -q stays rejected as an operator contradiction.
+func TestMaxqDefaultScalesWithQuantum(t *testing.T) {
+	parse := func(args ...string) commonOpts {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		opts := commonFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return opts
+	}
+
+	opts := parse("-q", "100ms")
+	if err := opts.validate(); err != nil {
+		t.Fatalf("defaulted -maxq with -q 100ms: %v", err)
+	}
+	cfg := opts.config()
+	if !cfg.Overload.Enable || cfg.Overload.MaxQuantum != 200*time.Millisecond {
+		t.Errorf("guard = %+v, want enabled with MaxQuantum 200ms", cfg.Overload)
+	}
+
+	if err := parse("-q", "100ms", "-maxq", "40ms").validate(); err == nil {
+		t.Error("explicit -maxq below -q should still be rejected")
+	}
+
+	opts = parse("-q", "100ms", "-maxq", "0")
+	if err := opts.validate(); err != nil {
+		t.Fatalf("explicit -maxq 0: %v", err)
+	}
+	if opts.config().Overload.Enable {
+		t.Error("-maxq 0 should disable the guard")
 	}
 }
 

@@ -30,6 +30,7 @@ type obsStack struct {
 	journal  *obs.Journal
 	addr     string
 	lateness func() time.Duration // reads the runner's health; set by runUntilSignal
+	admin    http.Handler         // /admin/config; set by runUntilSignal
 }
 
 func newObsStack(addr string) *obsStack {
@@ -102,7 +103,11 @@ func (st *obsStack) serve(health func() any) (shutdown func(), err error) {
 	if err != nil {
 		return nil, fmt.Errorf("observability listener on %s: %w", st.addr, err)
 	}
-	srv := &http.Server{Handler: obs.NewMux(st.reg, health, st.journal)}
+	mux := obs.NewMux(st.reg, health, st.journal)
+	if st.admin != nil {
+		mux.Handle("/admin/config", st.admin)
+	}
+	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	errlog.Info("observability listening", "addr", ln.Addr().String())
 	return func() {

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+	"syscall"
+	"time"
+
+	"alps"
+	"alps/internal/ckpt"
+	"alps/internal/obs"
+)
+
+// Crash-safe startup: -state makes cmd/alps checkpoint the scheduler
+// after every cycle and resume from the checkpoint on restart. The file
+// format (internal/ckpt) is versioned and checksummed, and loading fails
+// closed — a torn, corrupt or incompatible file never yields a partial
+// restore. On every failure exit path the workload is swept with
+// SIGCONT first, because the dead instance may have left it SIGSTOPped.
+
+// buildRunner constructs the run's Runner: fresh from the command-line
+// tasks, or resumed from statePath when a usable checkpoint exists
+// there. A restored run ignores the command-line pid:share pairs — the
+// checkpoint's bindings win, as in any restart-in-place upgrade.
+func buildRunner(cfg alps.RunnerConfig, tasks []alps.RunnerTask, statePath string) (*alps.Runner, error) {
+	if statePath == "" {
+		return alps.NewRunner(cfg, tasks)
+	}
+	var st alps.RunnerState
+	err := ckpt.Load(statePath, &st)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		errlog.Info("no state file yet, fresh start", "path", statePath)
+		return alps.NewRunner(cfg, tasks)
+	case err != nil:
+		// Fail closed: never guess at a damaged file's contents. The
+		// previous instance may have died with the workload suspended,
+		// so free the command-line PIDs before giving up.
+		sweepCont(taskPIDs(tasks))
+		return nil, fmt.Errorf("state file %s: %w (refusing partial restore; command-line PIDs resumed)", statePath, err)
+	}
+	r, rerr := alps.NewRunnerFromState(cfg, st)
+	switch {
+	case errors.Is(rerr, alps.ErrNoLiveProcess):
+		// Stale checkpoint: every recorded PID died during the outage.
+		// The command-line workload is current; schedule that instead.
+		errlog.Info("state file has no surviving process, fresh start", "path", statePath)
+		return alps.NewRunner(cfg, tasks)
+	case rerr != nil:
+		sweepCont(append(statePIDs(st), taskPIDs(tasks)...))
+		return nil, fmt.Errorf("restore from %s: %w (workload resumed)", statePath, rerr)
+	}
+	errlog.Info("resumed from state file", "path", statePath,
+		"cycle", st.Sched.Cycles, "tasks", len(st.Tasks))
+	if len(tasks) > 0 {
+		errlog.Info("command-line pid:share pairs ignored (checkpointed bindings win)")
+	}
+	return r, nil
+}
+
+// newCheckpointWriter builds the async checkpoint writer behind the
+// per-cycle Config.Checkpoint hook. Saves happen on a dedicated
+// goroutine with latest-wins coalescing, because an atomic Save fsyncs
+// — often costlier than a whole quantum — and the control loop must
+// never wait for the disk. Latency and outcome land on the metrics
+// surface; a failed write is logged (once per distinct error) and
+// scheduling continues — losing checkpoint freshness is better than
+// losing the workload's shares.
+func newCheckpointWriter(path string, reg *obs.Registry) *ckpt.Writer {
+	writes := reg.Counter("alps_checkpoint_writes_total",
+		"State checkpoints written to the -state file (cycles may coalesce).")
+	errs := reg.Counter("alps_checkpoint_errors_total",
+		"Checkpoint writes that failed (scheduling continues).")
+	dur := reg.Histogram("alps_checkpoint_write_seconds",
+		"Wall time of one atomic checkpoint write.", obs.LatencyBuckets)
+	var mu sync.Mutex
+	lastErr := ""
+	return ckpt.NewWriter(path, func(d time.Duration, err error) {
+		if err != nil {
+			errs.Add(1)
+			mu.Lock()
+			repeat := err.Error() == lastErr
+			lastErr = err.Error()
+			mu.Unlock()
+			if !repeat {
+				errlog.Error("checkpoint write failed", "path", path, "err", err)
+			}
+			return
+		}
+		dur.Observe(d.Seconds())
+		writes.Add(1)
+	})
+}
+
+// sweepCont sends SIGCONT to every given PID, ignoring errors: the
+// belt-and-braces unfreeze for exit paths where no Runner exists yet to
+// do an orderly Release. SIGCONT is harmless to a process that was
+// never stopped.
+func sweepCont(pids []int) {
+	for _, pid := range pids {
+		if pid > 0 {
+			_ = syscall.Kill(pid, syscall.SIGCONT)
+		}
+	}
+}
+
+func taskPIDs(tasks []alps.RunnerTask) []int {
+	var pids []int
+	for _, t := range tasks {
+		pids = append(pids, t.PIDs...)
+	}
+	return pids
+}
+
+func statePIDs(st alps.RunnerState) []int {
+	var pids []int
+	for _, t := range st.Tasks {
+		for _, p := range t.PIDs {
+			pids = append(pids, p.PID)
+		}
+	}
+	return pids
+}

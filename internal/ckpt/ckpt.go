@@ -1,0 +1,134 @@
+// Package ckpt persists checkpoints durably and reads them back
+// fail-closed. A checkpoint file is a fixed binary envelope around a
+// JSON payload:
+//
+//	offset  size  field
+//	0       8     magic "ALPSCKPT"
+//	8       4     format version, little-endian uint32
+//	12      8     payload length, little-endian uint64
+//	20      32    SHA-256 of the payload
+//	52      n     payload (JSON)
+//
+// Save is atomic with respect to crashes at any point: the envelope is
+// written to a temp file in the destination directory, fsynced, renamed
+// over the destination, and the directory is fsynced. A reader therefore
+// sees either the previous complete checkpoint or the new complete
+// checkpoint, never a torn mix. Load verifies the magic, version,
+// length, and checksum before a single payload byte is decoded, so a
+// truncated, bit-flipped, or foreign file yields ErrCorrupt (or
+// ErrIncompatible for a recognized-but-unsupported version) and no
+// partial data ever reaches the caller.
+package ckpt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Version is the current checkpoint format version. Bump it on any
+// payload-incompatible change; Load rejects other versions with
+// ErrIncompatible rather than guessing.
+const Version = 1
+
+var magic = [8]byte{'A', 'L', 'P', 'S', 'C', 'K', 'P', 'T'}
+
+const headerSize = 8 + 4 + 8 + sha256.Size
+
+// ErrCorrupt reports a checkpoint file that is torn, truncated,
+// bit-flipped, or not a checkpoint at all.
+var ErrCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+// ErrIncompatible reports a well-formed checkpoint written by an
+// incompatible format version.
+var ErrIncompatible = errors.New("ckpt: incompatible checkpoint version")
+
+// Save atomically writes payload (JSON-encoded) as a checkpoint at
+// path. On return without error the file durably contains the complete
+// new checkpoint; on any error the previous file, if any, is intact.
+func Save(path string, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("ckpt: encode: %w", err)
+	}
+	buf := make([]byte, headerSize, headerSize+len(body))
+	copy(buf[0:8], magic[:])
+	binary.LittleEndian.PutUint32(buf[8:12], Version)
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(len(body)))
+	sum := sha256.Sum256(body)
+	copy(buf[20:20+sha256.Size], sum[:])
+	buf = append(buf, body...)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("ckpt: rename: %w", err)
+	}
+	// Persist the rename itself. Best-effort on filesystems that refuse
+	// directory fsync; the rename is still atomic.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads the checkpoint at path and decodes its payload into out
+// (a pointer, as for json.Unmarshal). It fails closed: unless the
+// magic, version, length, and checksum all verify, out is not written.
+// A missing file is reported as fs.ErrNotExist so callers can
+// distinguish "fresh start" from "corrupt state".
+func Load(path string, out any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err // preserves fs.ErrNotExist
+	}
+	return Decode(raw, out)
+}
+
+// Decode verifies and decodes a checkpoint envelope held in memory.
+func Decode(raw []byte, out any) error {
+	if len(raw) < headerSize {
+		return fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrCorrupt, len(raw), headerSize)
+	}
+	if !bytes.Equal(raw[0:8], magic[:]) {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v != Version {
+		return fmt.Errorf("%w: file version %d, this build reads version %d", ErrIncompatible, v, Version)
+	}
+	n := binary.LittleEndian.Uint64(raw[12:20])
+	body := raw[headerSize:]
+	if uint64(len(body)) != n {
+		return fmt.Errorf("%w: payload is %d bytes, header says %d", ErrCorrupt, len(body), n)
+	}
+	want := raw[20 : 20+sha256.Size]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], want) {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("%w: payload decode: %v", ErrCorrupt, err)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"alps/internal/core"
+)
+
+type doc struct {
+	Name  string          `json:"name"`
+	Count int             `json:"count"`
+	Snap  core.Snapshot   `json:"snap"`
+	Tags  map[string]bool `json:"tags"`
+}
+
+func sampleDoc() doc {
+	s := core.New(core.Config{Quantum: 10 * time.Millisecond})
+	_ = s.Add(1, 2)
+	_ = s.Add(2, 3)
+	read := func(core.TaskID) (core.Progress, bool) {
+		return core.Progress{Consumed: 10 * time.Millisecond}, true
+	}
+	for i := 0; i < 7; i++ {
+		s.TickQuantum(read)
+	}
+	return doc{
+		Name:  "sample",
+		Count: 42,
+		Snap:  s.Snapshot(),
+		Tags:  map[string]bool{"a": true, "b": false},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	want := sampleDoc()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	var got doc
+	if err := Load(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := Save(path, sampleDoc()); err != nil {
+		t.Fatal(err)
+	}
+	next := sampleDoc()
+	next.Count = 99
+	if err := Save(path, next); err != nil {
+		t.Fatal(err)
+	}
+	var got doc
+	if err := Load(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != 99 {
+		t.Errorf("loaded count = %d, want 99", got.Count)
+	}
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after two saves, want 1: %v", len(entries), entries)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var got doc
+	err := Load(filepath.Join(t.TempDir(), "absent.ckpt"), &got)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("Load(absent) = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestLoadRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	if err := Save(path, sampleDoc()); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrCorrupt},
+		{"truncated header", func(b []byte) []byte { return b[:headerSize-1] }, ErrCorrupt},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-1] }, ErrCorrupt},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrCorrupt},
+		{"future version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], Version+1)
+			return b
+		}, ErrIncompatible},
+		{"length lies", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[12:20], 1)
+			return b
+		}, ErrCorrupt},
+		{"checksum flipped", func(b []byte) []byte { b[20] ^= 0x01; return b }, ErrCorrupt},
+		{"payload bit flip", func(b []byte) []byte { b[headerSize+3] ^= 0x40; return b }, ErrCorrupt},
+		{"payload appended", func(b []byte) []byte { return append(b, '!') }, ErrCorrupt},
+		{"not a checkpoint", func(b []byte) []byte { return []byte("{\"name\":\"json\"}") }, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			damaged := tc.mut(append([]byte(nil), valid...))
+			p := filepath.Join(dir, tc.name+".ckpt")
+			if err := os.WriteFile(p, damaged, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var got doc
+			if err := Load(p, &got); !errors.Is(err, tc.want) {
+				t.Errorf("Load = %v, want %v", err, tc.want)
+			}
+			// Fail closed: nothing was decoded into got.
+			if !reflect.DeepEqual(got, doc{}) {
+				t.Errorf("rejected load wrote output: %+v", got)
+			}
+		})
+	}
+}
+
+// Every bit of a valid file matters: flipping any single bit in the
+// envelope or payload must make Load fail (corrupt or incompatible),
+// never succeed with silently different content.
+func TestLoadRejectsEveryBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	if err := Save(path, sampleDoc()); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(valid); i++ {
+		for bit := 0; bit < 8; bit++ {
+			damaged := append([]byte(nil), valid...)
+			damaged[i] ^= 1 << bit
+			var got doc
+			err := Decode(damaged, &got)
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d loaded successfully", i, bit)
+			}
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrIncompatible) {
+				t.Fatalf("bit flip at byte %d bit %d: unexpected error %v", i, bit, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"alps/internal/core"
+)
+
+// FuzzRestoreCheckpoint feeds arbitrary bytes through the full restore
+// path — envelope decode, then core.Restore — and asserts the two
+// fail-closed guarantees: no input panics, and an input that is
+// rejected at either layer leaves the target scheduler byte-for-byte
+// unchanged (restore is all-or-nothing).
+func FuzzRestoreCheckpoint(f *testing.F) {
+	// Seed with a valid checkpoint and light mutations of it, so the
+	// fuzzer starts inside the interesting format space.
+	s := core.New(core.Config{Quantum: 10 * time.Millisecond})
+	_ = s.Add(1, 2)
+	_ = s.Add(2, 5)
+	read := func(core.TaskID) (core.Progress, bool) {
+		return core.Progress{Consumed: 10 * time.Millisecond}, true
+	}
+	for i := 0; i < 9; i++ {
+		s.TickQuantum(read)
+	}
+	path := f.TempDir() + "/seed.ckpt"
+	if err := Save(path, s.Snapshot()); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("ALPSCKPT"))
+	for _, i := range []int{0, 9, 15, 25, headerSize, len(valid) - 1} {
+		m := append([]byte(nil), valid...)
+		m[i] ^= 0x10
+		f.Add(m)
+	}
+	tooLong := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(tooLong[12:20], 1<<40)
+	f.Add(tooLong)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		target := core.New(core.Config{Quantum: time.Millisecond})
+		_ = target.Add(9, 4)
+		target.TickQuantum(func(core.TaskID) (core.Progress, bool) {
+			return core.Progress{Consumed: time.Millisecond}, true
+		})
+		before := target.Snapshot()
+
+		var snap core.Snapshot
+		if err := Decode(raw, &snap); err != nil {
+			if after := target.Snapshot(); !reflect.DeepEqual(after, before) {
+				t.Fatalf("decode error mutated scheduler")
+			}
+			return
+		}
+		if err := target.Restore(snap); err != nil {
+			if after := target.Snapshot(); !reflect.DeepEqual(after, before) {
+				t.Fatalf("rejected restore mutated scheduler:\n got %+v\nwant %+v", target.Snapshot(), before)
+			}
+			return
+		}
+		// Accepted: the scheduler must now be exactly the snapshot and
+		// able to keep running without panicking.
+		if after := target.Snapshot(); !reflect.DeepEqual(after, snap) {
+			t.Fatalf("accepted restore diverges from snapshot:\n got %+v\nwant %+v", after, snap)
+		}
+		for i := 0; i < 3; i++ {
+			target.TickQuantum(func(core.TaskID) (core.Progress, bool) {
+				return core.Progress{Consumed: target.Quantum()}, true
+			})
+		}
+	})
+}

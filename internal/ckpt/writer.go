@@ -1,0 +1,95 @@
+package ckpt
+
+import (
+	"sync"
+	"time"
+)
+
+// Writer persists checkpoints asynchronously with latest-wins
+// coalescing. An atomic Save costs an fsync — on many filesystems
+// several milliseconds, comparable to a whole scheduling quantum — so
+// the control loop must never wait for one. Offer hands the payload to
+// a dedicated writer goroutine and returns immediately; if cycles
+// complete faster than the disk can persist them, intermediate
+// checkpoints are skipped and the file always converges on the newest
+// state. The file on disk is always a complete checkpoint (Save's
+// write-to-temp-and-rename), at worst a few cycles stale.
+type Writer struct {
+	path    string
+	onWrite func(time.Duration, error) // post-write hook (metrics); may be nil
+
+	mu      sync.Mutex
+	pending any
+	closed  bool
+	kick    chan struct{} // buffered(1): "pending is set"
+	done    chan struct{} // closed when the goroutine has exited
+}
+
+// NewWriter starts a writer persisting to path. onWrite, if non-nil, is
+// called from the writer goroutine after every write attempt with its
+// duration and outcome.
+func NewWriter(path string, onWrite func(time.Duration, error)) *Writer {
+	w := &Writer{
+		path:    path,
+		onWrite: onWrite,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+func (w *Writer) run() {
+	defer close(w.done)
+	flush := func() {
+		for {
+			w.mu.Lock()
+			p := w.pending
+			w.pending = nil
+			w.mu.Unlock()
+			if p == nil {
+				return
+			}
+			t0 := time.Now()
+			err := Save(w.path, p)
+			if w.onWrite != nil {
+				w.onWrite(time.Since(t0), err)
+			}
+		}
+	}
+	for range w.kick {
+		flush()
+	}
+	flush() // whatever was offered after the last kick was consumed
+}
+
+// Offer schedules payload to be persisted, replacing any not-yet-written
+// predecessor. It never blocks. Offers after Close are dropped.
+func (w *Writer) Offer(payload any) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return
+	}
+	w.pending = payload
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close flushes the newest pending checkpoint to disk and stops the
+// writer. When it returns, the last offered state is durable (or its
+// write error has been reported through onWrite).
+func (w *Writer) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		<-w.done
+		return
+	}
+	w.closed = true
+	close(w.kick) // Offer sends only under mu with closed=false, so this cannot race
+	w.mu.Unlock()
+	<-w.done
+}

@@ -1,0 +1,90 @@
+package ckpt
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+type wdoc struct {
+	Seq int `json:"seq"`
+}
+
+// Close flushes the newest offered payload: after a burst of offers the
+// file holds the last one, however many intermediates were coalesced.
+func TestWriterLatestWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.ckpt")
+	var writes int
+	var mu sync.Mutex
+	w := NewWriter(path, func(_ time.Duration, err error) {
+		if err != nil {
+			t.Errorf("write: %v", err)
+		}
+		mu.Lock()
+		writes++
+		mu.Unlock()
+	})
+	const n = 200
+	for i := 1; i <= n; i++ {
+		w.Offer(wdoc{Seq: i})
+	}
+	w.Close()
+
+	var got wdoc
+	if err := Load(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != n {
+		t.Errorf("file holds seq %d, want the newest %d", got.Seq, n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if writes < 1 || writes > n {
+		t.Errorf("writes = %d, want within [1, %d]", writes, n)
+	}
+	t.Logf("%d offers coalesced into %d writes", n, writes)
+}
+
+// Offers after Close are dropped, and Close is idempotent.
+func TestWriterClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.ckpt")
+	w := NewWriter(path, nil)
+	w.Offer(wdoc{Seq: 1})
+	w.Close()
+	w.Offer(wdoc{Seq: 2})
+	w.Close()
+	var got wdoc
+	if err := Load(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 {
+		t.Errorf("file holds seq %d, want 1 (post-Close offer dropped)", got.Seq)
+	}
+}
+
+// Concurrent offers with a closing writer must not race or panic; the
+// race detector is the assertion.
+func TestWriterConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.ckpt")
+	w := NewWriter(path, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				w.Offer(wdoc{Seq: g*1000 + i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	w.Close()
+	var got wdoc
+	if err := Load(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq == 0 {
+		t.Error("no payload persisted")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"alps/internal/obs"
+)
+
+// Property: a Snapshot/Restore round trip at ANY quantum boundary is
+// invisible — the restored scheduler's future eligibility-transition
+// sequence is identical to the uninterrupted run's. The workload is a
+// deterministic pseudo-random mixture of partial consumption, blocking,
+// and idling, so both runs (and the Replay cross-check) observe exactly
+// the same measurements.
+func TestSnapshotRestoreTransitionProperty(t *testing.T) {
+	const totalTicks = 400
+	q := 10 * time.Millisecond
+
+	// read is a pure function of (tick, task): the consumption and
+	// blocked state depend only on the coordinates, never on which
+	// scheduler instance asks.
+	mkRead := func(seed int64, s *Scheduler) Reader {
+		return func(id TaskID) (Progress, bool) {
+			h := rand.New(rand.NewSource(seed ^ s.Tick()<<16 ^ int64(id)))
+			switch h.Intn(10) {
+			case 0:
+				return Progress{Blocked: true}, true
+			case 1:
+				return Progress{}, true // idle, not blocked
+			default:
+				frac := 1 + h.Intn(10) // 10%..100% of a quantum
+				return Progress{Consumed: q * time.Duration(frac) / 10}, true
+			}
+		}
+	}
+
+	shares := []int64{1, 2, 3, 5, 8}
+	tasks := make([]ReplayTask, len(shares))
+	for i, sh := range shares {
+		tasks[i] = ReplayTask{ID: TaskID(i), Share: sh}
+	}
+
+	for _, seed := range []int64{1, 7, 42} {
+		for _, cut := range []int{1, 13, 100, 250, totalTicks - 1} {
+			// Uninterrupted run, capturing the full event stream.
+			baseLog := obs.NewEventLog(0)
+			base := New(Config{Quantum: q, Observer: baseLog})
+			for _, tk := range tasks {
+				if err := base.Add(tk.ID, tk.Share); err != nil {
+					t.Fatal(err)
+				}
+			}
+			baseRead := mkRead(seed, base)
+			for i := 0; i < totalTicks; i++ {
+				base.TickQuantum(baseRead)
+			}
+
+			// Interrupted run: same schedule to the cut, then a
+			// Snapshot/Restore into a fresh scheduler, then the rest.
+			firstLog := obs.NewEventLog(0)
+			first := New(Config{Quantum: q, Observer: firstLog})
+			for _, tk := range tasks {
+				if err := first.Add(tk.ID, tk.Share); err != nil {
+					t.Fatal(err)
+				}
+			}
+			firstRead := mkRead(seed, first)
+			for i := 0; i < cut; i++ {
+				first.TickQuantum(firstRead)
+			}
+			snap := first.Snapshot()
+
+			secondLog := obs.NewEventLog(0)
+			second := New(Config{Quantum: time.Millisecond, Observer: secondLog})
+			if err := second.Restore(snap); err != nil {
+				t.Fatalf("seed %d cut %d: restore: %v", seed, cut, err)
+			}
+			secondRead := mkRead(seed, second)
+			for i := cut; i < totalTicks; i++ {
+				second.TickQuantum(secondRead)
+			}
+
+			// The future transition sequence must be identical.
+			var wantFuture []obs.Event
+			for _, e := range TransitionsOf(baseLog.Events()) {
+				if e.Tick > int64(cut) {
+					wantFuture = append(wantFuture, e)
+				}
+			}
+			gotFuture := TransitionsOf(secondLog.Events())
+			if !reflect.DeepEqual(gotFuture, wantFuture) {
+				t.Fatalf("seed %d cut %d: post-restore transitions diverge:\n got %d transitions\nwant %d transitions",
+					seed, cut, len(gotFuture), len(wantFuture))
+			}
+
+			// Cross-check with Replay (PR 2): the stitched event stream
+			// (pre-cut capture + post-restore capture) must replay to the
+			// same transitions as the uninterrupted capture — i.e. the
+			// measurements across the restore boundary fully explain the
+			// decisions, with no hidden state lost by Snapshot.
+			stitched := append(firstLog.Events(), secondLog.Events()...)
+			replayed, err := Replay(Config{Quantum: q}, tasks, stitched)
+			if err != nil {
+				t.Fatalf("seed %d cut %d: replay of stitched stream: %v", seed, cut, err)
+			}
+			if got, want := TransitionsOf(replayed), TransitionsOf(baseLog.Events()); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d cut %d: replayed stitched stream diverges from uninterrupted run", seed, cut)
+			}
+		}
+	}
+}

@@ -58,6 +58,17 @@ const (
 	// KindQuantumEnd closes the invocation.
 	// Fields: Tick, N (tasks measured), Cycle (completed cycle count).
 	KindQuantumEnd
+	// KindReconfig records one applied live-reconfiguration change
+	// (share, quantum, or principal membership). Fields: Tick, Task (-1
+	// for scheduler-wide changes), Share (new share, if a share change),
+	// Length (new quantum, if a quantum change), N (new membership size,
+	// if a membership change).
+	KindReconfig
+	// KindDegrade records an overload-guard state change: the effective
+	// quantum was stretched (ReasonOverload) or restored one level
+	// (ReasonRecovered). Fields: Tick, Task (-1), N (new degrade level),
+	// Length (new effective quantum).
+	KindDegrade
 )
 
 var kindNames = [...]string{
@@ -69,6 +80,8 @@ var kindNames = [...]string{
 	KindTransition:   "transition",
 	KindPostpone:     "postpone",
 	KindQuantumEnd:   "quantum_end",
+	KindReconfig:     "reconfig",
+	KindDegrade:      "degrade",
 }
 
 // String returns the snake_case event name (also used as a metric label).
@@ -103,6 +116,13 @@ const (
 	// ReasonAdmitted: a newly added task became eligible on its first
 	// serviced quantum (no grant involved).
 	ReasonAdmitted
+	// ReasonOverload: the overload guard stretched the effective quantum
+	// because sustained per-quantum work approached the §4.2 breakdown
+	// threshold.
+	ReasonOverload
+	// ReasonRecovered: the overload guard restored the effective quantum
+	// one level after sustained headroom.
+	ReasonRecovered
 )
 
 var reasonNames = [...]string{
@@ -111,6 +131,8 @@ var reasonNames = [...]string{
 	ReasonBlocked:   "blocked",
 	ReasonGrant:     "grant",
 	ReasonAdmitted:  "admitted",
+	ReasonOverload:  "overload",
+	ReasonRecovered: "recovered",
 }
 
 // String returns the reason name ("" for ReasonNone).
@@ -136,6 +158,7 @@ type Event struct {
 	Cycle int64
 	Task  int64
 	Wake  int64
+	Share int64
 
 	Consumed  time.Duration
 	Allowance time.Duration
@@ -173,6 +196,16 @@ func (e Event) String() string {
 		return fmt.Sprintf("t%-5d postpone task=%d allowance=%v wake=t%d", e.Tick, e.Task, e.Allowance, e.Wake)
 	case KindQuantumEnd:
 		return fmt.Sprintf("t%-5d quantum_end measured=%d cycles=%d", e.Tick, e.N, e.Cycle)
+	case KindReconfig:
+		switch {
+		case e.Length > 0:
+			return fmt.Sprintf("t%-5d reconfig quantum=%v", e.Tick, e.Length)
+		case e.Share > 0:
+			return fmt.Sprintf("t%-5d reconfig task=%d share=%d", e.Tick, e.Task, e.Share)
+		}
+		return fmt.Sprintf("t%-5d reconfig task=%d members=%d", e.Tick, e.Task, e.N)
+	case KindDegrade:
+		return fmt.Sprintf("t%-5d degrade level=%d quantum=%v (%s)", e.Tick, e.N, e.Length, e.Reason)
 	}
 	return fmt.Sprintf("t%-5d %s task=%d", e.Tick, e.Kind, e.Task)
 }

@@ -40,6 +40,16 @@ type Health struct {
 	// RefreshErrors counts membership-refresh entries that could not be
 	// installed (unknown task, unbaselineable PID).
 	RefreshErrors int64
+	// Reconfigs counts applied live-reconfiguration changes (SIGHUP,
+	// /admin/config).
+	Reconfigs int64
+	// OverloadDegrades and OverloadRecovers count overload-guard level
+	// changes; DegradeLevel is the current level (0 = nominal) and
+	// EffectiveQuantum the quantum currently in force (baseQ << level).
+	OverloadDegrades int64
+	OverloadRecovers int64
+	DegradeLevel     int
+	EffectiveQuantum time.Duration
 	// LastLateness is how late the most recent step fired past its
 	// quantum; MaxLateness is the worst observed.
 	LastLateness time.Duration
@@ -49,17 +59,19 @@ type Health struct {
 // String renders the snapshot as a single key=value telemetry line.
 func (h Health) String() string {
 	return fmt.Sprintf(
-		"ticks=%d vanished=%d reused=%d sig_retries=%d sig_failures=%d unsignalable=%d read_retries=%d missed_ticks=%d catchup_ticks=%d refresh_errors=%d late_last=%v late_max=%v",
+		"ticks=%d vanished=%d reused=%d sig_retries=%d sig_failures=%d unsignalable=%d read_retries=%d missed_ticks=%d catchup_ticks=%d refresh_errors=%d reconfigs=%d degrade_level=%d eff_quantum=%v late_last=%v late_max=%v",
 		h.Ticks, h.VanishedPIDs, h.ReusedPIDs, h.SignalRetries, h.SignalFailures,
 		h.UnsignalablePIDs, h.ReadRetries, h.MissedTicks, h.CatchUpTicks,
-		h.RefreshErrors, h.LastLateness, h.MaxLateness)
+		h.RefreshErrors, h.Reconfigs, h.DegradeLevel, h.EffectiveQuantum,
+		h.LastLateness, h.MaxLateness)
 }
 
 // Degraded reports whether the loop has seen any fault or overrun — the
 // cue for an operator (or cmd/alps) to surface the full snapshot.
 func (h Health) Degraded() bool {
-	return h.VanishedPIDs+h.ReusedPIDs+h.SignalRetries+h.SignalFailures+
-		h.UnsignalablePIDs+h.ReadRetries+h.MissedTicks+h.RefreshErrors > 0
+	return h.DegradeLevel > 0 ||
+		h.VanishedPIDs+h.ReusedPIDs+h.SignalRetries+h.SignalFailures+
+			h.UnsignalablePIDs+h.ReadRetries+h.MissedTicks+h.RefreshErrors > 0
 }
 
 // healthCounters is the Runner's internal, concurrency-safe counter set.
@@ -67,12 +79,14 @@ func (h Health) Degraded() bool {
 // another goroutine (a metrics exporter, a signal handler); atomics make
 // the snapshot race-free without a lock on the hot path.
 type healthCounters struct {
-	ticks, vanished, reused       atomic.Int64
-	sigRetries, sigFailures       atomic.Int64
-	unsignalable, readRetries     atomic.Int64
-	missedTicks, catchUpTicks     atomic.Int64
-	refreshErrors                 atomic.Int64
-	lastLatenessNS, maxLatenessNS atomic.Int64
+	ticks, vanished, reused            atomic.Int64
+	sigRetries, sigFailures            atomic.Int64
+	unsignalable, readRetries          atomic.Int64
+	missedTicks, catchUpTicks          atomic.Int64
+	refreshErrors, reconfigs           atomic.Int64
+	overloadDegrades, overloadRecovers atomic.Int64
+	degradeLevel, effQuantumNS         atomic.Int64
+	lastLatenessNS, maxLatenessNS      atomic.Int64
 }
 
 func (c *healthCounters) noteLateness(d time.Duration) {
@@ -97,6 +111,11 @@ func (c *healthCounters) snapshot() Health {
 		MissedTicks:      c.missedTicks.Load(),
 		CatchUpTicks:     c.catchUpTicks.Load(),
 		RefreshErrors:    c.refreshErrors.Load(),
+		Reconfigs:        c.reconfigs.Load(),
+		OverloadDegrades: c.overloadDegrades.Load(),
+		OverloadRecovers: c.overloadRecovers.Load(),
+		DegradeLevel:     int(c.degradeLevel.Load()),
+		EffectiveQuantum: time.Duration(c.effQuantumNS.Load()),
 		LastLateness:     time.Duration(c.lastLatenessNS.Load()),
 		MaxLateness:      time.Duration(c.maxLatenessNS.Load()),
 	}

@@ -53,6 +53,21 @@ func (r *Runner) registerMetrics(reg *obs.Registry) {
 	reg.CounterFunc("alps_runner_refresh_errors_total",
 		"Membership-refresh entries that could not be installed.",
 		h.refreshErrors.Load)
+	reg.CounterFunc("alps_runner_reconfigs_total",
+		"Applied live-reconfiguration changes (SIGHUP, /admin/config).",
+		h.reconfigs.Load)
+	reg.CounterFunc("alps_runner_overload_degrades_total",
+		"Overload-guard degradations (effective quantum stretched one level).",
+		h.overloadDegrades.Load)
+	reg.CounterFunc("alps_runner_overload_recovers_total",
+		"Overload-guard recoveries (effective quantum restored one level).",
+		h.overloadRecovers.Load)
+	reg.GaugeFunc("alps_runner_degrade_level",
+		"Current overload degradation level (0 = nominal).",
+		func() float64 { return float64(h.degradeLevel.Load()) })
+	reg.GaugeFunc("alps_runner_effective_quantum_seconds",
+		"Quantum currently in force (configured quantum << degrade level).",
+		func() float64 { return time.Duration(h.effQuantumNS.Load()).Seconds() })
 	reg.GaugeFunc("alps_runner_last_lateness_seconds",
 		"How late the most recent step fired past its quantum.",
 		func() float64 { return time.Duration(h.lastLatenessNS.Load()).Seconds() })

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"alps/internal/core"
@@ -49,6 +50,15 @@ type Config struct {
 	// latency histograms: step lateness, per-task sample duration, and
 	// signal-delivery duration.
 	Metrics *obs.Registry
+	// Checkpoint, if non-nil, is called at the end of any Step that
+	// completed at least one allocation cycle, with the runner's full
+	// durable state. It runs on the control-loop goroutine (under the
+	// loop lock), so it must be fast; cmd/alps uses it to persist a
+	// ckpt file per cycle.
+	Checkpoint func(RunnerState)
+	// Overload configures the §4.2 overload guard; the zero value
+	// leaves it disabled.
+	Overload OverloadConfig
 }
 
 // Fault-tolerance knobs. Real systems exhibit every one of these failure
@@ -80,12 +90,20 @@ type pidState struct {
 }
 
 // Runner executes the ALPS control loop over real processes. Create it
-// with NewRunner, then call Run; the loop holds no goroutines besides the
-// caller's. Health may be called from any goroutine.
+// with NewRunner (or NewRunnerFromState after a crash), then call Run;
+// the loop holds no goroutines besides the caller's. Health may be
+// called from any goroutine; State, Reconfigure, and Release serialize
+// with the loop via an internal lock.
 type Runner struct {
 	cfg   Config
 	sys   Sys
 	sched *core.Scheduler
+
+	// loopMu serializes the control loop (Step) with the cross-goroutine
+	// entry points: State (checkpoint/admin reads), Reconfigure (SIGHUP
+	// and /admin/config), and Release. The loop takes it once per
+	// quantum, so contention is negligible.
+	loopMu sync.Mutex
 
 	targets map[core.TaskID][]int
 	known   map[int]pidState // accounting baseline per live PID
@@ -97,8 +115,12 @@ type Runner struct {
 	lastRef   time.Time
 	lastTick  time.Time
 
+	baseQ time.Duration // operator-configured quantum (pre-degradation)
+	over  overloadState
+
 	now    func() time.Time // injectable clock for overrun tests
 	start  time.Time        // creation time, origin for event timestamps
+	tracer obs.Observer     // stamped observer (nil when disabled)
 	health healthCounters
 	mx     *runnerMetrics // nil unless Config.Metrics was set
 }
@@ -115,31 +137,7 @@ func NewRunner(cfg Config, tasks []Task) (*Runner, error) {
 	if cfg.Quantum < ClockTick {
 		return nil, fmt.Errorf("osproc: quantum %v is below the /proc accounting tick %v", cfg.Quantum, ClockTick)
 	}
-	if cfg.Sys == nil {
-		cfg.Sys = RealSys{}
-	}
-	r := &Runner{
-		cfg:       cfg,
-		sys:       cfg.Sys,
-		targets:   make(map[core.TaskID][]int),
-		known:     make(map[int]pidState),
-		badSig:    make(map[int]int),
-		badRead:   make(map[int]int),
-		suspended: make(map[int]bool),
-		now:       time.Now,
-	}
-	r.start = r.now()
-	r.sched = core.New(core.Config{
-		Quantum:             cfg.Quantum,
-		DisableLazySampling: cfg.DisableLazySampling,
-		OnCycle:             cfg.OnCycle,
-		Observer: obs.Stamp(func() time.Duration {
-			return r.now().Sub(r.start)
-		}, cfg.Observer),
-	})
-	if cfg.Metrics != nil {
-		r.registerMetrics(cfg.Metrics)
-	}
+	r := newRunnerSkeleton(cfg)
 	for _, t := range tasks {
 		if err := r.sched.Add(t.ID, t.Share); err != nil {
 			return nil, err
@@ -187,6 +185,50 @@ func NewRunner(cfg Config, tasks []Task) (*Runner, error) {
 	return r, nil
 }
 
+// newRunnerSkeleton builds a Runner with its maps, clock, scheduler, and
+// telemetry wired but no tasks registered; NewRunner and
+// NewRunnerFromState populate it.
+func newRunnerSkeleton(cfg Config) *Runner {
+	if cfg.Sys == nil {
+		cfg.Sys = RealSys{}
+	}
+	cfg.Overload = cfg.Overload.withDefaults()
+	r := &Runner{
+		cfg:       cfg,
+		sys:       cfg.Sys,
+		targets:   make(map[core.TaskID][]int),
+		known:     make(map[int]pidState),
+		badSig:    make(map[int]int),
+		badRead:   make(map[int]int),
+		suspended: make(map[int]bool),
+		baseQ:     cfg.Quantum,
+		now:       time.Now,
+	}
+	r.start = r.now()
+	r.tracer = obs.Stamp(func() time.Duration {
+		return r.now().Sub(r.start)
+	}, cfg.Observer)
+	r.sched = core.New(core.Config{
+		Quantum:             cfg.Quantum,
+		DisableLazySampling: cfg.DisableLazySampling,
+		OnCycle:             cfg.OnCycle,
+		Observer:            r.tracer,
+	})
+	r.health.effQuantumNS.Store(int64(cfg.Quantum))
+	if cfg.Metrics != nil {
+		r.registerMetrics(cfg.Metrics)
+	}
+	return r
+}
+
+// emit delivers a runner-originated event (reconfig, degrade) to the
+// stamped observer.
+func (r *Runner) emit(e obs.Event) {
+	if r.tracer != nil {
+		r.tracer.Observe(e)
+	}
+}
+
 // Scheduler exposes the underlying core scheduler for inspection.
 func (r *Runner) Scheduler() *core.Scheduler { return r.sched }
 
@@ -202,21 +244,34 @@ func (r *Runner) Health() Health { return r.health.snapshot() }
 // out of the loop — all still-suspended processes have been resumed: the
 // workload is never left frozen.
 func (r *Runner) Run(ctx context.Context) error {
-	ticker := time.NewTicker(r.cfg.Quantum)
-	defer ticker.Stop()
+	// A timer re-armed with the current effective quantum each pass,
+	// rather than a fixed ticker: the overload guard may stretch the
+	// quantum mid-run and the loop must slow down with it.
+	timer := time.NewTimer(r.EffectiveQuantum())
+	defer timer.Stop()
 	defer r.Release()
+	r.loopMu.Lock()
 	r.lastRef = r.now()
 	r.lastTick = r.now()
+	r.loopMu.Unlock()
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-ticker.C:
+		case <-timer.C:
 			if done := r.Step(); done {
 				return nil
 			}
+			timer.Reset(r.EffectiveQuantum())
 		}
 	}
+}
+
+// EffectiveQuantum returns the quantum currently in force: the
+// configured quantum, possibly stretched by the overload guard. Safe to
+// call from any goroutine.
+func (r *Runner) EffectiveQuantum() time.Duration {
+	return time.Duration(r.health.effQuantumNS.Load())
 }
 
 // Step runs a single quantum of the algorithm (one or more TickQuantum
@@ -226,12 +281,15 @@ func (r *Runner) Run(ctx context.Context) error {
 // a bug), every suspended process is resumed before the panic continues
 // unwinding.
 func (r *Runner) Step() (done bool) {
+	r.loopMu.Lock()
+	defer r.loopMu.Unlock()
 	defer func() {
 		if p := recover(); p != nil {
-			r.Release()
+			r.releaseLocked()
 			panic(p)
 		}
 	}()
+	effQ := r.EffectiveQuantum()
 	now := r.now()
 	passes := 1
 	if !r.lastTick.IsZero() {
@@ -241,7 +299,7 @@ func (r *Runner) Step() (done bool) {
 		// Without compensation the cycle silently stretches in wall
 		// time — blocked tasks are charged Q per *invocation*, not per
 		// elapsed quantum — so issue capped catch-up invocations.
-		late := now.Sub(r.lastTick) - r.cfg.Quantum
+		late := now.Sub(r.lastTick) - effQ
 		if late < 0 {
 			late = 0
 		}
@@ -249,7 +307,7 @@ func (r *Runner) Step() (done bool) {
 		if r.mx != nil {
 			r.mx.cycleLateness.Observe(late.Seconds())
 		}
-		if missed := int64(late / r.cfg.Quantum); missed > 0 {
+		if missed := int64(late / effQ); missed > 0 {
 			r.health.missedTicks.Add(missed)
 			extra := missed
 			if extra > maxCatchUpTicks {
@@ -266,8 +324,18 @@ func (r *Runner) Step() (done bool) {
 		r.refresh(r.cfg.Refresh())
 	}
 
+	cyclesBefore := r.sched.Cycles()
+	workBegin := r.now()
 	for i := 0; i < passes && !done; i++ {
 		done = r.tickOnce()
+	}
+	// Per-invocation control-loop work drives the §4.2 overload guard:
+	// divide by the passes actually run so catch-up bursts are not
+	// mistaken for sustained overload.
+	r.noteWork(r.now().Sub(workBegin) / time.Duration(passes))
+
+	if r.cfg.Checkpoint != nil && r.sched.Cycles() > cyclesBefore {
+		r.cfg.Checkpoint(r.stateLocked())
 	}
 	return done
 }
@@ -634,8 +702,16 @@ const releaseAttempts = 8
 // automatically when Run returns (and when a panic unwinds out of Step);
 // call it directly if using Step. Idempotent: transient failures are
 // retried persistently, and ESRCH (the process died while suspended — it
-// can no longer be frozen) is not an error.
+// can no longer be frozen) is not an error. Safe from any goroutine.
 func (r *Runner) Release() {
+	r.loopMu.Lock()
+	defer r.loopMu.Unlock()
+	r.releaseLocked()
+}
+
+// releaseLocked is Release's body, for callers already holding loopMu
+// (notably Step's panic path, which would deadlock calling Release).
+func (r *Runner) releaseLocked() {
 	for pid := range r.suspended {
 		var err error
 		for attempt := 1; attempt <= releaseAttempts; attempt++ {

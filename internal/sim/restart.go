@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"alps/internal/core"
+)
+
+// Crash/restart of the simulated ALPS process — the virtual-time mirror
+// of cmd/alps's checkpoint/restore path. Killing an AlpsProc with
+// Kernel.Kill models a SIGKILLed scheduler exactly: SIGSTOPped workload
+// processes stay frozen, eligible ones free-ride unscheduled.
+// RestartALPS then rebuilds a fresh instance from a captured AlpsState,
+// re-enacting the eligibility partition and re-baselining CPU
+// accounting, so the accuracy cost of a real restart is measurable in
+// virtual time against an uninterrupted run.
+
+// AlpsState is a captured AlpsProc checkpoint: the core scheduler
+// snapshot plus the task→PID bindings.
+type AlpsState struct {
+	Sched   core.Snapshot
+	Targets map[core.TaskID][]PID
+}
+
+// Snapshot captures the instance's durable state, as cmd/alps's
+// per-cycle checkpoint does.
+func (a *AlpsProc) Snapshot() AlpsState {
+	st := AlpsState{
+		Sched:   a.sched.Snapshot(),
+		Targets: make(map[core.TaskID][]PID, len(a.targets)),
+	}
+	for id, pids := range a.targets {
+		st.Targets[id] = append([]PID(nil), pids...)
+	}
+	return st
+}
+
+// RestartALPS spawns a fresh ALPS instance continuing a dead instance's
+// captured state. Per workload PID: exited PIDs are dropped (a task
+// whose every PID is gone is removed before the first quantum);
+// surviving PIDs have their CPU accounting re-baselined at the current
+// counter — consumption during the scheduler outage is nobody's fault
+// and is never charged — and their run state re-aligned with the
+// restored eligibility partition (SIGCONT for eligible tasks, freeing
+// whatever the dead instance left stopped; SIGSTOP for ineligible
+// ones).
+func RestartALPS(k *Kernel, cfg AlpsConfig, st AlpsState) (*AlpsProc, error) {
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = st.Sched.Quantum
+	}
+	a, err := StartALPS(k, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.sched.Restore(st.Sched); err != nil {
+		k.Kill(a.pid)
+		return nil, fmt.Errorf("sim: restart: %w", err)
+	}
+	// The timer grid runs at cfg.Quantum; keep the algorithm's Q in
+	// lockstep with it even if the snapshot was taken at a different
+	// (e.g. overload-stretched) quantum.
+	if err := a.sched.SetQuantum(cfg.Quantum); err != nil {
+		k.Kill(a.pid)
+		return nil, fmt.Errorf("sim: restart: %w", err)
+	}
+	ids := make([]core.TaskID, 0, len(st.Targets))
+	for id := range st.Targets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		eligible, err := a.sched.State(id)
+		if err != nil {
+			continue // binding for a task the snapshot does not know
+		}
+		var live []PID
+		for _, wp := range st.Targets[id] {
+			info, ok := k.Info(wp)
+			if !ok {
+				continue // exited during the outage
+			}
+			if eligible == core.Eligible {
+				k.Signal(wp, SIGCONT)
+			} else {
+				k.Signal(wp, SIGSTOP)
+			}
+			// Re-baseline at the current ticked counter (the same
+			// granularity next() reads), not the dead instance's last
+			// sample: outage-period CPU is never charged.
+			a.lastCPU[wp] = info.CPUTicked
+			live = append(live, wp)
+		}
+		if len(live) == 0 {
+			_ = a.sched.Remove(id)
+			continue
+		}
+		a.targets[id] = live
+	}
+	return a, nil
+}

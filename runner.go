@@ -26,6 +26,45 @@ type RunnerHealth = osproc.Health
 // already gone before scheduling began.
 var ErrNoLiveProcess = osproc.ErrNoLiveProcess
 
+// RunnerState is a Runner's durable state: the core scheduler snapshot
+// plus the task→PID bindings (with /proc start-time stamps guarding
+// against PID reuse) and the degradation level. Capture one with
+// Runner.State or the per-cycle Config.Checkpoint hook; persist it with
+// internal/ckpt; resume from it with NewRunnerFromState.
+type RunnerState = osproc.RunnerState
+
+// Reconfig is a batch of live configuration changes for
+// Runner.Reconfigure: share updates, quantum changes, task adds and
+// removes, PID rebinds. A batch is validated as a whole and applied
+// atomically — an invalid entry rejects the entire batch.
+type Reconfig = osproc.Reconfig
+
+// OverloadConfig parameterizes the runner's overload guard, which
+// stretches the effective quantum (up to MaxQuantum) under sustained
+// per-quantum overload and restores it with hysteresis when load drops.
+type OverloadConfig = osproc.OverloadConfig
+
+// ErrBadState is returned by NewRunnerFromState for a state that is
+// internally inconsistent; nothing is restored and no process signalled.
+var ErrBadState = osproc.ErrBadState
+
+// ErrBadReconfig is returned by Runner.Reconfigure for an invalid batch;
+// no part of the batch is applied.
+var ErrBadReconfig = osproc.ErrBadReconfig
+
+// NewRunnerFromState rebuilds a Runner from a dead instance's captured
+// state: the scheduler resumes mid-cycle with the checkpointed
+// allowances, still-live PIDs are re-adopted with their CPU accounting
+// re-baselined (outage-period consumption is never charged) and their
+// run state re-aligned with the restored eligibility partition —
+// including SIGCONT for anything the dead instance left SIGSTOPped.
+// Exited and recycled PIDs are dropped (recycled ones without ever
+// being signalled); a task with no surviving PID is removed. Returns
+// ErrNoLiveProcess if nothing survived.
+func NewRunnerFromState(cfg RunnerConfig, st RunnerState) (*Runner, error) {
+	return osproc.NewRunnerFromState(cfg, st)
+}
+
 // NewRunner builds a runner controlling the given tasks. The tasks'
 // processes are suspended immediately and resumed as the algorithm grants
 // allowances; Run (or Release) resumes everything on the way out.
