@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench chaos vulncheck
+.PHONY: check vet build test race short bench trace chaos vulncheck
 
 check: vet build race
 
@@ -34,6 +34,14 @@ short:
 bench:
 	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) obs
 	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) robustness
+
+# Trace smoke: run the built-in demo scenario through the simulator and
+# emit TRACE_sim.json as Chrome trace-event JSON. alps-sim validates the
+# trace before writing it, so a non-zero exit means the tracing pipeline
+# regressed; the file opens directly in Perfetto (ui.perfetto.dev).
+trace:
+	$(GO) run ./cmd/alps-sim -chrome TRACE_sim.json
+	@echo "wrote TRACE_sim.json (open in https://ui.perfetto.dev)"
 
 # Crash/restart end-to-end suite under the race detector: SIGKILL the
 # scheduler mid-run, restart from the -state file, require shares to

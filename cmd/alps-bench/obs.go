@@ -11,15 +11,18 @@ import (
 	"alps/internal/core"
 	"alps/internal/obs"
 	"alps/internal/osproc"
+	"alps/internal/trace"
 )
 
 // runObs measures the cost the observability layer adds per quantum and
 // writes BENCH_obs.json. Each benchmark runs the same deterministic
 // schedule under three observer configurations:
 //
-//   - off:     Config.Observer == nil, the production default
-//   - noop:    an enabled observer that discards every event
-//   - metrics: the full MetricsObserver feeding a live registry
+//   - off:      Config.Observer == nil, the production default
+//   - noop:     an enabled observer that discards every event
+//   - metrics:  the full MetricsObserver feeding a live registry
+//   - recorder: the cmd/alps production fan-out — MetricsObserver plus
+//     the always-on flight recorder's ring buffer
 //
 // Two loops are timed. "core" is the bare core.Scheduler.TickQuantum —
 // the most hostile denominator possible (no process table, no signal
@@ -36,7 +39,9 @@ import (
 // essentially nothing when nobody is watching. (The off variant runs
 // the exact production path: the same nil guards, none of the event
 // construction; the disabled-path alloc count is separately pinned to
-// zero by core's TestDisabledObserverAllocs.)
+// zero by core's TestDisabledObserverAllocs.) The recorder variant gets
+// the same 5% budget: the flight recorder is always on in cmd/alps, so
+// its fully-loaded tick must also fit the §3.2 framing.
 func runObs() error {
 	coreIters, runnerIters := 100_000, 20_000
 	if *quick {
@@ -130,6 +135,9 @@ func runObs() error {
 		{"off", func(*obs.Registry) obs.Observer { return nil }},
 		{"noop", func(*obs.Registry) obs.Observer { return obs.ObserverFunc(func(obs.Event) {}) }},
 		{"metrics", func(reg *obs.Registry) obs.Observer { return obs.NewMetricsObserver(reg) }},
+		{"recorder", func(reg *obs.Registry) obs.Observer {
+			return obs.Multi(obs.NewMetricsObserver(reg), trace.NewRecorder(trace.RecorderConfig{}))
+		}},
 	}
 	finish := func(b *bench) {
 		off := b.Variants[0].NsPerTick
@@ -175,20 +183,25 @@ func runObs() error {
 	pctOfQuantum := func(ns float64) float64 { return 100 * ns / float64(q.Nanoseconds()) }
 	disabledPct := pctOfQuantum(runnerB.Variants[0].NsPerTick)
 	enabledPct := pctOfQuantum(runnerB.Variants[2].NsPerTick)
+	recorderPct := pctOfQuantum(runnerB.Variants[3].NsPerTick)
 	report := struct {
 		Tasks                int     `json:"tasks"`
 		QuantumNs            int64   `json:"quantum_ns"`
 		Benchmarks           []bench `json:"benchmarks"`
 		DisabledPctOfQuantum float64 `json:"disabled_quantum_loop_overhead_pct"`
 		MetricsPctOfQuantum  float64 `json:"metrics_quantum_loop_overhead_pct"`
+		RecorderPctOfQuantum float64 `json:"recorder_quantum_loop_overhead_pct"`
 		DisabledWithin5Pct   bool    `json:"disabled_within_5pct"`
+		RecorderWithin5Pct   bool    `json:"recorder_within_5pct"`
 	}{
 		Tasks:                nTasks,
 		QuantumNs:            int64(q),
 		Benchmarks:           []bench{coreB, runnerB},
 		DisabledPctOfQuantum: disabledPct,
 		MetricsPctOfQuantum:  enabledPct,
+		RecorderPctOfQuantum: recorderPct,
 		DisabledWithin5Pct:   disabledPct < 5,
+		RecorderWithin5Pct:   recorderPct < 5,
 	}
 
 	fmt.Println("Observability overhead per quantum (CPU time, getrusage, min of", rounds, "rounds)")
@@ -198,10 +211,14 @@ func runObs() error {
 			fmt.Printf("    %-8s %9.1f ns/tick  %+6.2f%% vs off\n", v.Name, v.NsPerTick, v.OverheadPct)
 		}
 	}
-	fmt.Printf("  quantum-loop overhead, observer disabled: %.3f%% of Q=%v (budget 5%%)\n", disabledPct, q)
-	fmt.Printf("  quantum-loop overhead, metrics enabled:   %.3f%% of Q=%v\n", enabledPct, q)
+	fmt.Printf("  quantum-loop overhead, observer disabled:  %.3f%% of Q=%v (budget 5%%)\n", disabledPct, q)
+	fmt.Printf("  quantum-loop overhead, metrics enabled:    %.3f%% of Q=%v\n", enabledPct, q)
+	fmt.Printf("  quantum-loop overhead, flight recorder on: %.3f%% of Q=%v (budget 5%%)\n", recorderPct, q)
 	if !report.DisabledWithin5Pct {
 		fmt.Println("  WARNING: disabled quantum-loop overhead exceeds the 5% budget on this host")
+	}
+	if !report.RecorderWithin5Pct {
+		fmt.Println("  WARNING: flight-recorder quantum-loop overhead exceeds the 5% budget on this host")
 	}
 
 	dir := *out

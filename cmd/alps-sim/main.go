@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	alps-sim -f scenario.json [-log] [-trace timeline.tsv]
+//	alps-sim -f scenario.json [-log] [-trace timeline.tsv] [-chrome trace.json]
 //	alps-sim -example          # print a commented example scenario
 //
 // A scenario describes the machine, the ALPS configuration, and the
@@ -23,6 +23,7 @@ func main() {
 	file := flag.String("f", "", "scenario JSON file (default: built-in demo)")
 	logCycles := flag.Bool("log", false, "print per-cycle consumption")
 	tracePath := flag.String("trace", "", "write a context-switch timeline TSV to this file")
+	chromePath := flag.String("chrome", "", "write the run's scheduling decisions as Chrome trace JSON (open in Perfetto) to this file")
 	example := flag.Bool("example", false, "print an example scenario and exit")
 	flag.Parse()
 
@@ -49,7 +50,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	res, err := RunScenario(sc, *logCycles, *tracePath)
+	res, err := RunScenario(sc, *logCycles, *tracePath, *chromePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "alps-sim:", err)
 		os.Exit(1)

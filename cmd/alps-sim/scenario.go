@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"alps"
+	"alps/internal/trace"
 )
 
 // Duration is a time.Duration that unmarshals from JSON strings like
@@ -176,8 +178,10 @@ func (r Result) Report() string {
 }
 
 // RunScenario executes a scenario. tracePath, if non-empty, receives a
-// context-switch timeline TSV.
-func RunScenario(sc Scenario, logCycles bool, tracePath string) (*Result, error) {
+// context-switch timeline TSV; chromePath receives the run's scheduling
+// decisions as Chrome trace-event JSON (openable in Perfetto), validated
+// before it is written.
+func RunScenario(sc Scenario, logCycles bool, tracePath, chromePath string) (*Result, error) {
 	pol := alps.PolicyBSD
 	if sc.Policy == "cfs" {
 		pol = alps.PolicyCFS
@@ -186,6 +190,10 @@ func RunScenario(sc Scenario, logCycles bool, tracePath string) (*Result, error)
 	var tr *alps.Tracer
 	if tracePath != "" {
 		tr = k.Trace()
+	}
+	var events *alps.EventLog
+	if chromePath != "" {
+		events = alps.NewEventLog(0)
 	}
 
 	taskPids := make([][]alps.SimPID, len(sc.Tasks))
@@ -231,6 +239,9 @@ func RunScenario(sc Scenario, logCycles bool, tracePath string) (*Result, error)
 			}
 		},
 	}
+	if events != nil {
+		cfg.Observer = events
+	}
 	a, err := alps.StartALPS(k, cfg, simTasks)
 	if err != nil {
 		return nil, err
@@ -265,6 +276,22 @@ func RunScenario(sc Scenario, logCycles bool, tracePath string) (*Result, error)
 			return nil, err
 		}
 		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if events != nil {
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, events.Events(), map[string]any{
+			"substrate": "sim", "scenario": sc.Comment,
+		}); err != nil {
+			return nil, err
+		}
+		// Refuse to emit a trace Perfetto would choke on: the file is the
+		// artifact a human debugs with, so it must always open.
+		if err := trace.Validate(buf.Bytes()); err != nil {
+			return nil, fmt.Errorf("chrome trace failed validation: %w", err)
+		}
+		if err := os.WriteFile(chromePath, buf.Bytes(), 0o644); err != nil {
 			return nil, err
 		}
 	}

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"alps/internal/trace"
 )
 
 func TestParseExampleScenario(t *testing.T) {
@@ -81,7 +85,7 @@ func TestRunScenarioProportions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunScenario(sc, false, "")
+	res, err := RunScenario(sc, false, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,5 +98,28 @@ func TestRunScenarioProportions(t *testing.T) {
 	rep := res.Report()
 	if !strings.Contains(rep, "ALPS overhead") || !strings.Contains(rep, "task") {
 		t.Errorf("report missing sections:\n%s", rep)
+	}
+}
+
+// TestRunScenarioChromeTrace checks the -chrome path: the example
+// scenario must produce a file that parses and validates as a Chrome
+// trace (RunScenario itself validates before writing; this test guards
+// the file actually landing on disk and surviving a reparse).
+func TestRunScenarioChromeTrace(t *testing.T) {
+	sc, err := ParseScenario([]byte(exampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Duration = Duration(5 * time.Second)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if _, err := RunScenario(sc, false, "", path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(raw); err != nil {
+		t.Errorf("written chrome trace invalid: %v", err)
 	}
 }

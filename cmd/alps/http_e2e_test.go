@@ -15,6 +15,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"alps/internal/trace"
 )
 
 // syncBuffer is a bytes.Buffer safe to read while the child process is
@@ -39,10 +41,12 @@ func (b *syncBuffer) String() string {
 var listenRe = regexp.MustCompile(`msg="observability listening" addr=([0-9.:\[\]]+)`)
 
 // TestEndToEndHTTP drives the full observability surface of a real run:
-// spawn two busy loops with -http 127.0.0.1:0, discover the bound
-// address from the structured stderr line, and exercise /metrics,
-// /healthz, /debug/journal, /debug/pprof/ and the SIGUSR1 journal dump
-// before shutting down with SIGINT.
+// spawn two busy loops with -http 127.0.0.1:0 and -trace-dir, discover
+// the bound address from the structured stderr line, and exercise
+// /metrics (including the audit and flight-recorder families), /healthz
+// (including latency quantiles), /debug/journal with its query
+// parameters, /debug/trace, /debug/pprof/, the SIGUSR1 journal dump and
+// the SIGUSR2 trace dump before shutting down with SIGINT.
 func TestEndToEndHTTP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -56,7 +60,9 @@ func TestEndToEndHTTP(t *testing.T) {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
 
+	traceDir := filepath.Join(t.TempDir(), "traces")
 	cmd := exec.Command(bin, "spawn", "-q", "20ms", "-http", "127.0.0.1:0",
+		"-trace-dir", traceDir,
 		"-shares", "1,3", "--", "/bin/sh", "-c", "while :; do :; done")
 	var outBuf bytes.Buffer
 	errBuf := &syncBuffer{}
@@ -121,6 +127,11 @@ func TestEndToEndHTTP(t *testing.T) {
 		"alps_runner_cycle_lateness_seconds_bucket",
 		`alps_share_error_ratio_count{task="0"}`,
 		`alps_share_error_ratio_count{task="1"}`,
+		"alps_audit_rms_share_error",
+		"alps_audit_convergence_cycles",
+		"alps_audit_sampling_reduction_ratio",
+		"alps_trace_events_total",
+		"alps_trace_ring_capacity_events",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)
@@ -138,6 +149,18 @@ func TestEndToEndHTTP(t *testing.T) {
 	}
 	if ticks, ok := health["Ticks"].(float64); !ok || ticks < 1 {
 		t.Errorf("/healthz Ticks = %v, want >= 1", health["Ticks"])
+	}
+	q, ok := health["Quantiles"].(map[string]any)
+	if !ok {
+		t.Fatalf("/healthz has no Quantiles block:\n%s", body)
+	}
+	for _, field := range []string{
+		"CycleLatenessP50", "CycleLatenessP99",
+		"SampleDurationP50", "SampleDurationP99",
+	} {
+		if _, ok := q[field].(float64); !ok {
+			t.Errorf("/healthz Quantiles.%s = %v, want a number", field, q[field])
+		}
 	}
 
 	// /debug/journal: the ring-buffer dump with at least one cycle.
@@ -164,9 +187,73 @@ func TestEndToEndHTTP(t *testing.T) {
 		t.Errorf("journal entry has %d tasks, want 2", n)
 	}
 
+	// /debug/journal query parameters: ?n=1 truncates to the newest
+	// entry, ?format=text serves the human dump as plain text.
+	code, body = get("/debug/journal?n=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/journal?n=1 status %d", code)
+	}
+	var truncated struct {
+		Entries []json.RawMessage `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &truncated); err != nil {
+		t.Fatalf("/debug/journal?n=1 is not JSON: %v", err)
+	}
+	if len(truncated.Entries) != 1 {
+		t.Errorf("/debug/journal?n=1 returned %d entries, want 1", len(truncated.Entries))
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/journal?format=text", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	textBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/debug/journal?format=text Content-Type = %q, want text/plain", ct)
+	}
+	if !strings.Contains(string(textBody), "journal:") {
+		t.Errorf("/debug/journal?format=text missing header:\n%s", textBody)
+	}
+
+	// /debug/trace: the flight-recorder window as valid Chrome trace JSON.
+	code, body = get("/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", code)
+	}
+	if err := trace.Validate([]byte(body)); err != nil {
+		t.Errorf("/debug/trace is not a valid Chrome trace: %v", err)
+	}
+
 	// /debug/pprof/ index.
 	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/ status %d", code)
+	}
+
+	// SIGUSR2 fires a manual flight-recorder dump into -trace-dir.
+	if err := cmd.Process.Signal(syscall.SIGUSR2); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(3 * time.Second)
+	for !strings.Contains(errBuf.String(), "trace dump written") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no trace dump in %s after SIGUSR2:\n%s", traceDir, errBuf.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ents, err := os.ReadDir(traceDir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("trace dir %s: %v (%d entries)", traceDir, err, len(ents))
+	}
+	dumpPath := filepath.Join(traceDir, ents[0].Name())
+	if !strings.Contains(filepath.Base(dumpPath), "manual") {
+		t.Errorf("dump file %q does not carry the manual trigger name", dumpPath)
+	}
+	dump, err := os.ReadFile(dumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Validate(dump); err != nil {
+		t.Errorf("dumped trace file %s is not a valid Chrome trace: %v", dumpPath, err)
 	}
 
 	// SIGUSR1 dumps the journal to stderr.

@@ -82,8 +82,8 @@ func usage() {
 common flags:
   -q 20ms       ALPS quantum
   -log          print per-cycle consumption
-  -http addr    serve /metrics, /healthz, /debug/journal, /debug/pprof/
-                and /admin/config on this address (e.g. :9090)
+  -http addr    serve /metrics, /healthz, /debug/journal, /debug/trace,
+                /debug/pprof/ and /admin/config on this address (e.g. :9090)
   -state FILE   checkpoint scheduler state each cycle; resume from it on
                 restart (not with spawn: its children die with alps)
   -config FILE  JSON reconfiguration document, applied at startup and on
@@ -91,8 +91,13 @@ common flags:
   -maxq 40ms    overload guard: stretch the quantum up to this bound under
                 sustained overload; 0 disables the guard. The default
                 scales up to 2x the quantum when -q exceeds it
+  -trace-dir D  write flight-recorder dumps (Chrome trace JSON, loadable
+                in Perfetto) to directory D; dumps fire automatically on
+                lateness spikes, share-error drift, overload degradation,
+                process drops and checkpoint failures
 
-SIGUSR1 dumps the cycle journal to stderr. SIGHUP reloads -config.
+SIGUSR1 dumps the cycle journal to stderr. SIGUSR2 dumps a flight-recorder
+trace. SIGHUP reloads -config.
 `)
 }
 
@@ -106,6 +111,7 @@ type commonOpts struct {
 	state     *string
 	conf      *string
 	maxq      *time.Duration
+	traceDir  *string
 	fs        *flag.FlagSet // nil when constructed directly (tests)
 }
 
@@ -113,10 +119,11 @@ func commonFlags(fs *flag.FlagSet) commonOpts {
 	return commonOpts{
 		q:         fs.Duration("q", 20*time.Millisecond, "ALPS quantum"),
 		logCycles: fs.Bool("log", false, "print per-cycle consumption"),
-		httpAddr:  fs.String("http", "", "serve /metrics, /healthz, /debug/journal, /debug/pprof/ and /admin/config on this address (e.g. :9090)"),
+		httpAddr:  fs.String("http", "", "serve /metrics, /healthz, /debug/journal, /debug/trace, /debug/pprof/ and /admin/config on this address (e.g. :9090)"),
 		state:     fs.String("state", "", "checkpoint file: written each cycle, resumed from on restart"),
 		conf:      fs.String("config", "", "JSON reconfiguration document, applied at startup and on SIGHUP"),
 		maxq:      fs.Duration("maxq", 40*time.Millisecond, "overload guard quantum bound (0 disables the guard; default scales to 2q when -q exceeds it)"),
+		traceDir:  fs.String("trace-dir", "", "write flight-recorder dumps (Chrome trace JSON, loadable in Perfetto) to this directory"),
 		fs:        fs,
 	}
 }
@@ -166,14 +173,21 @@ func (o commonOpts) config() alps.RunnerConfig {
 	}
 }
 
-// runOpts carries the crash-safety and live-reconfiguration paths into
-// runUntilSignal.
+// runOpts carries the crash-safety, live-reconfiguration and trace-dump
+// paths into runUntilSignal.
 type runOpts struct {
 	statePath string // -state: per-cycle checkpoint file; empty disables
 	confPath  string // -config: SIGHUP reload source; empty disables
+	traceDir  string // -trace-dir: flight-recorder dump directory; empty discards dumps
 }
 
 func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack, ro runOpts) (err error) {
+	if st != nil && ro.traceDir != "" {
+		if terr := st.setTraceDir(ro.traceDir); terr != nil {
+			return terr
+		}
+		defer st.close()
+	}
 	// Test hook: panic after N completed cycles, so the end-to-end crash
 	// test can prove that no workload process stays SIGSTOPped when the
 	// controller dies mid-flight (see crash_test.go).
@@ -194,7 +208,7 @@ func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack
 		}
 	}
 	if ro.statePath != "" && st != nil {
-		w := newCheckpointWriter(ro.statePath, st.reg)
+		w := newCheckpointWriter(ro.statePath, st)
 		cfg.Checkpoint = func(s alps.RunnerState) { w.Offer(s) }
 		// Close flushes the newest state, so an orderly shutdown leaves
 		// the final cycle durable for the next restart-in-place.
@@ -224,8 +238,9 @@ func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack
 			h := r.Health()
 			return struct {
 				alps.RunnerHealth
-				Degraded bool
-			}{h, h.Degraded()}
+				Degraded  bool
+				Quantiles latencyQuantiles
+			}{h, h.Degraded(), st.quantiles()}
 		})
 		if serr != nil {
 			r.Release()
@@ -336,7 +351,7 @@ func cmdAttach(args []string) error {
 	cfg := opts.config()
 	st := newObsStack(*opts.httpAddr)
 	st.wire(&cfg, cycleLogger(*opts.logCycles))
-	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf})
+	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir})
 }
 
 func cmdSpawn(args []string) error {
@@ -420,7 +435,7 @@ func cmdSpawn(args []string) error {
 			return m
 		}
 	}
-	return runUntilSignal(cfg, tasks, st, runOpts{confPath: *opts.conf})
+	return runUntilSignal(cfg, tasks, st, runOpts{confPath: *opts.conf, traceDir: *opts.traceDir})
 }
 
 func cmdUser(args []string) error {
@@ -498,5 +513,5 @@ func cmdUser(args []string) error {
 	cfg.Refresh = membership
 	st := newObsStack(*opts.httpAddr)
 	st.wire(&cfg, cycleLogger(*opts.logCycles))
-	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf})
+	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir})
 }

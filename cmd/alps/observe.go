@@ -15,6 +15,7 @@ import (
 	"alps/internal/core"
 	"alps/internal/metrics"
 	"alps/internal/obs"
+	"alps/internal/trace"
 )
 
 // errlog is the structured logger for operational messages (stderr).
@@ -22,34 +23,103 @@ import (
 // machine-readable telemetry separable from the consumption stream.
 var errlog = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
+// latenessSpikeQuanta is the flight-recorder lateness trigger: a cycle
+// recorded this many quanta late means the control loop materially lost
+// its grid (scheduler stall, suspended controller), and the window that
+// led up to it is worth keeping.
+const latenessSpikeQuanta = 2
+
+// healthLogEvery is the cadence of the periodic health log line.
+const healthLogEvery = 30 * time.Second
+
 // obsStack bundles one run's observability surface: the metrics
-// registry, the bounded cycle journal, the decision-event feed, and the
-// optional HTTP listener (-http).
+// registry, the bounded cycle journal, the decision-event feed, the
+// always-on flight recorder with its accuracy auditor, and the optional
+// HTTP listener (-http).
 type obsStack struct {
-	reg      *obs.Registry
-	journal  *obs.Journal
-	addr     string
+	reg     *obs.Registry
+	journal *obs.Journal
+	rec     *trace.Recorder
+	aud     *trace.Auditor
+	dumper  *trace.FileDumper // nil unless -trace-dir was given
+	addr    string
+	quantum time.Duration // set by wire; scales the lateness trigger
+
+	lastHealthLog time.Time // control-loop goroutine only
+
 	lateness func() time.Duration // reads the runner's health; set by runUntilSignal
 	admin    http.Handler         // /admin/config; set by runUntilSignal
 }
 
 func newObsStack(addr string) *obsStack {
-	return &obsStack{
+	st := &obsStack{
 		reg:     obs.NewRegistry(),
 		journal: obs.NewJournal(obs.DefaultJournalSize),
 		addr:    addr,
 	}
+	st.rec = trace.NewRecorder(trace.RecorderConfig{
+		OnDump: func(d trace.Dump) {
+			errlog.Warn("flight recorder dump", "reason", d.Reason,
+				"seq", d.Seq, "events", len(d.Events))
+			if st.dumper != nil {
+				st.dumper.Dump(d)
+			}
+		},
+	})
+	st.aud = trace.NewAuditor(trace.AuditorConfig{
+		OnDrift: func(rms float64) {
+			if st.rec.Trigger("share_drift") {
+				errlog.Warn("share-error drift", "rms", fmt.Sprintf("%.3f", rms))
+			}
+		},
+	})
+	st.rec.Register(st.reg)
+	st.aud.Register(st.reg)
+	return st
+}
+
+// setTraceDir routes flight-recorder dumps to Chrome trace files in dir
+// (the -trace-dir flag), on a worker goroutine so triggers never block
+// the control loop.
+func (st *obsStack) setTraceDir(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	d, err := trace.NewFileDumper(dir)
+	if err != nil {
+		return err
+	}
+	d.OnWrite = func(path string, _ trace.Dump, err error) {
+		if err != nil {
+			errlog.Error("trace dump write failed", "path", path, "err", err)
+			return
+		}
+		errlog.Info("trace dump written", "path", path)
+	}
+	st.dumper = d
+	return nil
+}
+
+// close drains the trace-dump worker; call once the runner has stopped.
+func (st *obsStack) close() {
+	if st.dumper != nil {
+		st.dumper.Close()
+	}
 }
 
 // wire installs the stack into a runner config: the decision-event
-// metrics feed, the health-counter and latency-histogram registry, and
-// an OnCycle chain that records the journal entry and the per-principal
-// share-error histograms before invoking inner (the -log cycle logger).
+// metrics feed fanned out to the flight recorder and the accuracy
+// auditor, the health-counter and latency-histogram registry, and an
+// OnCycle chain that records the journal entry, the per-principal
+// share-error histograms and the audit window before invoking inner
+// (the -log cycle logger).
 func (st *obsStack) wire(cfg *alps.RunnerConfig, inner func(core.CycleRecord)) {
+	st.quantum = cfg.Quantum
 	cfg.Metrics = st.reg
-	cfg.Observer = obs.NewMetricsObserver(st.reg)
+	cfg.Observer = obs.Multi(obs.NewMetricsObserver(st.reg), st.rec, st.aud)
 	cfg.OnCycle = func(rec core.CycleRecord) {
 		st.recordCycle(rec)
+		st.aud.OnCycle(rec)
 		if inner != nil {
 			inner(rec)
 		}
@@ -90,6 +160,55 @@ func (st *obsStack) recordCycle(rec core.CycleRecord) {
 			).Observe(errs[i])
 		}
 	}
+	if st.quantum > 0 && e.Lateness > latenessSpikeQuanta*st.quantum {
+		if st.rec.Trigger("lateness_spike") {
+			errlog.Warn("cycle lateness spike", "lateness", e.Lateness, "quantum", st.quantum)
+		}
+	}
+	if now := time.Now(); now.Sub(st.lastHealthLog) >= healthLogEvery {
+		st.lastHealthLog = now
+		st.logHealthLine(rec.Index)
+	}
+}
+
+// latencyQuantiles is the /healthz quantile block: p50/p99 of the
+// runner's cycle lateness and per-task sample duration, in seconds.
+type latencyQuantiles struct {
+	CycleLatenessP50 float64
+	CycleLatenessP99 float64
+	SampleDurationP50 float64
+	SampleDurationP99 float64
+}
+
+// quantiles reads the runner's latency histograms off the shared
+// registry (registered by the runner when wire() handed it cfg.Metrics).
+func (st *obsStack) quantiles() latencyQuantiles {
+	cl := st.reg.Histogram("alps_runner_cycle_lateness_seconds",
+		"Distribution of per-step timer lateness.", obs.LatencyBuckets)
+	sd := st.reg.Histogram("alps_runner_sample_duration_seconds",
+		"Wall time spent reading one task's progress from /proc.", obs.LatencyBuckets)
+	return latencyQuantiles{
+		CycleLatenessP50:  cl.Quantile(0.50),
+		CycleLatenessP99:  cl.Quantile(0.99),
+		SampleDurationP50: sd.Quantile(0.50),
+		SampleDurationP99: sd.Quantile(0.99),
+	}
+}
+
+// logHealthLine emits the periodic one-line health summary: latency
+// quantiles plus the auditor's live accuracy numbers.
+func (st *obsStack) logHealthLine(cycle int) {
+	q := st.quantiles()
+	errlog.Info("health",
+		"cycle", cycle,
+		"lateness_p50", time.Duration(q.CycleLatenessP50*float64(time.Second)).Round(time.Microsecond),
+		"lateness_p99", time.Duration(q.CycleLatenessP99*float64(time.Second)).Round(time.Microsecond),
+		"sample_p50", time.Duration(q.SampleDurationP50*float64(time.Second)).Round(time.Microsecond),
+		"sample_p99", time.Duration(q.SampleDurationP99*float64(time.Second)).Round(time.Microsecond),
+		"rms_share_error", fmt.Sprintf("%.3f", st.aud.RMSShareError()),
+		"sampling_reduction", fmt.Sprintf("%.2f", st.aud.SamplingReductionRatio()),
+		"convergence_cycles", st.aud.ConvergenceCycles(),
+	)
 }
 
 // serve starts the observability HTTP server (/metrics, /healthz,
@@ -104,6 +223,7 @@ func (st *obsStack) serve(health func() any) (shutdown func(), err error) {
 		return nil, fmt.Errorf("observability listener on %s: %w", st.addr, err)
 	}
 	mux := obs.NewMux(st.reg, health, st.journal)
+	mux.Handle("/debug/trace", st.rec)
 	if st.admin != nil {
 		mux.Handle("/admin/config", st.admin)
 	}
@@ -117,17 +237,24 @@ func (st *obsStack) serve(health func() any) (shutdown func(), err error) {
 	}, nil
 }
 
-// dumpOnSIGUSR1 dumps the journal to stderr whenever SIGUSR1 arrives.
+// dumpOnSIGUSR1 dumps the journal to stderr whenever SIGUSR1 arrives,
+// and fires a manual flight-recorder dump whenever SIGUSR2 arrives.
 // Returns a stop func.
 func (st *obsStack) dumpOnSIGUSR1() func() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGUSR1)
+	ch2 := make(chan os.Signal, 1)
+	signal.Notify(ch2, syscall.SIGUSR2)
 	done := make(chan struct{})
 	go func() {
 		for {
 			select {
 			case <-ch:
 				_ = st.journal.WriteText(os.Stderr)
+			case <-ch2:
+				if !st.rec.Trigger("manual") {
+					errlog.Info("manual trace dump suppressed (cooldown, or nothing recorded yet)")
+				}
 			case <-done:
 				return
 			}
@@ -135,6 +262,7 @@ func (st *obsStack) dumpOnSIGUSR1() func() {
 	}()
 	return func() {
 		signal.Stop(ch)
+		signal.Stop(ch2)
 		close(done)
 	}
 }

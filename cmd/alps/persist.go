@@ -65,21 +65,23 @@ func buildRunner(cfg alps.RunnerConfig, tasks []alps.RunnerTask, statePath strin
 // goroutine with latest-wins coalescing, because an atomic Save fsyncs
 // — often costlier than a whole quantum — and the control loop must
 // never wait for the disk. Latency and outcome land on the metrics
-// surface; a failed write is logged (once per distinct error) and
-// scheduling continues — losing checkpoint freshness is better than
-// losing the workload's shares.
-func newCheckpointWriter(path string, reg *obs.Registry) *ckpt.Writer {
-	writes := reg.Counter("alps_checkpoint_writes_total",
+// surface; a failed write is logged (once per distinct error), fires the
+// flight recorder's checkpoint-failure trigger, and scheduling continues
+// — losing checkpoint freshness is better than losing the workload's
+// shares.
+func newCheckpointWriter(path string, st *obsStack) *ckpt.Writer {
+	writes := st.reg.Counter("alps_checkpoint_writes_total",
 		"State checkpoints written to the -state file (cycles may coalesce).")
-	errs := reg.Counter("alps_checkpoint_errors_total",
+	errs := st.reg.Counter("alps_checkpoint_errors_total",
 		"Checkpoint writes that failed (scheduling continues).")
-	dur := reg.Histogram("alps_checkpoint_write_seconds",
+	dur := st.reg.Histogram("alps_checkpoint_write_seconds",
 		"Wall time of one atomic checkpoint write.", obs.LatencyBuckets)
 	var mu sync.Mutex
 	lastErr := ""
 	return ckpt.NewWriter(path, func(d time.Duration, err error) {
 		if err != nil {
 			errs.Add(1)
+			st.rec.Trigger("checkpoint_failure")
 			mu.Lock()
 			repeat := err.Error() == lastErr
 			lastErr = err.Error()

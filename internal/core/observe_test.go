@@ -14,6 +14,16 @@ func uniformReader(consumed time.Duration, blocked bool) Reader {
 	}
 }
 
+// pb/pe build the KindPhaseBegin/KindPhaseEnd markers that bracket each
+// algorithm stage, keeping the pinned sequences below readable.
+func pb(tick int64, p obs.Phase) obs.Event {
+	return obs.Event{Kind: obs.KindPhaseBegin, Tick: tick, Task: -1, N: int(p)}
+}
+
+func pe(tick int64, p obs.Phase) obs.Event {
+	return obs.Event{Kind: obs.KindPhaseEnd, Tick: tick, Task: -1, N: int(p)}
+}
+
 // TestEventTaxonomy pins the exact event sequence of a tiny deterministic
 // scenario: two tasks with shares 1 and 2 at Q=10ms, each consuming a
 // full quantum whenever measured. This is the regression anchor for the
@@ -34,9 +44,13 @@ func TestEventTaxonomy(t *testing.T) {
 	s.TickQuantum(uniformReader(q, false))
 	want := []obs.Event{
 		{Kind: obs.KindQuantumStart, Tick: 1, Task: -1, N: 2},
+		pb(1, obs.PhaseSample), pe(1, obs.PhaseSample),
+		pb(1, obs.PhaseCharge), pe(1, obs.PhaseCharge),
+		pb(1, obs.PhaseDecide),
 		{Kind: obs.KindTransition, Tick: 1, Task: 1, Eligible: true, Reason: obs.ReasonAdmitted, Allowance: q},
 		{Kind: obs.KindTransition, Tick: 1, Task: 2, Eligible: true, Reason: obs.ReasonAdmitted, Allowance: 2 * q},
 		{Kind: obs.KindPostpone, Tick: 1, Task: 2, Allowance: 2 * q, Wake: 3},
+		pe(1, obs.PhaseDecide),
 		{Kind: obs.KindQuantumEnd, Tick: 1, Task: -1, N: 0, Cycle: 0},
 	}
 	if got := log.Events(); !equalEvents(got, want) {
@@ -50,8 +64,13 @@ func TestEventTaxonomy(t *testing.T) {
 	s.TickQuantum(uniformReader(q, false))
 	want = []obs.Event{
 		{Kind: obs.KindQuantumStart, Tick: 2, Task: -1, N: 2},
+		pb(2, obs.PhaseSample),
 		{Kind: obs.KindMeasure, Tick: 2, Task: 1, Consumed: q, Allowance: 0},
+		pe(2, obs.PhaseSample),
+		pb(2, obs.PhaseCharge), pe(2, obs.PhaseCharge),
+		pb(2, obs.PhaseDecide),
 		{Kind: obs.KindTransition, Tick: 2, Task: 1, Eligible: false, Reason: obs.ReasonExhausted, Allowance: 0},
+		pe(2, obs.PhaseDecide),
 		{Kind: obs.KindQuantumEnd, Tick: 2, Task: -1, N: 1, Cycle: 0},
 	}
 	if got := log.Events(); !equalEvents(got, want) {
@@ -66,7 +85,11 @@ func TestEventTaxonomy(t *testing.T) {
 	s.TickQuantum(uniformReader(q, false))
 	want = []obs.Event{
 		{Kind: obs.KindQuantumStart, Tick: 3, Task: -1, N: 2},
+		pb(3, obs.PhaseSample),
 		{Kind: obs.KindMeasure, Tick: 3, Task: 2, Consumed: q, Allowance: q},
+		pe(3, obs.PhaseSample),
+		pb(3, obs.PhaseCharge), pe(3, obs.PhaseCharge),
+		pb(3, obs.PhaseDecide), pe(3, obs.PhaseDecide),
 		{Kind: obs.KindQuantumEnd, Tick: 3, Task: -1, N: 1, Cycle: 0},
 	}
 	if got := log.Events(); !equalEvents(got, want) {
@@ -79,12 +102,18 @@ func TestEventTaxonomy(t *testing.T) {
 	s.TickQuantum(uniformReader(q, false))
 	want = []obs.Event{
 		{Kind: obs.KindQuantumStart, Tick: 4, Task: -1, N: 2},
+		pb(4, obs.PhaseSample),
 		{Kind: obs.KindMeasure, Tick: 4, Task: 2, Consumed: q, Allowance: 0},
+		pe(4, obs.PhaseSample),
+		pb(4, obs.PhaseCharge),
 		{Kind: obs.KindCycle, Tick: 4, Task: -1, Cycle: 0, N: 2, Length: 3 * q},
 		{Kind: obs.KindGrant, Tick: 4, Task: 1, Cycle: 0, Carry: 0, Allowance: q},
-		{Kind: obs.KindTransition, Tick: 4, Task: 1, Eligible: true, Reason: obs.ReasonGrant, Allowance: q},
 		{Kind: obs.KindGrant, Tick: 4, Task: 2, Cycle: 0, Carry: 0, Allowance: 2 * q},
+		pe(4, obs.PhaseCharge),
+		pb(4, obs.PhaseDecide),
+		{Kind: obs.KindTransition, Tick: 4, Task: 1, Eligible: true, Reason: obs.ReasonGrant, Allowance: q},
 		{Kind: obs.KindPostpone, Tick: 4, Task: 2, Allowance: 2 * q, Wake: 6},
+		pe(4, obs.PhaseDecide),
 		{Kind: obs.KindQuantumEnd, Tick: 4, Task: -1, N: 1, Cycle: 1},
 	}
 	if got := log.Events(); !equalEvents(got, want) {

@@ -30,9 +30,12 @@ type Reader func(TaskID) (Progress, bool)
 //     task ⌈allowance/Q⌉ quanta out (§2.3).
 //
 // When cfg.Observer is set, each stage additionally emits one obs.Event
-// per decision. Every emission site is guarded by a nil check and events
-// are flat value structs, so a disabled observer costs one predictable
-// branch per site and zero allocations.
+// per decision, and each stage is bracketed by KindPhaseBegin/End
+// markers (PhaseSample/PhaseCharge/PhaseDecide) so substrate-stamped
+// streams carry per-phase timing for the tracing layer (internal/trace).
+// Every emission site is guarded by a nil check and events are flat
+// value structs, so a disabled observer costs one predictable branch per
+// site and zero allocations.
 func (s *Scheduler) TickQuantum(read Reader) Decision {
 	var d Decision
 	if len(s.tasks) == 0 {
@@ -44,6 +47,7 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 	s.count++
 	if o != nil {
 		o.Observe(obs.Event{Kind: obs.KindQuantumStart, Tick: s.count, Task: -1, N: len(s.tasks)})
+		s.phaseMark(o, obs.KindPhaseBegin, obs.PhaseSample)
 	}
 
 	// Stage 1: measurement loop.
@@ -92,6 +96,9 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 		}
 	}
 	d.Dead = dead
+	if o != nil {
+		s.phaseMark(o, obs.KindPhaseEnd, obs.PhaseSample)
+	}
 	if len(s.tasks) == 0 {
 		if o != nil {
 			o.Observe(obs.Event{Kind: obs.KindQuantumEnd, Tick: s.count, Task: -1, Cycle: int64(s.cycles)})
@@ -99,8 +106,11 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 		return d
 	}
 
-	// Stage 2: cycle completion.
+	// Stage 2: cycle completion and allowance grants.
 	grants := 0
+	if o != nil {
+		s.phaseMark(o, obs.KindPhaseBegin, obs.PhaseCharge)
+	}
 	if s.cycleTime <= 0 {
 		grants = 1
 		s.cycleTime += s.CycleLength()
@@ -117,12 +127,8 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 		}
 		s.cycles++
 		d.CycleCompleted = true
-	}
-
-	// Stage 3: re-partition and schedule next measurements.
-	for _, id := range s.order {
-		t := s.tasks[id]
-		if grants > 0 {
+		for _, id := range s.order {
+			t := s.tasks[id]
 			carry := t.allowance
 			t.allowance += time.Duration(t.share) * q
 			if o != nil {
@@ -136,6 +142,15 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 				})
 			}
 		}
+	}
+	if o != nil {
+		s.phaseMark(o, obs.KindPhaseEnd, obs.PhaseCharge)
+		s.phaseMark(o, obs.KindPhaseBegin, obs.PhaseDecide)
+	}
+
+	// Stage 3: re-partition and schedule next measurements.
+	for _, id := range s.order {
+		t := s.tasks[id]
 		next := Ineligible
 		if t.allowance > 0 {
 			next = Eligible
@@ -193,6 +208,7 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 		}
 	}
 	if o != nil {
+		s.phaseMark(o, obs.KindPhaseEnd, obs.PhaseDecide)
 		o.Observe(obs.Event{
 			Kind:  obs.KindQuantumEnd,
 			Tick:  s.count,
@@ -202,6 +218,11 @@ func (s *Scheduler) TickQuantum(read Reader) Decision {
 		})
 	}
 	return d
+}
+
+// phaseMark emits one phase boundary marker for the tracing layer.
+func (s *Scheduler) phaseMark(o obs.Observer, k obs.Kind, p obs.Phase) {
+	o.Observe(obs.Event{Kind: k, Tick: s.count, Task: -1, N: int(p)})
 }
 
 // emitCycle flushes per-cycle instrumentation to the OnCycle callback and

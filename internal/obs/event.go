@@ -69,6 +69,14 @@ const (
 	// (ReasonRecovered). Fields: Tick, Task (-1), N (new degrade level),
 	// Length (new effective quantum).
 	KindDegrade
+	// KindPhaseBegin opens one control-cycle phase (see Phase). Emitted
+	// by core for the algorithm phases and by the substrates for the
+	// signal/sleep phases, so a trace shows where each quantum's time
+	// went. Fields: Tick, Task (-1), N (the Phase code).
+	KindPhaseBegin
+	// KindPhaseEnd closes the matching KindPhaseBegin.
+	// Fields: Tick, Task (-1), N (the Phase code).
+	KindPhaseEnd
 )
 
 var kindNames = [...]string{
@@ -82,6 +90,8 @@ var kindNames = [...]string{
 	KindQuantumEnd:   "quantum_end",
 	KindReconfig:     "reconfig",
 	KindDegrade:      "degrade",
+	KindPhaseBegin:   "phase_begin",
+	KindPhaseEnd:     "phase_end",
 }
 
 // String returns the snake_case event name (also used as a metric label).
@@ -97,6 +107,55 @@ func Kinds() []Kind {
 	out := make([]Kind, len(kindNames))
 	for i := range kindNames {
 		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Phase identifies one stage of a control cycle, carried in the N field
+// of KindPhaseBegin/KindPhaseEnd events. The five phases cover a full
+// quantum on either substrate: the core algorithm's three Figure 3
+// stages plus the substrate's signal enactment and the sleep to the
+// next quantum boundary.
+type Phase uint8
+
+const (
+	// PhaseSample: stage 1 — measuring due tasks and charging their
+	// consumption (including dead-task removal).
+	PhaseSample Phase = iota
+	// PhaseCharge: stage 2 — cycle completion and per-task allowance
+	// grants.
+	PhaseCharge
+	// PhaseDecide: stage 3 — eligibility repartition and §2.3
+	// measurement scheduling.
+	PhaseDecide
+	// PhaseSignal: the substrate enacting Suspend/Resume decisions
+	// (SIGSTOP/SIGCONT) and reconciling stragglers.
+	PhaseSignal
+	// PhaseSleep: the substrate waiting for the next quantum boundary.
+	PhaseSleep
+)
+
+var phaseNames = [...]string{
+	PhaseSample: "sample",
+	PhaseCharge: "charge",
+	PhaseDecide: "decide",
+	PhaseSignal: "signal",
+	PhaseSleep:  "sleep",
+}
+
+// String returns the phase name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Phases returns every phase, for exhaustive registration and tests.
+func Phases() []Phase {
+	out := make([]Phase, len(phaseNames))
+	for i := range phaseNames {
+		out[i] = Phase(i)
 	}
 	return out
 }
@@ -206,6 +265,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("t%-5d reconfig task=%d members=%d", e.Tick, e.Task, e.N)
 	case KindDegrade:
 		return fmt.Sprintf("t%-5d degrade level=%d quantum=%v (%s)", e.Tick, e.N, e.Length, e.Reason)
+	case KindPhaseBegin:
+		return fmt.Sprintf("t%-5d phase_begin %s", e.Tick, Phase(e.N))
+	case KindPhaseEnd:
+		return fmt.Sprintf("t%-5d phase_end %s", e.Tick, Phase(e.N))
 	}
 	return fmt.Sprintf("t%-5d %s task=%d", e.Tick, e.Kind, e.Task)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -82,23 +83,40 @@ func (j *Journal) Snapshot() []JournalEntry {
 	return out
 }
 
+// lastN returns the newest n retained entries, oldest first (all of them
+// when n <= 0 or n exceeds the retained count).
+func (j *Journal) lastN(n int) []JournalEntry {
+	entries := j.Snapshot()
+	if n > 0 && n < len(entries) {
+		entries = entries[len(entries)-n:]
+	}
+	return entries
+}
+
 // WriteJSON dumps the journal as one JSON object:
 // {"total_cycles": N, "entries": [...]} with durations in nanoseconds.
 func (j *Journal) WriteJSON(w io.Writer) error {
+	return j.writeJSON(w, j.Snapshot())
+}
+
+func (j *Journal) writeJSON(w io.Writer, entries []JournalEntry) error {
 	type dump struct {
 		TotalCycles int64          `json:"total_cycles"`
 		Entries     []JournalEntry `json:"entries"`
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(dump{TotalCycles: j.Total(), Entries: j.Snapshot()})
+	return enc.Encode(dump{TotalCycles: j.Total(), Entries: entries})
 }
 
 // WriteText dumps the journal in the one-line-per-cycle format used for
 // the SIGUSR1 dump: consumption and blocked quanta per task, with each
 // task's share of the cycle's total in percent.
 func (j *Journal) WriteText(w io.Writer) error {
-	entries := j.Snapshot()
+	return j.writeText(w, j.Snapshot())
+}
+
+func (j *Journal) writeText(w io.Writer, entries []JournalEntry) error {
 	if _, err := fmt.Fprintf(w, "journal: %d cycles retained (%d total)\n", len(entries), j.Total()); err != nil {
 		return err
 	}
@@ -128,8 +146,30 @@ func (j *Journal) WriteText(w io.Writer) error {
 	return nil
 }
 
-// ServeHTTP serves the JSON dump (the /debug/journal endpoint).
-func (j *Journal) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = j.WriteJSON(w)
+// ServeHTTP serves the journal (the /debug/journal endpoint). Query
+// parameters: n=K limits the dump to the newest K retained cycles;
+// format=text selects the one-line-per-cycle text rendering instead of
+// the default JSON. Each format sets its own Content-Type.
+func (j *Journal) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n := 0
+	if s := q.Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, fmt.Sprintf("journal: n=%q must be a positive integer", s), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	entries := j.lastN(n)
+	switch f := q.Get("format"); f {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = j.writeJSON(w, entries)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = j.writeText(w, entries)
+	default:
+		http.Error(w, fmt.Sprintf("journal: unknown format %q (want json or text)", f), http.StatusBadRequest)
+	}
 }

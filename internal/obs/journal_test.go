@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -90,4 +92,76 @@ func TestJournalText(t *testing.T) {
 			t.Errorf("missing %q:\n%s", want, out)
 		}
 	}
+}
+
+// TestJournalServeHTTP covers the /debug/journal query parameters: n=K
+// limits the dump to the newest K cycles, format selects JSON vs text,
+// and each response carries an explicit Content-Type.
+func TestJournalServeHTTP(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 6; i++ {
+		j.Append(entry(i))
+	}
+	get := func(t *testing.T, query string) *httptest.ResponseRecorder {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		j.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/journal"+query, nil))
+		return rec
+	}
+
+	t.Run("default JSON", func(t *testing.T) {
+		rec := get(t, "")
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Errorf("Content-Type = %q", ct)
+		}
+		var dump struct {
+			TotalCycles int64          `json:"total_cycles"`
+			Entries     []JournalEntry `json:"entries"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+			t.Fatal(err)
+		}
+		if dump.TotalCycles != 6 || len(dump.Entries) != 6 {
+			t.Errorf("total=%d entries=%d, want 6/6", dump.TotalCycles, len(dump.Entries))
+		}
+	})
+
+	t.Run("last K", func(t *testing.T) {
+		rec := get(t, "?n=2")
+		var dump struct {
+			TotalCycles int64          `json:"total_cycles"`
+			Entries     []JournalEntry `json:"entries"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+			t.Fatal(err)
+		}
+		if len(dump.Entries) != 2 || dump.Entries[0].Cycle != 4 || dump.Entries[1].Cycle != 5 {
+			t.Errorf("entries = %+v, want cycles 4,5", dump.Entries)
+		}
+		if dump.TotalCycles != 6 {
+			t.Errorf("total = %d, want 6 (n limits entries, not the lifetime count)", dump.TotalCycles)
+		}
+	})
+
+	t.Run("text format", func(t *testing.T) {
+		rec := get(t, "?format=text&n=1")
+		if ct := rec.Header().Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+			t.Errorf("Content-Type = %q", ct)
+		}
+		body := rec.Body.String()
+		if !strings.HasPrefix(body, "journal: 1 cycles retained (6 total)") {
+			t.Errorf("header line = %q", body)
+		}
+		if !strings.Contains(body, "cycle 5 ") || strings.Contains(body, "cycle 4 ") {
+			t.Errorf("body should contain only the newest cycle:\n%s", body)
+		}
+	})
+
+	t.Run("bad parameters", func(t *testing.T) {
+		for _, q := range []string{"?n=0", "?n=-3", "?n=abc", "?format=xml"} {
+			if rec := get(t, q); rec.Code != http.StatusBadRequest {
+				t.Errorf("GET %s: status %d, want 400", q, rec.Code)
+			}
+		}
+	})
 }

@@ -195,6 +195,43 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.n.Load() }
 
+// Quantile returns a bucket-interpolated estimate of the q-quantile
+// (0 ≤ q ≤ 1) of the observed distribution, the same estimate
+// Prometheus's histogram_quantile() computes: the sample rank is located
+// in the cumulative bucket counts and interpolated linearly within the
+// bucket that contains it. Samples in the +Inf overflow bucket clamp the
+// estimate to the highest finite bound (there is no upper edge to
+// interpolate toward). An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.n.Load()
+	if n == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum int64
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		if c > 0 && float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (b-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
@@ -243,7 +280,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 	for _, f := range fams {
 		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err
 			}
 		}
@@ -301,6 +338,17 @@ func mergeLabels(labels, extra string) string {
 		return "{" + extra + "}"
 	}
 	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// escapeHelp escapes a HELP string per the Prometheus text exposition
+// format: backslash and line feed are the only characters that would
+// otherwise break the line-oriented parser.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 func fmtFloat(v float64) string {

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestWritePrometheusGolden pins the full text exposition of a registry
+// exercising every rendering rule at once: family ordering (sorted by
+// name regardless of registration order), label-set ordering within a
+// family, histogram label merging (`le` appended to an existing label
+// block), scrape-time counter/gauge functions, integer formatting of
+// whole floats, and HELP escaping of backslashes and newlines. Run with
+// `go test -run Golden -update ./internal/obs` after an intentional
+// format change.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+
+	// Registered deliberately out of alphabetical order.
+	reg.Counter("zeta_total", "Registered first, rendered last.").Add(7)
+	reg.Gauge("alpha_level", "Whole floats render as integers.").Set(3)
+	reg.Gauge("beta_ratio", "Fractions keep full precision.").Set(0.375)
+	reg.Counter(`mid_events_total{kind="b"}`, "A labeled family shares one HELP/TYPE header.").Add(2)
+	reg.Counter(`mid_events_total{kind="a"}`, "A labeled family shares one HELP/TYPE header.").Add(1)
+	reg.CounterFunc("func_reads_total", "Scrape-time counter.", func() int64 { return 42 })
+	reg.GaugeFunc("func_depth", "Scrape-time gauge.", func() float64 { return 1.5 })
+	reg.Counter("escaped_total", "Help with a \\ backslash and\na newline.").Add(1)
+
+	h := reg.Histogram(`latency_seconds{path="/x"}`, "Histogram with labels: le merges into the block.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

@@ -18,11 +18,11 @@ func newFaultRunner(t *testing.T, fs *FaultSys, cfg Config, tasks []Task) *Runne
 		cfg.Quantum = fq
 	}
 	cfg.Sys = fs
+	cfg.Clock = fs.Now
 	r, err := NewRunner(cfg, tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.now = fs.Now
 	r.lastTick = fs.Now()
 	return r
 }

@@ -42,9 +42,15 @@ type Config struct {
 	// implementation. Tests install a fault-injecting fake here.
 	Sys Sys
 	// Observer, if non-nil, receives the core algorithm's decision
-	// events (see obs.Event). Events are stamped with the wall time
-	// elapsed since the runner was created.
+	// events (see obs.Event), plus the runner's own signal/sleep phase
+	// markers. Events are stamped with the wall time elapsed since the
+	// runner was created.
 	Observer obs.Observer
+	// Clock overrides the runner's time source (default time.Now). It
+	// drives quantum-lateness detection, work accounting, and event
+	// timestamps, so tests can run the loop on a virtual clock (e.g.
+	// FaultSys.Now) and fault-injected delays surface as real lateness.
+	Clock func() time.Time
 	// Metrics, if non-nil, receives the runner's health telemetry
 	// (exported at scrape time from the same atomics Health reads) and
 	// latency histograms: step lateness, per-task sample duration, and
@@ -118,11 +124,12 @@ type Runner struct {
 	baseQ time.Duration // operator-configured quantum (pre-degradation)
 	over  overloadState
 
-	now    func() time.Time // injectable clock for overrun tests
-	start  time.Time        // creation time, origin for event timestamps
-	tracer obs.Observer     // stamped observer (nil when disabled)
-	health healthCounters
-	mx     *runnerMetrics // nil unless Config.Metrics was set
+	now     func() time.Time // injectable clock for overrun tests
+	start   time.Time        // creation time, origin for event timestamps
+	tracer  obs.Observer     // stamped observer (nil when disabled)
+	inSleep bool             // an open sleep phase span awaits the next Step
+	health  healthCounters
+	mx      *runnerMetrics // nil unless Config.Metrics was set
 }
 
 // NewRunner builds a runner controlling the given tasks. All live task
@@ -204,6 +211,9 @@ func newRunnerSkeleton(cfg Config) *Runner {
 		baseQ:     cfg.Quantum,
 		now:       time.Now,
 	}
+	if cfg.Clock != nil {
+		r.now = cfg.Clock
+	}
 	r.start = r.now()
 	r.tracer = obs.Stamp(func() time.Duration {
 		return r.now().Sub(r.start)
@@ -226,6 +236,14 @@ func newRunnerSkeleton(cfg Config) *Runner {
 func (r *Runner) emit(e obs.Event) {
 	if r.tracer != nil {
 		r.tracer.Observe(e)
+	}
+}
+
+// phase brackets the runner's own control-loop phases (signal, sleep) in
+// the event stream; the core emits the in-quantum phases itself.
+func (r *Runner) phase(k obs.Kind, p obs.Phase) {
+	if r.tracer != nil {
+		r.tracer.Observe(obs.Event{Kind: k, Tick: r.sched.Tick(), Task: -1, N: int(p)})
 	}
 }
 
@@ -289,6 +307,10 @@ func (r *Runner) Step() (done bool) {
 			panic(p)
 		}
 	}()
+	if r.inSleep {
+		r.inSleep = false
+		r.phase(obs.KindPhaseEnd, obs.PhaseSleep)
+	}
 	effQ := r.EffectiveQuantum()
 	now := r.now()
 	passes := 1
@@ -337,6 +359,10 @@ func (r *Runner) Step() (done bool) {
 	if r.cfg.Checkpoint != nil && r.sched.Cycles() > cyclesBefore {
 		r.cfg.Checkpoint(r.stateLocked())
 	}
+	if !done {
+		r.inSleep = true
+		r.phase(obs.KindPhaseBegin, obs.PhaseSleep)
+	}
 	return done
 }
 
@@ -344,6 +370,7 @@ func (r *Runner) Step() (done bool) {
 // eligibility transitions.
 func (r *Runner) tickOnce() bool {
 	dec := r.sched.TickQuantum(r.read)
+	r.phase(obs.KindPhaseBegin, obs.PhaseSignal)
 	for _, id := range dec.Suspend {
 		for _, pid := range r.targets[id] {
 			if r.signal(pid, true) {
@@ -362,6 +389,7 @@ func (r *Runner) tickOnce() bool {
 		r.forgetTask(id)
 	}
 	r.reconcile()
+	r.phase(obs.KindPhaseEnd, obs.PhaseSignal)
 	r.ticks++
 	r.health.ticks.Add(1)
 	return r.sched.Len() == 0

@@ -85,16 +85,18 @@ type AlpsConfig struct {
 // SIGCONT on the workload, paying simulated CPU for every timer event,
 // measurement, and signal per its CostModel.
 type AlpsProc struct {
-	k     *Kernel
-	cfg   AlpsConfig
-	sched *core.Scheduler
-	pid   PID
+	k      *Kernel
+	cfg    AlpsConfig
+	sched  *core.Scheduler
+	pid    PID
+	tracer obs.Observer // virtual-time-stamped observer (nil when disabled)
 
 	targets map[core.TaskID][]PID
 	lastCPU map[PID]time.Duration
 
 	nextFire    time.Duration
 	lastRefresh time.Duration
+	inSleep     bool // an open sleep phase span awaits the next firing
 
 	// Stats.
 	timerEvents   int64
@@ -143,11 +145,12 @@ func StartALPS(k *Kernel, cfg AlpsConfig, tasks []AlpsTask) (*AlpsProc, error) {
 			cfg.OnCycle(rec)
 		}
 	}
+	a.tracer = StampObserver(k, cfg.Observer)
 	a.sched = core.New(core.Config{
 		Quantum:             cfg.Quantum,
 		DisableLazySampling: cfg.DisableLazySampling,
 		OnCycle:             onCycle,
-		Observer:            StampObserver(k, cfg.Observer),
+		Observer:            a.tracer,
 	})
 	for _, t := range tasks {
 		if err := a.sched.Add(t.ID, t.Share); err != nil {
@@ -194,10 +197,26 @@ func (a *AlpsProc) AddTask(t AlpsTask) error {
 // next is the ALPS process's Behavior: sleep to the next quantum
 // boundary, then run one invocation of the algorithm, paying its CPU cost
 // and applying its decisions.
+// phase brackets the ALPS process's own control phases (signal, sleep)
+// in the event stream; the core emits the in-quantum phases itself.
+func (a *AlpsProc) phase(k obs.Kind, p obs.Phase) {
+	if a.tracer != nil {
+		a.tracer.Observe(obs.Event{Kind: k, Tick: a.sched.Tick(), Task: -1, N: int(p)})
+	}
+}
+
 func (a *AlpsProc) next(k *Kernel, pid PID) Action {
 	now := k.Now()
 	if now < a.nextFire {
+		if !a.inSleep {
+			a.inSleep = true
+			a.phase(obs.KindPhaseBegin, obs.PhaseSleep)
+		}
 		return Action{Sleep: a.nextFire - now}
+	}
+	if a.inSleep {
+		a.inSleep = false
+		a.phase(obs.KindPhaseEnd, obs.PhaseSleep)
 	}
 	a.timerEvents++
 	cost := a.cfg.Cost.TimerEvent
@@ -264,9 +283,13 @@ func (a *AlpsProc) next(k *Kernel, pid PID) Action {
 	return Action{
 		Run: cost,
 		OnDone: func(k *Kernel) {
+			// Signals land after the invocation's CPU cost has been paid,
+			// so the signal phase sits at the quantum's virtual end.
+			a.phase(obs.KindPhaseBegin, obs.PhaseSignal)
 			for _, s := range pending {
 				k.Signal(s.pid, s.sig)
 			}
+			a.phase(obs.KindPhaseEnd, obs.PhaseSignal)
 		},
 	}
 }

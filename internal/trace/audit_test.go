@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"alps/internal/core"
+	"alps/internal/obs"
+)
+
+// cycleRec builds a two-task CycleRecord with the given consumption.
+func cycleRec(index int, c1, c2 time.Duration, s1, s2 int64) core.CycleRecord {
+	return core.CycleRecord{
+		Index: index,
+		Tasks: []core.CycleTask{
+			{ID: 1, Share: s1, Consumed: c1},
+			{ID: 2, Share: s2, Consumed: c2},
+		},
+	}
+}
+
+func TestAuditorShareError(t *testing.T) {
+	a := NewAuditor(AuditorConfig{Window: 4})
+	// Shares 1:3; perfect delivery is 10ms:30ms.
+	for i := 0; i < 4; i++ {
+		a.OnCycle(cycleRec(i, 10*time.Millisecond, 30*time.Millisecond, 1, 3))
+	}
+	if rms := a.RMSShareError(); rms > 1e-9 {
+		t.Errorf("RMS on perfect delivery = %v, want 0", rms)
+	}
+	// Skew every cycle to 20ms:20ms: actual fractions 0.5/0.5 vs ideal
+	// 0.25/0.75 — relative errors 1.0 and 1/3.
+	for i := 4; i < 8; i++ {
+		a.OnCycle(cycleRec(i, 20*time.Millisecond, 20*time.Millisecond, 1, 3))
+	}
+	want := math.Sqrt((1.0*1.0 + (1.0/3)*(1.0/3)) / 2)
+	if rms := a.RMSShareError(); math.Abs(rms-want) > 1e-9 {
+		t.Errorf("RMS = %v, want %v", rms, want)
+	}
+}
+
+func TestAuditorDriftTrigger(t *testing.T) {
+	var fired []float64
+	a := NewAuditor(AuditorConfig{
+		Window: 2, DriftThreshold: 0.1,
+		OnDrift: func(rms float64) { fired = append(fired, rms) },
+	})
+	good := func(i int) core.CycleRecord { return cycleRec(i, 10*time.Millisecond, 10*time.Millisecond, 1, 1) }
+	bad := func(i int) core.CycleRecord { return cycleRec(i, 30*time.Millisecond, 10*time.Millisecond, 1, 1) }
+
+	a.OnCycle(good(0))
+	if len(fired) != 0 {
+		t.Fatal("drift fired before the window filled")
+	}
+	a.OnCycle(good(1))
+	a.OnCycle(bad(2))
+	a.OnCycle(bad(3))
+	if len(fired) != 1 {
+		t.Fatalf("drift fired %d times after sustained skew, want 1", len(fired))
+	}
+	if !a.Drifting() {
+		t.Error("Drifting() false during excursion")
+	}
+	// Still skewed: no re-fire while inside the excursion.
+	a.OnCycle(bad(4))
+	if len(fired) != 1 {
+		t.Errorf("drift re-fired inside excursion: %v", fired)
+	}
+	// Recover (hysteresis), then a second excursion fires again.
+	for i := 5; i < 9; i++ {
+		a.OnCycle(good(i))
+	}
+	if a.Drifting() {
+		t.Error("Drifting() true after recovery")
+	}
+	a.OnCycle(bad(9))
+	a.OnCycle(bad(10))
+	if len(fired) != 2 {
+		t.Errorf("drift fired %d times across two excursions, want 2", len(fired))
+	}
+}
+
+func TestAuditorConvergence(t *testing.T) {
+	a := NewAuditor(AuditorConfig{Window: 8, ConvergeThreshold: 0.05, ConvergeStreak: 2})
+	if got := a.ConvergenceCycles(); got != -1 {
+		t.Errorf("ConvergenceCycles before any data = %v, want -1", got)
+	}
+	good := func(i int) core.CycleRecord { return cycleRec(i, 10*time.Millisecond, 20*time.Millisecond, 1, 2) }
+	bad := func(i int) core.CycleRecord { return cycleRec(i, 25*time.Millisecond, 5*time.Millisecond, 1, 2) }
+
+	// Converges immediately: two good cycles, zero cycles of settling.
+	a.OnCycle(good(0))
+	a.OnCycle(good(1))
+	if got := a.ConvergenceCycles(); got != 0 {
+		t.Errorf("ConvergenceCycles = %v, want 0 (converged from the first cycle)", got)
+	}
+
+	// A reconfig event resets the clock via the event stream.
+	a.Observe(obs.Event{Kind: obs.KindReconfig, Tick: 10, Task: -1})
+	if got := a.ConvergenceCycles(); got != -1 {
+		t.Errorf("ConvergenceCycles after disturbance = %v, want -1", got)
+	}
+	// One bad settling cycle, then two good ones: convergence time 1.
+	a.OnCycle(bad(2))
+	a.OnCycle(good(3))
+	a.OnCycle(good(4))
+	if got := a.ConvergenceCycles(); got != 1 {
+		t.Errorf("ConvergenceCycles = %v, want 1 (one settling cycle)", got)
+	}
+	// MarkDisturbance (the restart path) resets too.
+	a.MarkDisturbance()
+	if got := a.ConvergenceCycles(); got != -1 {
+		t.Errorf("ConvergenceCycles after MarkDisturbance = %v, want -1", got)
+	}
+}
+
+// TestAuditorSamplingRatio replays the §3.2 accounting: potential
+// measurements are one per eligible task per quantum; the ratio is the
+// fraction lazy sampling skipped.
+func TestAuditorSamplingRatio(t *testing.T) {
+	a := NewAuditor(AuditorConfig{Window: 4})
+	// Two tasks become eligible.
+	a.Observe(obs.Event{Kind: obs.KindTransition, Task: 1, Eligible: true})
+	a.Observe(obs.Event{Kind: obs.KindTransition, Task: 2, Eligible: true})
+	// Four quanta with both eligible: potential 8. Two measurements.
+	for i := 0; i < 4; i++ {
+		a.Observe(obs.Event{Kind: obs.KindQuantumStart, Tick: int64(i + 1)})
+	}
+	a.Observe(obs.Event{Kind: obs.KindMeasure, Task: 1})
+	a.Observe(obs.Event{Kind: obs.KindMeasure, Task: 2})
+	a.OnCycle(cycleRec(0, 10*time.Millisecond, 10*time.Millisecond, 1, 1))
+	if got, want := a.SamplingReductionRatio(), 0.75; math.Abs(got-want) > 1e-9 {
+		t.Errorf("SamplingReductionRatio = %v, want %v", got, want)
+	}
+
+	// Full sampling (lazy disabled): every eligible task measured every
+	// quantum — ratio 0.
+	b := NewAuditor(AuditorConfig{Window: 4})
+	b.Observe(obs.Event{Kind: obs.KindTransition, Task: 1, Eligible: true})
+	for i := 0; i < 4; i++ {
+		b.Observe(obs.Event{Kind: obs.KindQuantumStart, Tick: int64(i + 1)})
+		b.Observe(obs.Event{Kind: obs.KindMeasure, Task: 1})
+	}
+	b.OnCycle(core.CycleRecord{Tasks: []core.CycleTask{{ID: 1, Share: 1, Consumed: time.Millisecond}}})
+	if got := b.SamplingReductionRatio(); got != 0 {
+		t.Errorf("full-sampling ratio = %v, want 0", got)
+	}
+}
+
+func TestAuditorRegister(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAuditor(AuditorConfig{Window: 2, ConvergeStreak: 2})
+	a.Register(reg)
+	a.OnCycle(cycleRec(0, 10*time.Millisecond, 20*time.Millisecond, 1, 2))
+	a.OnCycle(cycleRec(1, 10*time.Millisecond, 20*time.Millisecond, 1, 2))
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"alps_audit_rms_share_error",
+		"alps_audit_convergence_cycles 0",
+		"alps_audit_sampling_reduction_ratio 0",
+		"alps_audit_window_cycles 2",
+		"alps_audit_drifting 0",
+		"alps_audit_disturbances_total 0",
+		`alps_audit_share_error{task="1"}`,
+		`alps_audit_share_error{task="2"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAuditorDeadTaskDropsFromWindow: a task that disappears stops
+// contributing to the windowed error once it leaves the newest cycle.
+func TestAuditorDeadTaskDropsFromWindow(t *testing.T) {
+	a := NewAuditor(AuditorConfig{Window: 2})
+	a.OnCycle(cycleRec(0, 10*time.Millisecond, 20*time.Millisecond, 1, 2))
+	a.Observe(obs.Event{Kind: obs.KindDead, Task: 2})
+	a.OnCycle(core.CycleRecord{
+		Index: 1,
+		Tasks: []core.CycleTask{{ID: 1, Share: 1, Consumed: 10 * time.Millisecond}},
+	})
+	if rms := a.RMSShareError(); rms > 1e-9 {
+		t.Errorf("RMS with sole surviving task = %v, want 0 (it gets everything it asks)", rms)
+	}
+}
