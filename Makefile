@@ -30,10 +30,15 @@ short:
 #   robustness — checkpoint write latency and per-cycle checkpoint
 #                overhead vs the 5%-of-quantum budget
 #                (BENCH_robustness.json)
+#   scale      — control-loop cost vs fleet size, seed loop vs O(due)
+#                loop; fails if the speedup regresses >20% against
+#                BENCH_scale_baseline.json, and (full runs) if the
+#                auditor gauges show <5x at N=1000 (BENCH_scale.json)
 # QUICK=1 trims iterations for CI.
 bench:
 	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) obs
 	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) robustness
+	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) scale
 
 # Trace smoke: run the built-in demo scenario through the simulator and
 # emit TRACE_sim.json as Chrome trace-event JSON. alps-sim validates the

@@ -52,6 +52,7 @@ var experiments = []experiment{
 	{"servicelag", "extension: worst-case service lag (stride-style error bound)", runServiceLag},
 	{"obs", "observability overhead: observer off vs on (writes BENCH_obs.json)", runObs},
 	{"robustness", "checkpoint write latency and per-cycle overhead (writes BENCH_robustness.json)", runRobustness},
+	{"scale", "control-loop cost vs fleet size, reference vs O(due) loop (writes BENCH_scale.json)", runScale},
 }
 
 func main() {

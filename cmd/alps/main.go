@@ -39,6 +39,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"os/user"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -112,6 +113,7 @@ type commonOpts struct {
 	conf      *string
 	maxq      *time.Duration
 	traceDir  *string
+	samplers  *int
 	fs        *flag.FlagSet // nil when constructed directly (tests)
 }
 
@@ -124,6 +126,7 @@ func commonFlags(fs *flag.FlagSet) commonOpts {
 		conf:      fs.String("config", "", "JSON reconfiguration document, applied at startup and on SIGHUP"),
 		maxq:      fs.Duration("maxq", 40*time.Millisecond, "overload guard quantum bound (0 disables the guard; default scales to 2q when -q exceeds it)"),
 		traceDir:  fs.String("trace-dir", "", "write flight-recorder dumps (Chrome trace JSON, loadable in Perfetto) to this directory"),
+		samplers:  fs.Int("samplers", runtime.GOMAXPROCS(0), "worker pool size for concurrent /proc sampling and signal delivery (1 = sequential)"),
 		fs:        fs,
 	}
 }
@@ -155,7 +158,19 @@ func (o commonOpts) validate() error {
 	if *o.maxq > 0 && *o.maxq < *o.q && o.maxqSet() {
 		return fmt.Errorf("-maxq %v is below the quantum -q %v; the guard could never stretch", *o.maxq, *o.q)
 	}
+	if o.samplers != nil && *o.samplers < 1 {
+		return fmt.Errorf("-samplers must be at least 1, got %d", *o.samplers)
+	}
 	return nil
+}
+
+// samplerCount is the -samplers value, defaulting to GOMAXPROCS when the
+// opts were constructed directly (tests).
+func (o commonOpts) samplerCount() int {
+	if o.samplers == nil {
+		return runtime.GOMAXPROCS(0)
+	}
+	return *o.samplers
 }
 
 // config builds the RunnerConfig these flags describe.
@@ -165,7 +180,8 @@ func (o commonOpts) config() alps.RunnerConfig {
 		maxq = 2 * *o.q // defaulted bound below a large -q: keep one stretch level
 	}
 	return alps.RunnerConfig{
-		Quantum: *o.q,
+		Quantum:  *o.q,
+		Samplers: o.samplerCount(),
 		Overload: alps.OverloadConfig{
 			Enable:     maxq > 0,
 			MaxQuantum: maxq,

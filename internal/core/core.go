@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"alps/internal/obs"
@@ -56,7 +55,20 @@ type Config struct {
 	// DisableLazySampling turns off the Section 2.3 optimization so
 	// that every eligible task is measured on every quantum. Used only
 	// as the baseline for the overhead comparison in Section 3.2.
+	// Implies DisableIndexing: the due-heap's premise is that most
+	// eligible tasks are *not* due, which lazy sampling provides.
 	DisableLazySampling bool
+
+	// DisableIndexing forces the reference O(N)-per-quantum
+	// implementation of the algorithm: stage 1 scans every task to find
+	// the due ones and stage 3 re-partitions the whole set, exactly as
+	// the seed implementation did. The default (indexed) path visits
+	// only due, measured, granted, or newly admitted tasks per quantum
+	// and must emit a byte-identical event stream and identical
+	// Decisions; the reference path is retained as the oracle for the
+	// equivalence property test and as the baseline the §4.2 scale
+	// benchmark measures the indexed loop against.
+	DisableIndexing bool
 
 	// OnCycle, if non-nil, is invoked at the completion of every cycle
 	// with a record of the CPU time attributed to each task during that
@@ -116,6 +128,21 @@ type task struct {
 	update    int64         // update_i: tick index of next measurement
 	blocked   bool          // observed blocked more recently than consuming
 
+	// pendingAdmit marks a task registered (by Add or Restore) but not
+	// yet processed by a stage-3 repartition. It drives two things: the
+	// transition reason for the task's first eligibility flip is
+	// ReasonAdmitted even when a cycle grant lands the same quantum
+	// (admission, not the grant, is why it became runnable — its initial
+	// allowance was already positive), and the indexed path uses it to
+	// know the task must be visited in stage 3 without having been
+	// measured.
+	pendingAdmit bool
+
+	// dueTick is the last tick this task was collected into a due
+	// batch; it deduplicates coincidentally matching stale heap entries
+	// (indexed path only).
+	dueTick int64
+
 	// Per-cycle instrumentation.
 	cycleConsumed time.Duration
 	cycleBlocked  int
@@ -146,14 +173,24 @@ type Scheduler struct {
 	cfg Config
 
 	tasks map[TaskID]*task
-	order []TaskID // sorted IDs, for deterministic iteration
+	order orderedIDs // always-sorted IDs, for deterministic iteration
 
 	totalShares int64         // S
 	cycleTime   time.Duration // t_c
 	count       int64         // quantum counter
 	cycles      int           // completed cycle count
 
-	dirty bool // order needs re-sorting
+	indexed bool // the O(due) path is active (see Config.DisableIndexing)
+
+	// Indexed-path state (see index.go): the measurement due-heap, the
+	// admission queue of tasks awaiting their first stage-3 visit, the
+	// prepared due batch with the tick it was prepared for (0 = none),
+	// and a scratch slice for stage 3's visit list.
+	due         dueHeap
+	admit       []TaskID
+	dueBatch    []TaskID
+	duePrepared int64
+	visit       []TaskID
 }
 
 // ErrTaskExists is returned by Add for a duplicate TaskID.
@@ -172,8 +209,9 @@ func New(cfg Config) *Scheduler {
 		panic("core: Config.Quantum must be positive")
 	}
 	return &Scheduler{
-		cfg:   cfg,
-		tasks: make(map[TaskID]*task),
+		cfg:     cfg,
+		tasks:   make(map[TaskID]*task),
+		indexed: !cfg.DisableIndexing && !cfg.DisableLazySampling,
 	}
 }
 
@@ -199,9 +237,8 @@ func (s *Scheduler) Len() int { return len(s.tasks) }
 
 // Tasks returns the registered task IDs in ascending order.
 func (s *Scheduler) Tasks() []TaskID {
-	s.sortOrder()
-	out := make([]TaskID, len(s.order))
-	copy(out, s.order)
+	out := make([]TaskID, s.order.len())
+	copy(out, s.order.all())
 	return out
 }
 
@@ -251,14 +288,17 @@ func (s *Scheduler) Add(id TaskID, share int64) error {
 	}
 	grant := time.Duration(share) * s.cfg.Quantum
 	s.tasks[id] = &task{
-		id:        id,
-		share:     share,
-		state:     Ineligible,
-		allowance: grant,
-		update:    s.count, // due for measurement immediately once eligible
+		id:           id,
+		share:        share,
+		state:        Ineligible,
+		allowance:    grant,
+		update:       s.count, // due for measurement immediately once eligible
+		pendingAdmit: true,
 	}
-	s.order = append(s.order, id)
-	s.dirty = true
+	s.order.insert(id)
+	if s.indexed {
+		s.admit = append(s.admit, id)
+	}
 	s.totalShares += share
 	s.cycleTime += grant
 	return nil
@@ -277,12 +317,9 @@ func (s *Scheduler) Remove(id TaskID) error {
 	s.cycleTime -= t.allowance
 	s.totalShares -= t.share
 	delete(s.tasks, id)
-	for i, oid := range s.order {
-		if oid == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
+	// Stale due-heap and admission-queue entries are invalidated lazily:
+	// both consumption paths re-check the live task state.
+	s.order.remove(id)
 	return nil
 }
 
@@ -303,12 +340,4 @@ func (s *Scheduler) SetShare(id TaskID, share int64) error {
 	s.totalShares += share - t.share
 	t.share = share
 	return nil
-}
-
-func (s *Scheduler) sortOrder() {
-	if !s.dirty {
-		return
-	}
-	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
-	s.dirty = false
 }

@@ -1,0 +1,121 @@
+package core
+
+import "sort"
+
+// Index data structures for the O(due)-work quantum loop (§4.2 scaling).
+//
+// The seed implementation walked every registered task on every quantum:
+// stage 1 scanned all N tasks to find the due ones, stage 3 scanned all N
+// to re-partition, the per-tick sortOrder() re-sorted the ID slice after
+// any membership change, and Remove spliced with a linear scan. The §2.3
+// optimization saved the *measurements* but not the scan, so per-quantum
+// cost stayed Θ(N) and the breakdown threshold (control-loop work ≈ the
+// quantum) arrived at tens of processes. These two structures make the
+// per-quantum cost proportional to the work that actually exists:
+//
+//   - orderedIDs keeps the registered TaskIDs sorted at all times, with
+//     binary-search insertion and removal, so deterministic ID-ordered
+//     iteration (grant sweeps, cycle records, the public Tasks API) needs
+//     no per-tick re-sort and Remove needs no linear scan;
+//   - dueHeap is a min-heap of (wake tick, task) entries so stage 1 pops
+//     exactly the tasks whose §2.3 measurement is due, instead of
+//     scanning all N to find them.
+//
+// Heap entries are invalidated lazily: a task that turned ineligible, was
+// removed, or was rescheduled simply leaves its stale entry behind, and
+// the pop path discards any entry whose (wake, task) no longer matches
+// the live task state. Every push corresponds to one §2.3 scheduling
+// decision, so the heap holds at most one live entry per eligible task
+// plus already-emitted stale entries — O(N) overall.
+
+// orderedIDs is an always-sorted set of TaskIDs.
+type orderedIDs struct {
+	ids []TaskID
+}
+
+// insert adds id, keeping the slice sorted. Duplicate insertion is a
+// caller bug (Add rejects duplicates first) and would corrupt iteration,
+// so it is not defended against.
+func (o *orderedIDs) insert(id TaskID) {
+	i := sort.Search(len(o.ids), func(j int) bool { return o.ids[j] >= id })
+	o.ids = append(o.ids, 0)
+	copy(o.ids[i+1:], o.ids[i:])
+	o.ids[i] = id
+}
+
+// remove deletes id if present.
+func (o *orderedIDs) remove(id TaskID) {
+	i := sort.Search(len(o.ids), func(j int) bool { return o.ids[j] >= id })
+	if i < len(o.ids) && o.ids[i] == id {
+		o.ids = append(o.ids[:i], o.ids[i+1:]...)
+	}
+}
+
+// all returns the sorted IDs. The slice is owned by the index; callers
+// iterate but never mutate or retain it across mutations.
+func (o *orderedIDs) all() []TaskID { return o.ids }
+
+func (o *orderedIDs) len() int { return len(o.ids) }
+
+func (o *orderedIDs) reset() { o.ids = o.ids[:0] }
+
+// dueEntry schedules one task's next measurement.
+type dueEntry struct {
+	wake int64
+	id   TaskID
+}
+
+// dueHeap is a binary min-heap on wake tick. Ties are left unordered:
+// the scheduler sorts each quantum's due batch by TaskID afterwards, so
+// heap order never reaches the event stream.
+type dueHeap struct {
+	es []dueEntry
+}
+
+func (h *dueHeap) len() int { return len(h.es) }
+
+func (h *dueHeap) reset() { h.es = h.es[:0] }
+
+func (h *dueHeap) push(e dueEntry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.es[p].wake <= h.es[i].wake {
+			break
+		}
+		h.es[p], h.es[i] = h.es[i], h.es[p]
+		i = p
+	}
+}
+
+// min returns the root without popping; ok is false when empty.
+func (h *dueHeap) min() (dueEntry, bool) {
+	if len(h.es) == 0 {
+		return dueEntry{}, false
+	}
+	return h.es[0], true
+}
+
+func (h *dueHeap) pop() dueEntry {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.es) && h.es[l].wake < h.es[small].wake {
+			small = l
+		}
+		if r < len(h.es) && h.es[r].wake < h.es[small].wake {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		h.es[i], h.es[small] = h.es[small], h.es[i]
+		i = small
+	}
+}

@@ -11,6 +11,13 @@ import (
 type ReplayTask struct {
 	ID    TaskID
 	Share int64
+	// Tick is the scheduler's quantum counter at registration time: 0 for
+	// tasks registered before the run started (the common case), k for a
+	// task admitted mid-run after quantum k completed. Replay re-admits
+	// the task at the same point, so captures that include mid-run
+	// admissions — including ones that turn eligible in the same quantum
+	// as a cycle grant — replay exactly.
+	Tick int64
 }
 
 // Replay re-executes the Figure 3 algorithm against the measurements
@@ -49,7 +56,12 @@ func Replay(cfg Config, tasks []ReplayTask, events []obs.Event) ([]obs.Event, er
 	cfg.Observer = log
 	cfg.OnCycle = nil
 	s := New(cfg)
+	pending := make([]ReplayTask, 0, len(tasks))
 	for _, t := range tasks {
+		if t.Tick > 0 {
+			pending = append(pending, t)
+			continue
+		}
 		if err := s.Add(t.ID, t.Share); err != nil {
 			return nil, fmt.Errorf("core: replay registration: %w", err)
 		}
@@ -67,6 +79,14 @@ func Replay(cfg Config, tasks []ReplayTask, events []obs.Event) ([]obs.Event, er
 		return p, true
 	}
 	for i := int64(0); i < ticks; i++ {
+		for _, t := range pending {
+			if t.Tick != s.Tick() {
+				continue
+			}
+			if err := s.Add(t.ID, t.Share); err != nil {
+				return nil, fmt.Errorf("core: replay mid-run registration: %w", err)
+			}
+		}
 		s.TickQuantum(read)
 		if divergence != nil {
 			return nil, divergence

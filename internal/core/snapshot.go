@@ -63,15 +63,14 @@ var ErrBadSnapshot = errors.New("core: invalid snapshot")
 // Snapshot captures the scheduler's complete state. The returned value
 // shares no memory with the scheduler and is safe to serialize.
 func (s *Scheduler) Snapshot() Snapshot {
-	s.sortOrder()
 	snap := Snapshot{
 		Quantum:   s.cfg.Quantum,
 		CycleTime: s.cycleTime,
 		Count:     s.count,
 		Cycles:    s.cycles,
-		Tasks:     make([]TaskSnapshot, 0, len(s.order)),
+		Tasks:     make([]TaskSnapshot, 0, s.order.len()),
 	}
-	for _, id := range s.order {
+	for _, id := range s.order.all() {
 		t := s.tasks[id]
 		snap.Tasks = append(snap.Tasks, TaskSnapshot{
 			ID:            id,
@@ -96,7 +95,6 @@ func (s *Scheduler) Restore(snap Snapshot) error {
 		return err
 	}
 	tasks := make(map[TaskID]*task, len(snap.Tasks))
-	order := make([]TaskID, 0, len(snap.Tasks))
 	var total int64
 	for _, ts := range snap.Tasks {
 		st := Ineligible
@@ -104,22 +102,42 @@ func (s *Scheduler) Restore(snap Snapshot) error {
 			st = Eligible
 		}
 		tasks[ts.ID] = &task{
-			id:            ts.ID,
-			share:         ts.Share,
-			state:         st,
-			allowance:     ts.Allowance,
-			update:        ts.Update,
-			blocked:       ts.Blocked,
+			id:        ts.ID,
+			share:     ts.Share,
+			state:     st,
+			allowance: ts.Allowance,
+			update:    ts.Update,
+			blocked:   ts.Blocked,
+			// An ineligible task with a positive allowance can only be one
+			// captured between its Add and its first stage-3 visit; restore
+			// the pending-admission mark so its first transition carries
+			// ReasonAdmitted here too (and so the indexed path knows to
+			// visit it).
+			pendingAdmit:  !ts.Eligible && ts.Allowance > 0,
 			cycleConsumed: ts.CycleConsumed,
 			cycleBlocked:  ts.CycleBlocked,
 		}
-		order = append(order, ts.ID)
 		total += ts.Share
 	}
 	s.cfg.Quantum = snap.Quantum
 	s.tasks = tasks
-	s.order = order
-	s.dirty = true
+	s.order.reset()
+	s.due.reset()
+	s.admit = s.admit[:0]
+	s.dueBatch = s.dueBatch[:0]
+	s.duePrepared = 0
+	for _, ts := range snap.Tasks {
+		s.order.insert(ts.ID)
+		if s.indexed {
+			t := tasks[ts.ID]
+			if t.state == Eligible {
+				s.due.push(dueEntry{wake: t.update, id: t.id})
+			}
+			if t.pendingAdmit {
+				s.admit = append(s.admit, t.id)
+			}
+		}
+	}
 	s.totalShares = total
 	s.cycleTime = snap.CycleTime
 	s.count = snap.Count

@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuickLoopScale spot-checks the control-loop scaling sweep on a
+// reduced N range: the sweep completes, the indexed loop beats the
+// reference loop at the largest size by a wide margin (the mostly-idle
+// fleet leaves only ~N/10 tasks in the due set while the reference loop
+// still scans all N three times per quantum), and the auditor's
+// event-derived loop-work gauges agree in direction with the external
+// wall-clock timing.
+func TestQuickLoopScale(t *testing.T) {
+	p := LoopScaleParams{
+		Ns:             []int{20, 100, 400},
+		Quantum:        10 * time.Millisecond,
+		Warmup:         24,
+		Measure:        120,
+		ActivePermille: 50,
+		Samplers:       4,
+		SpeedupAtN:     400,
+	}
+	res, err := LoopScale(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range res.Points {
+		t.Logf("N=%-5d ref=%8.0fns idx=%8.0fns pool=%8.0fns speedup=%5.2fx audit=%5.2fx lazy=%.2f",
+			pt.N, pt.Reference.MedianNs, pt.Indexed.MedianNs, pt.Pooled.MedianNs,
+			pt.Speedup, pt.AuditSpeedup, pt.Indexed.SamplingReduction)
+		if pt.Reference.MedianNs <= 0 || pt.Indexed.MedianNs <= 0 || pt.Pooled.MedianNs <= 0 {
+			t.Errorf("N=%d: non-positive timing", pt.N)
+		}
+		if pt.Indexed.AuditMedianNs <= 0 || pt.Reference.AuditMedianNs <= 0 {
+			t.Errorf("N=%d: auditor loop-work gauge empty", pt.N)
+		}
+	}
+	// At N=400 the measured ratio is 3.4-4.5x even in this shortened
+	// run; 2.5x leaves room for CI noise while still proving the O(due)
+	// claim.
+	last := res.Points[len(res.Points)-1]
+	if last.Speedup < 2.5 {
+		t.Errorf("indexed loop only %.2fx faster than reference at N=%d", last.Speedup, last.N)
+	}
+	if last.AuditSpeedup < 2.5 {
+		t.Errorf("auditor gauges show only %.2fx at N=%d", last.AuditSpeedup, last.N)
+	}
+	if res.ReferenceFit.Slope <= res.IndexedFit.Slope {
+		t.Errorf("reference per-task cost (%.1f ns/N) not above indexed (%.1f ns/N)",
+			res.ReferenceFit.Slope, res.IndexedFit.Slope)
+	}
+	if res.SpeedupAtN != last.Speedup || res.AuditSpeedupAtN != last.AuditSpeedup {
+		t.Errorf("SpeedupAtN bookkeeping mismatch: %v/%v vs point %v/%v",
+			res.SpeedupAtN, res.AuditSpeedupAtN, last.Speedup, last.AuditSpeedup)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"syscall"
 	"time"
 )
@@ -71,6 +72,12 @@ type FaultProc struct {
 // FaultSys is not safe for concurrent use; fault tests drive the Runner
 // through Step on a single goroutine.
 type FaultSys struct {
+	// mu makes the fake safe under the runner's sampler/signal worker
+	// pools: every public method locks it, so concurrent Sys calls
+	// serialize here exactly like the kernel serializes /proc and
+	// kill(2). Fault schedules stay per-(pid, call) FIFOs, so per-PID
+	// outcomes are deterministic regardless of worker interleaving.
+	mu      sync.Mutex
 	base    time.Time
 	elapsed time.Duration
 
@@ -84,6 +91,20 @@ type FaultSys struct {
 	// Log records every operation in order ("stop 42", "read 42:
 	// EINTR", ...), for asserting on the exact recovery sequence.
 	Log []string
+
+	// Quiet suppresses Log recording. The scale benchmark drives
+	// thousands of PIDs through millions of operations; formatting a log
+	// line per call would dominate the measured loop time.
+	Quiet bool
+
+	// SharedCPU models a single-CPU machine: Advance splits the elapsed
+	// interval equally among the runnable (state 'R', unstopped)
+	// processes instead of crediting each one the full interval (the
+	// default, which behaves like one CPU per process). Rate is ignored
+	// in this mode. Cycle lengths and §2.3 due-set sizes only match the
+	// paper's uniprocessor setting when the machine delivers one quantum
+	// of CPU per quantum of wall time, so the scale benchmark sets this.
+	SharedCPU bool
 
 	// Sleeps counts backoff sleeps; their durations advance the clock.
 	Sleeps int
@@ -106,6 +127,8 @@ func NewFaultSys() *FaultSys {
 // AddProc installs a process. Zero-value State means 'R'; zero Rate with
 // state 'R' defaults to 1.0 (busy loop).
 func (f *FaultSys) AddProc(p FaultProc) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if p.State == 0 {
 		p.State = 'R'
 	}
@@ -117,12 +140,18 @@ func (f *FaultSys) AddProc(p FaultProc) {
 }
 
 // Kill removes a process: subsequent operations on the PID fail ESRCH.
-func (f *FaultSys) Kill(pid int) { delete(f.procs, pid) }
+func (f *FaultSys) Kill(pid int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.procs, pid)
+}
 
 // Reuse replaces a PID with a fresh incarnation: a new start-time stamp
 // and zeroed CPU, running and unsuspended — the kernel recycled the PID
 // for an unrelated process.
 func (f *FaultSys) Reuse(pid int, start uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	p, ok := f.procs[pid]
 	if !ok {
 		f.AddProc(FaultProc{PID: pid, Start: start})
@@ -137,6 +166,8 @@ func (f *FaultSys) Reuse(pid int, start uint64) {
 
 // SetState changes the run state a process reports while not stopped.
 func (f *FaultSys) SetState(pid int, state byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if p, ok := f.procs[pid]; ok {
 		p.State = state
 	}
@@ -145,6 +176,8 @@ func (f *FaultSys) SetState(pid int, state byte) {
 // Inject queues faults for the given pid and call; each matching call
 // consumes one fault in FIFO order, then the call proceeds normally.
 func (f *FaultSys) Inject(pid int, call FaultCall, kinds ...FaultKind) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	k := faultKey{pid, call}
 	f.faults[k] = append(f.faults[k], kinds...)
 }
@@ -153,6 +186,8 @@ func (f *FaultSys) Inject(pid int, call FaultCall, kinds ...FaultKind) {
 // independently fails with EINTR with probability p. Deterministic for a
 // given seed and call sequence.
 func (f *FaultSys) Chaos(seed int64, p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.rng = rand.New(rand.NewSource(seed))
 	f.chaosP = p
 }
@@ -160,7 +195,25 @@ func (f *FaultSys) Chaos(seed int64, p float64) {
 // Advance moves the virtual clock forward, accruing CPU to every
 // running, unsuspended process at its Rate.
 func (f *FaultSys) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.elapsed += d
+	if f.SharedCPU {
+		var run []*FaultProc
+		for _, p := range f.procs {
+			if !p.stopped && p.State == 'R' {
+				run = append(run, p)
+			}
+		}
+		if len(run) == 0 {
+			return
+		}
+		each := d / time.Duration(len(run))
+		for _, p := range run {
+			p.CPU += each
+		}
+		return
+	}
 	for _, pid := range f.pids() {
 		p := f.procs[pid]
 		if !p.stopped && p.State == 'R' {
@@ -171,17 +224,25 @@ func (f *FaultSys) Advance(d time.Duration) {
 
 // Now returns the virtual wall-clock time; point Runner's clock here so
 // slow reads and sleeps surface as quantum lateness.
-func (f *FaultSys) Now() time.Time { return f.base.Add(f.elapsed) }
+func (f *FaultSys) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.base.Add(f.elapsed)
+}
 
 // Sleep advances the virtual clock (the fake analogue of a backoff
 // sleep) and counts the call.
 func (f *FaultSys) Sleep(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.Sleeps++
 	f.elapsed += d
 }
 
 // IsStopped reports whether the process is currently SIGSTOPped.
 func (f *FaultSys) IsStopped(pid int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	p, ok := f.procs[pid]
 	return ok && p.stopped
 }
@@ -190,6 +251,8 @@ func (f *FaultSys) IsStopped(pid int) bool {
 // the assertion surface for the "never leave the workload frozen"
 // invariant.
 func (f *FaultSys) StoppedPIDs() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	var out []int
 	for pid, p := range f.procs {
 		if p.stopped {
@@ -201,7 +264,11 @@ func (f *FaultSys) StoppedPIDs() []int {
 }
 
 // Proc returns the table entry for a PID, or nil.
-func (f *FaultSys) Proc(pid int) *FaultProc { return f.procs[pid] }
+func (f *FaultSys) Proc(pid int) *FaultProc {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.procs[pid]
+}
 
 func (f *FaultSys) pids() []int {
 	out := make([]int, 0, len(f.procs))
@@ -228,11 +295,16 @@ func (f *FaultSys) pop(pid int, call FaultCall) (FaultKind, bool) {
 }
 
 func (f *FaultSys) logf(format string, args ...any) {
+	if f.Quiet {
+		return
+	}
 	f.Log = append(f.Log, fmt.Sprintf(format, args...))
 }
 
 // ReadStat implements Sys over the fault table.
 func (f *FaultSys) ReadStat(pid int) (Stat, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if kind, ok := f.pop(pid, CallRead); ok {
 		switch kind {
 		case FaultESRCH:
@@ -267,6 +339,8 @@ func (f *FaultSys) ReadStat(pid int) (Stat, error) {
 
 // Stop implements Sys.
 func (f *FaultSys) Stop(pid int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if kind, ok := f.pop(pid, CallStop); ok {
 		if err := sigErr(kind); err != nil {
 			f.logf("stop %d: %v", pid, err)
@@ -285,6 +359,8 @@ func (f *FaultSys) Stop(pid int) error {
 
 // Cont implements Sys.
 func (f *FaultSys) Cont(pid int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if kind, ok := f.pop(pid, CallCont); ok {
 		if err := sigErr(kind); err != nil {
 			f.logf("cont %d: %v", pid, err)
@@ -318,6 +394,8 @@ func sigErr(kind FaultKind) error {
 
 // PidsOfUser implements Sys: live (non-zombie) PIDs owned by uid.
 func (f *FaultSys) PidsOfUser(uid uint32) ([]int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	var out []int
 	for _, pid := range f.pids() {
 		p := f.procs[pid]

@@ -185,5 +185,7 @@ func (r *Runner) Reconfigure(rc Reconfig) error {
 			r.emit(obs.Event{Kind: obs.KindReconfig, Tick: tick, Task: int64(id), N: len(pids)})
 		}
 	}
+	// Eligibility and membership moved out from under the amortized loop.
+	r.needReconcile = true
 	return nil
 }

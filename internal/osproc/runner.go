@@ -28,6 +28,21 @@ type Config struct {
 	Quantum time.Duration
 	// DisableLazySampling turns off the §2.3 optimization.
 	DisableLazySampling bool
+	// Samplers bounds the worker pool that fans out /proc stat reads
+	// (prefetched for the tasks due this quantum) and SIGSTOP/SIGCONT
+	// deliveries. Values ≤ 1 keep the loop fully sequential — the
+	// deterministic default for tests; cmd/alps passes GOMAXPROCS via
+	// -samplers. Per-PID retry/backoff semantics and all bookkeeping
+	// order are identical either way: workers only perform the raw Sys
+	// calls, and results are merged on the loop goroutine in decision
+	// order.
+	Samplers int
+	// DisableIndexing forces the seed control loop: the core scheduler's
+	// reference O(N)-per-quantum path, an eligibility reconciliation
+	// sweep on every quantum, and strictly sequential sampling and
+	// signalling regardless of Samplers. It exists as the baseline the
+	// §4.2 scale benchmark measures the optimized loop against.
+	DisableIndexing bool
 	// OnCycle receives per-cycle consumption records.
 	OnCycle func(core.CycleRecord)
 	// RefreshEvery re-resolves task membership that often via Refresh.
@@ -130,6 +145,18 @@ type Runner struct {
 	inSleep bool             // an open sleep phase span awaits the next Step
 	health  healthCounters
 	mx      *runnerMetrics // nil unless Config.Metrics was set
+
+	// statCache holds the worker pool's prefetched stat reads for the
+	// current quantum (nil when sampling sequentially); read() consumes
+	// it so the Sys calls happen concurrently but every bookkeeping
+	// decision stays on the loop goroutine.
+	statCache map[int]statResult
+	// needReconcile requests a full eligibility reconciliation sweep on
+	// the next quantum. Set whenever suspension state may disagree with
+	// eligibility — a failed signal delivery, a membership refresh, a
+	// reconfiguration, or crash recovery — so the amortized loop never
+	// skips a sweep it actually needs (see maybeReconcile).
+	needReconcile bool
 }
 
 // NewRunner builds a runner controlling the given tasks. All live task
@@ -221,6 +248,7 @@ func newRunnerSkeleton(cfg Config) *Runner {
 	r.sched = core.New(core.Config{
 		Quantum:             cfg.Quantum,
 		DisableLazySampling: cfg.DisableLazySampling,
+		DisableIndexing:     cfg.DisableIndexing,
 		OnCycle:             cfg.OnCycle,
 		Observer:            r.tracer,
 	})
@@ -369,30 +397,85 @@ func (r *Runner) Step() (done bool) {
 // tickOnce is one algorithm invocation: TickQuantum plus enacting its
 // eligibility transitions.
 func (r *Runner) tickOnce() bool {
+	r.prefetch()
 	dec := r.sched.TickQuantum(r.read)
+	r.statCache = nil
 	r.phase(obs.KindPhaseBegin, obs.PhaseSignal)
-	for _, id := range dec.Suspend {
-		for _, pid := range r.targets[id] {
-			if r.signal(pid, true) {
-				r.suspended[pid] = true
-			}
-		}
-	}
-	for _, id := range dec.Resume {
-		for _, pid := range r.targets[id] {
-			if r.signal(pid, false) {
-				delete(r.suspended, pid)
-			}
-		}
-	}
+	r.enact(dec)
 	for _, id := range dec.Dead {
 		r.forgetTask(id)
 	}
-	r.reconcile()
+	r.maybeReconcile(dec)
 	r.phase(obs.KindPhaseEnd, obs.PhaseSignal)
 	r.ticks++
 	r.health.ticks.Add(1)
 	return r.sched.Len() == 0
+}
+
+// enact delivers the quantum's SIGSTOP/SIGCONT batch. With more than one
+// worker the raw deliveries (including their per-PID retry/backoff) run
+// concurrently, but strike accounting, drops, and the suspended map are
+// updated on the loop goroutine in decision order, so the outcome is
+// identical to the sequential path.
+func (r *Runner) enact(dec core.Decision) {
+	type sigOp struct {
+		pid  int
+		stop bool
+	}
+	var ops []sigOp
+	for _, id := range dec.Suspend {
+		for _, pid := range r.targets[id] {
+			ops = append(ops, sigOp{pid, true})
+		}
+	}
+	for _, id := range dec.Resume {
+		for _, pid := range r.targets[id] {
+			ops = append(ops, sigOp{pid, false})
+		}
+	}
+	if w := r.workers(); w > 1 && len(ops) > 1 {
+		results := make([]sigResult, len(ops))
+		fanOut(w, len(ops), func(i int) {
+			results[i] = r.deliverSignal(ops[i].pid, ops[i].stop)
+		})
+		for i, op := range ops {
+			if r.applySignal(results[i]) {
+				if op.stop {
+					r.suspended[op.pid] = true
+				} else {
+					delete(r.suspended, op.pid)
+				}
+			}
+		}
+		return
+	}
+	for _, op := range ops {
+		if r.signal(op.pid, op.stop) {
+			if op.stop {
+				r.suspended[op.pid] = true
+			} else {
+				delete(r.suspended, op.pid)
+			}
+		}
+	}
+}
+
+// maybeReconcile runs the full reconciliation sweep only when it can
+// matter: something this quantum may have left suspension state
+// disagreeing with eligibility (needReconcile: failed signals, refresh,
+// reconfig, restore), strikes are outstanding, eligibility moved en masse
+// (a cycle grant) or membership changed (deaths) — plus a low-frequency
+// safety-net sweep, and every quantum when DisableIndexing asks for the
+// seed loop. The sweep itself was the runner's last O(N)-per-quantum
+// component after the core went O(due).
+func (r *Runner) maybeReconcile(dec core.Decision) {
+	const reconcileEvery = 16
+	if r.cfg.DisableIndexing || r.needReconcile ||
+		dec.CycleCompleted || len(dec.Dead) > 0 ||
+		len(r.badSig) > 0 || len(r.badRead) > 0 ||
+		r.ticks%reconcileEvery == 0 {
+		r.reconcile()
+	}
 }
 
 // reconcile retries eligibility enforcement that previously failed. The
@@ -400,11 +483,12 @@ func (r *Runner) tickOnce() bool {
 // leaves the PID frozen while its task is eligible — and since the task
 // then consumes nothing, no new transition ever fires to retry the
 // SIGCONT — while a stop that failed leaves the PID free-riding through
-// its task's ineligible phase. Each quantum, any PID whose actual
-// suspension state disagrees with its task's eligibility gets the signal
-// re-sent (accumulating unsignalability strikes on failure, so a
-// permanently refusing PID is eventually dropped).
+// its task's ineligible phase. Any PID whose actual suspension state
+// disagrees with its task's eligibility gets the signal re-sent
+// (accumulating unsignalability strikes on failure, so a permanently
+// refusing PID is eventually dropped).
 func (r *Runner) reconcile() {
+	r.needReconcile = false
 	for _, id := range r.sched.Tasks() {
 		st, err := r.sched.State(id)
 		if err != nil {
@@ -465,6 +549,13 @@ func (r *Runner) readStat(pid int) (st Stat, err error) {
 // maxBadPIDStrikes. A PID whose start time changed is an unrelated
 // process that inherited the number (PID reuse) and is dropped before a
 // single nanosecond of its CPU can be charged to the task.
+//
+// The §2.4 blocked vote: a principal is blocked only if every PID whose
+// state was actually observed is blocked. Unreadable-but-kept PIDs
+// abstain — one transient read race must not suppress the blocked charge
+// an otherwise fully blocked principal is due. Only when *no* PID could
+// be read does the principal report unblocked, keeping the original
+// no-charge-on-guess behavior.
 func (r *Runner) read(id core.TaskID) (core.Progress, bool) {
 	if r.mx != nil {
 		begin := r.now()
@@ -473,10 +564,11 @@ func (r *Runner) read(id core.TaskID) (core.Progress, bool) {
 	pids := r.targets[id]
 	var consumed time.Duration
 	alive := false
-	blocked := true
+	reads := 0          // PIDs whose stat was successfully observed
+	sawRunning := false // some observed PID was not blocked
 	live := pids[:0]
 	for _, pid := range pids {
-		st, err := r.readStat(pid)
+		st, err := r.cachedStat(pid)
 		if err != nil {
 			switch classify(err) {
 			case errGone:
@@ -492,11 +584,10 @@ func (r *Runner) read(id core.TaskID) (core.Progress, bool) {
 				}
 				fallthrough
 			default:
-				// Keep the PID, assume it is running (do not charge
-				// the §2.4 blocked penalty on a guess).
+				// Keep the PID; its run state is unknown, so it
+				// abstains from the blocked vote.
 				live = append(live, pid)
 				alive = true
-				blocked = false
 			}
 			continue
 		}
@@ -514,8 +605,9 @@ func (r *Runner) read(id core.TaskID) (core.Progress, bool) {
 			r.known[pid] = pidState{cpu: st.CPU, start: st.Start}
 			live = append(live, pid)
 			alive = true
+			reads++
 			if !st.Blocked() {
-				blocked = false
+				sawRunning = true
 			}
 			continue
 		}
@@ -531,15 +623,16 @@ func (r *Runner) read(id core.TaskID) (core.Progress, bool) {
 		r.known[pid] = pidState{cpu: st.CPU, start: st.Start}
 		live = append(live, pid)
 		alive = true
+		reads++
 		if !st.Blocked() {
-			blocked = false
+			sawRunning = true
 		}
 	}
 	r.targets[id] = live
 	if !alive {
 		return core.Progress{}, false
 	}
-	return core.Progress{Consumed: consumed, Blocked: blocked}, true
+	return core.Progress{Consumed: consumed, Blocked: reads > 0 && !sawRunning}, true
 }
 
 // forgetPID clears a PID's bookkeeping without touching r.targets (used
@@ -569,21 +662,31 @@ func (r *Runner) dropPID(pid int) {
 	}
 }
 
-// signal delivers SIGSTOP (stop=true) or SIGCONT with classified
-// recovery: transient errors retry with capped exponential backoff
-// within the quantum; ESRCH drops the PID immediately; EPERM (and
-// exhausted retries) count a strike, and a PID that keeps refusing
-// signals for maxBadPIDStrikes consecutive deliveries is dropped so the
-// remaining workload's guarantees survive. Reports whether the signal
-// was delivered.
-func (r *Runner) signal(pid int, stop bool) bool {
+// sigResult is the outcome of one raw signal delivery, produced by
+// deliverSignal (possibly on a pool worker) and consumed by applySignal
+// on the loop goroutine.
+type sigResult struct {
+	pid  int
+	stop bool
+	ok   bool  // delivered
+	gone bool  // ESRCH: process vanished
+	err  error // terminal error when !ok
+}
+
+// deliverSignal performs the raw SIGSTOP (stop=true) or SIGCONT delivery
+// with classified recovery: transient errors retry with capped
+// exponential backoff within the quantum. It touches only the Sys
+// surface and atomic health counters, so the signal batcher may run many
+// deliveries concurrently; all map bookkeeping is deferred to
+// applySignal.
+func (r *Runner) deliverSignal(pid int, stop bool) sigResult {
 	if r.mx != nil {
 		begin := r.now()
 		defer func() { r.mx.signalDur.Observe(r.now().Sub(begin).Seconds()) }()
 	}
-	op, name := r.sys.Cont, "cont"
+	op := r.sys.Cont
 	if stop {
-		op, name = r.sys.Stop, "stop"
+		op = r.sys.Stop
 	}
 	backoff := r.cfg.Quantum / 64
 	if backoff <= 0 {
@@ -592,33 +695,61 @@ func (r *Runner) signal(pid int, stop bool) bool {
 	var err error
 	for attempt := 1; ; attempt++ {
 		if err = op(pid); err == nil {
-			delete(r.badSig, pid)
-			return true
+			return sigResult{pid: pid, stop: stop, ok: true}
 		}
 		class := classify(err)
 		if class == errGone {
-			r.health.vanished.Add(1)
-			r.errf("%s pid %d: %v (vanished)", name, pid, err)
-			r.dropPID(pid)
-			return false
+			return sigResult{pid: pid, stop: stop, gone: true, err: err}
 		}
 		if class == errDenied || attempt >= maxSignalAttempts {
-			break
+			return sigResult{pid: pid, stop: stop, err: err}
 		}
 		r.health.sigRetries.Add(1)
 		r.sys.Sleep(backoff)
 		backoff *= 2
 	}
+}
+
+// applySignal settles one delivery's bookkeeping on the loop goroutine:
+// ESRCH drops the PID immediately; EPERM (and exhausted retries) count a
+// strike, and a PID that keeps refusing signals for maxBadPIDStrikes
+// consecutive deliveries is dropped so the remaining workload's
+// guarantees survive. Reports whether the signal was delivered.
+func (r *Runner) applySignal(res sigResult) bool {
+	name := "cont"
+	if res.stop {
+		name = "stop"
+	}
+	if res.ok {
+		delete(r.badSig, res.pid)
+		return true
+	}
+	if res.gone {
+		r.health.vanished.Add(1)
+		r.errf("%s pid %d: %v (vanished)", name, res.pid, res.err)
+		r.dropPID(res.pid)
+		return false
+	}
 	r.health.sigFailures.Add(1)
-	r.badSig[pid]++
-	if r.badSig[pid] >= maxBadPIDStrikes {
+	r.badSig[res.pid]++
+	// The delivery failed with the PID still present, so its suspension
+	// state may now disagree with its task's eligibility.
+	r.needReconcile = true
+	if r.badSig[res.pid] >= maxBadPIDStrikes {
 		r.health.unsignalable.Add(1)
-		r.errf("%s pid %d: %v (unsignalable after %d failed deliveries; dropping)", name, pid, err, r.badSig[pid])
-		r.dropPID(pid)
+		r.errf("%s pid %d: %v (unsignalable after %d failed deliveries; dropping)", name, res.pid, res.err, r.badSig[res.pid])
+		r.dropPID(res.pid)
 	} else {
-		r.errf("%s pid %d: %v", name, pid, err)
+		r.errf("%s pid %d: %v", name, res.pid, res.err)
 	}
 	return false
+}
+
+// signal is the sequential deliver-then-apply pair, used by the
+// single-worker path and by every out-of-band caller (reconcile,
+// refresh, restore, reconfigure).
+func (r *Runner) signal(pid int, stop bool) bool {
+	return r.applySignal(r.deliverSignal(pid, stop))
 }
 
 // refresh installs new task memberships. A PID joining the workload is
@@ -683,6 +814,9 @@ func (r *Runner) refresh(m map[core.TaskID][]int) {
 		r.targets[id] = live
 	}
 	r.prune()
+	// Membership moved under the scheduler; make the next quantum verify
+	// the whole suspension/eligibility correspondence.
+	r.needReconcile = true
 }
 
 // prune forgets bookkeeping for PIDs no longer in any task's membership,

@@ -194,5 +194,8 @@ func NewRunnerFromState(cfg Config, st RunnerState) (*Runner, error) {
 		r.Release()
 		return nil, ErrNoLiveProcess
 	}
+	// The dead instance's signals may not all have landed; sweep on the
+	// first quantum.
+	r.needReconcile = true
 	return r, nil
 }
