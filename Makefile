@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench trace chaos vulncheck
+.PHONY: check vet build test race short bench trace chaos chaos-fleet vulncheck
 
 check: vet build race
 
@@ -27,8 +27,9 @@ short:
 
 # Benchmarks, each writing a JSON report next to the repo root:
 #   obs        — observer off vs on, ns/quantum (BENCH_obs.json)
-#   robustness — checkpoint write latency and per-cycle checkpoint
-#                overhead vs the 5%-of-quantum budget
+#   robustness — checkpoint write latency, per-cycle checkpoint
+#                overhead vs the 5%-of-quantum budget, and coordinator
+#                rebalance convergence vs the 12-round gate
 #                (BENCH_robustness.json)
 #   scale      — control-loop cost vs fleet size, seed loop vs O(due)
 #                loop; fails if the speedup regresses >20% against
@@ -55,6 +56,18 @@ trace:
 # e2e tests. Spawns real processes; not part of `short`.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestRestoreFailure|TestAdminConfig' -v ./cmd/alps/
+
+# Fleet chaos suite under the race detector: the coordsim scenario
+# (4 shards + coordinator on an in-memory faulty network and a virtual
+# clock — coordinator SIGKILLed mid-rebalance and restarted from its
+# checkpoint, a shard partitioned and healed, a shard killed) plus the
+# real-process fleet e2e (coordinator and shard as separate processes;
+# the shard must attach, then degrade to static shares when the
+# coordinator dies). Deterministic except the final e2e, which spawns
+# real busy loops; not part of `short`.
+chaos-fleet:
+	$(GO) test -race -run 'TestChaosFleet' -v ./internal/coord/
+	$(GO) test -race -run 'TestFleetEndToEnd' -v ./cmd/alps/
 
 # Known-vulnerability scan, gated on the tool being installed (the CI
 # image may not ship it; we never install dependencies on the fly).

@@ -156,18 +156,29 @@ func runRobustness() error {
 	}
 	overheadPct := 100 * overheadNs / float64(q.Nanoseconds())
 
+	conv, convWithin, err := runConvergence()
+	if err != nil {
+		return err
+	}
+
 	report := struct {
-		QuantumNs            int64    `json:"quantum_ns"`
-		SaveLatency          []latRow `json:"save_latency"`
-		PerCycleOverheadUs   float64  `json:"per_cycle_checkpoint_overhead_us"`
-		OverheadPctOfQuantum float64  `json:"per_cycle_checkpoint_overhead_pct_of_quantum"`
-		Within5Pct           bool     `json:"within_5pct_budget"`
+		QuantumNs            int64            `json:"quantum_ns"`
+		SaveLatency          []latRow         `json:"save_latency"`
+		PerCycleOverheadUs   float64          `json:"per_cycle_checkpoint_overhead_us"`
+		OverheadPctOfQuantum float64          `json:"per_cycle_checkpoint_overhead_pct_of_quantum"`
+		Within5Pct           bool             `json:"within_5pct_budget"`
+		Convergence          []convergenceRow `json:"rebalance_convergence"`
+		ConvergenceGate      int              `json:"rebalance_convergence_rounds_gate"`
+		ConvergenceWithin    bool             `json:"rebalance_convergence_within_gate"`
 	}{
 		QuantumNs:            int64(q),
 		SaveLatency:          lat,
 		PerCycleOverheadUs:   overheadNs / 1e3,
 		OverheadPctOfQuantum: overheadPct,
 		Within5Pct:           overheadPct < 5,
+		Convergence:          conv,
+		ConvergenceGate:      convergenceRoundsGate,
+		ConvergenceWithin:    convWithin,
 	}
 
 	fmt.Println("Checkpoint write latency (atomic temp+fsync+rename, wall time)")
@@ -183,6 +194,11 @@ func runRobustness() error {
 	if !report.Within5Pct {
 		fmt.Println("  WARNING: per-cycle checkpoint overhead exceeds the 5% budget on this host")
 	}
+	fmt.Printf("Rebalance convergence (ring fleet, uniform start, gate %d rounds):\n", convergenceRoundsGate)
+	for _, row := range conv {
+		fmt.Printf("  S=%-3d %2d rounds to deadband (rms %.3f -> %.4f)\n",
+			row.Shards, row.Rounds, row.InitialRMS, row.FinalRMS)
+	}
 
 	outDir := *out
 	if outDir == "" {
@@ -197,5 +213,11 @@ func runRobustness() error {
 		return err
 	}
 	fmt.Printf("  wrote %s\n", outPath)
+	// The gate fails the run only after the report is on disk, so CI
+	// still uploads the numbers that show the regression.
+	if !report.ConvergenceWithin {
+		return fmt.Errorf("rebalance convergence regressed past the %d-round gate (see %s)",
+			convergenceRoundsGate, outPath)
+	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -43,12 +44,16 @@ type configTask struct {
 	Remove bool  `json:"remove,omitempty"`
 }
 
+// maxConfigBytes bounds a POSTed /admin/config document. Real documents
+// are a few KB even with thousands of tasks; 1 MiB is generous.
+const maxConfigBytes = 1 << 20
+
 func parseConfigDoc(r io.Reader) (configDoc, error) {
 	var doc configDoc
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&doc); err != nil {
-		return doc, fmt.Errorf("bad config document: %v", err)
+		return doc, fmt.Errorf("bad config document: %w", err)
 	}
 	return doc, nil
 }
@@ -184,8 +189,17 @@ func adminConfigHandler(r *alps.Runner) http.Handler {
 		case http.MethodGet:
 			writeConfigDoc(w, r.State())
 		case http.MethodPost:
-			doc, err := parseConfigDoc(io.LimitReader(req.Body, 1<<20))
+			// MaxBytesReader (not a bare LimitReader) closes the
+			// connection on overrun, so an oversized or endless body
+			// cannot hold the handler while being streamed and thrown
+			// away; the operator sees an explicit 413.
+			doc, err := parseConfigDoc(http.MaxBytesReader(w, req.Body, maxConfigBytes))
 			if err != nil {
+				var tooLarge *http.MaxBytesError
+				if errors.As(err, &tooLarge) {
+					http.Error(w, fmt.Sprintf("config document over %d bytes", maxConfigBytes), http.StatusRequestEntityTooLarge)
+					return
+				}
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}

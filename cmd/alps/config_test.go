@@ -37,10 +37,10 @@ func TestConfigDocDiff(t *testing.T) {
 	}
 
 	changed := configDoc{Quantum: "40ms", Tasks: []configTask{
-		{ID: 0, Share: 2},                       // share update
-		{ID: 1, PIDs: []int{200, 201}},          // rebind
-		{ID: 2, Share: 1, PIDs: []int{300}},     // new task -> add
-		{ID: 3, Remove: true},                   // remove
+		{ID: 0, Share: 2},                   // share update
+		{ID: 1, PIDs: []int{200, 201}},      // rebind
+		{ID: 2, Share: 1, PIDs: []int{300}}, // new task -> add
+		{ID: 3, Remove: true},               // remove
 	}}
 	rc, err = changed.toReconfig(cur)
 	if err != nil {

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"alps"
+	"alps/internal/coord"
+	"alps/internal/obs"
+)
+
+// Fleet mode. `alps coord` runs the coordinator; any scheduling mode
+// (attach/spawn/user) becomes a shard of the fleet with -coord URL.
+// Shards pull: the coordinator never initiates connections, so a shard
+// behind NAT or a one-way firewall still participates, and coordinator
+// loss degrades shards to their last-committed static shares instead of
+// stopping them.
+
+// startCoordLink attaches this shard to a coordinator: registers under
+// a lease, heartbeats the observability stack's consumption gauges, and
+// applies pulled assignments through the same diff-based reconfiguration
+// path as /admin/config. Returns the agent (for /healthz) and a stop
+// func.
+func startCoordLink(r *alps.Runner, st *obsStack, url, shard string) (*coord.Agent, func(), error) {
+	if shard == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "shard"
+		}
+		shard = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	agent, err := coord.NewAgent(coord.AgentConfig{
+		URL:   url,
+		Shard: shard,
+		Tasks: func() []coord.TaskShare {
+			var out []coord.TaskShare
+			for _, t := range r.State().Tasks {
+				out = append(out, coord.TaskShare{ID: int64(t.ID), Share: t.Share})
+			}
+			return out
+		},
+		Gauges: func() coord.ShardGauges {
+			g := st.fleetGauges()
+			g.Degraded = r.Health().Degraded()
+			return g
+		},
+		Apply: func(a coord.Assignment) error {
+			doc := configDoc{Quantum: a.Quantum}
+			for _, ts := range a.Tasks {
+				doc.Tasks = append(doc.Tasks, configTask{ID: ts.ID, Share: ts.Share})
+			}
+			rc, err := doc.toReconfig(r.State())
+			if err != nil {
+				return err
+			}
+			if emptyReconfig(rc) {
+				return nil
+			}
+			return r.Reconfigure(rc)
+		},
+		Metrics: st.reg,
+		Logf: func(format string, args ...any) {
+			errlog.Info(fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("coordinator link: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		agent.Run(ctx)
+	}()
+	errlog.Info("coordinator link starting", "url", url, "shard", shard)
+	return agent, func() { cancel(); <-done }, nil
+}
+
+func cmdCoord(args []string) error {
+	fs := flag.NewFlagSet("coord", flag.ExitOnError)
+	httpAddr := fs.String("http", "", "address to serve /coord/v1/*, /metrics and /healthz on (required, e.g. :7070)")
+	ttl := fs.Duration("ttl", coord.DefaultTTL, "shard lease TTL; a shard silent past it is declared dead")
+	rebalance := fs.Duration("rebalance", coord.DefaultRebalanceEvery, "rebalance period")
+	state := fs.String("state", "", "checkpoint file for the committed share distribution")
+	quantum := fs.Duration("q", 0, "fleet-wide quantum pushed with every assignment (0: shards keep their own)")
+	gain := fs.Float64("gain", 0, "rebalance step clamp: one round moves a share by at most this factor (0: default 2)")
+	deadband := fs.Float64("deadband", 0, "global RMS share error below which no rebalance is committed (0: default 0.02)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *httpAddr == "" {
+		return fmt.Errorf("-http is required (the coordinator is an HTTP server)")
+	}
+	weights := make(map[int64]int64)
+	for _, a := range fs.Args() {
+		idStr, wStr, ok := strings.Cut(a, ":")
+		if !ok {
+			return fmt.Errorf("bad id:weight %q", a)
+		}
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad principal id in %q: %v", a, err)
+		}
+		w, err := strconv.ParseInt(wStr, 10, 64)
+		if err != nil || w <= 0 {
+			return fmt.Errorf("bad weight in %q (must be a positive integer)", a)
+		}
+		weights[id] = w
+	}
+
+	reg := obs.NewRegistry()
+	srv, err := coord.NewServer(coord.ServerConfig{
+		TTL:            *ttl,
+		RebalanceEvery: *rebalance,
+		Quantum:        *quantum,
+		Weights:        weights,
+		StatePath:      *state,
+		Planner:        coord.PlannerConfig{Gain: *gain, Deadband: *deadband},
+		Metrics:        reg,
+		Logf: func(format string, args ...any) {
+			errlog.Info(fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	mux := obs.NewMux(reg, func() any { return srv.Status() }, nil)
+	mux.Handle("/coord/v1/", srv)
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		return fmt.Errorf("coordinator listener on %s: %w", *httpAddr, err)
+	}
+	hs := hardenedServer(mux)
+	go func() { _ = hs.Serve(ln) }()
+	errlog.Info("coordinator listening", "addr", ln.Addr().String(),
+		"ttl", *ttl, "rebalance", *rebalance, "weights", len(weights))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv.Run(ctx)
+
+	sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = hs.Shutdown(sctx)
+	return nil
+}

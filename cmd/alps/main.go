@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"alps"
+	"alps/internal/coord"
 	"alps/internal/core"
 )
 
@@ -62,6 +63,8 @@ func main() {
 		err = cmdSpawn(os.Args[2:])
 	case "user":
 		err = cmdUser(os.Args[2:])
+	case "coord":
+		err = cmdCoord(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -79,6 +82,7 @@ func usage() {
   alps attach [common flags] pid:share ...
   alps spawn  [common flags] [-children] -shares 1,2,3 -- command [args...]
   alps user   [common flags] [-refresh 1s] name:share ...
+  alps coord  -http :7070 [-ttl 5s] [-rebalance 2s] [-state FILE] [id:weight ...]
 
 common flags:
   -q 20ms       ALPS quantum
@@ -96,6 +100,11 @@ common flags:
                 in Perfetto) to directory D; dumps fire automatically on
                 lateness spikes, share-error drift, overload degradation,
                 process drops and checkpoint failures
+  -coord URL    attach this instance to a fleet coordinator as a shard:
+                register under a lease, heartbeat consumption, and apply
+                the coordinator's share assignments; on coordinator loss
+                the shard keeps its last-committed shares
+  -shard NAME   fleet-unique shard name for -coord (default hostname-pid)
 
 SIGUSR1 dumps the cycle journal to stderr. SIGUSR2 dumps a flight-recorder
 trace. SIGHUP reloads -config.
@@ -114,6 +123,8 @@ type commonOpts struct {
 	maxq      *time.Duration
 	traceDir  *string
 	samplers  *int
+	coordURL  *string
+	shard     *string
 	fs        *flag.FlagSet // nil when constructed directly (tests)
 }
 
@@ -127,6 +138,8 @@ func commonFlags(fs *flag.FlagSet) commonOpts {
 		maxq:      fs.Duration("maxq", 40*time.Millisecond, "overload guard quantum bound (0 disables the guard; default scales to 2q when -q exceeds it)"),
 		traceDir:  fs.String("trace-dir", "", "write flight-recorder dumps (Chrome trace JSON, loadable in Perfetto) to this directory"),
 		samplers:  fs.Int("samplers", runtime.GOMAXPROCS(0), "worker pool size for concurrent /proc sampling and signal delivery (1 = sequential)"),
+		coordURL:  fs.String("coord", "", "fleet coordinator base URL; attach this instance as a shard"),
+		shard:     fs.String("shard", "", "fleet-unique shard name for -coord (default hostname-pid)"),
 		fs:        fs,
 	}
 }
@@ -161,7 +174,22 @@ func (o commonOpts) validate() error {
 	if o.samplers != nil && *o.samplers < 1 {
 		return fmt.Errorf("-samplers must be at least 1, got %d", *o.samplers)
 	}
+	if o.coordURL != nil && o.shard != nil && *o.shard != "" && *o.coordURL == "" {
+		return fmt.Errorf("-shard %q given without -coord; a shard name only means something to a coordinator", *o.shard)
+	}
 	return nil
+}
+
+// coordOpt reads the -coord/-shard pair, tolerating directly-constructed
+// opts (tests) that never set the pointers.
+func (o commonOpts) coordOpt() (url, shard string) {
+	if o.coordURL != nil {
+		url = *o.coordURL
+	}
+	if o.shard != nil {
+		shard = *o.shard
+	}
+	return url, shard
 }
 
 // samplerCount is the -samplers value, defaulting to GOMAXPROCS when the
@@ -195,6 +223,8 @@ type runOpts struct {
 	statePath string // -state: per-cycle checkpoint file; empty disables
 	confPath  string // -config: SIGHUP reload source; empty disables
 	traceDir  string // -trace-dir: flight-recorder dump directory; empty discards dumps
+	coordURL  string // -coord: fleet coordinator base URL; empty runs standalone
+	shard     string // -shard: fleet-unique name; defaulted from hostname-pid
 }
 
 func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack, ro runOpts) (err error) {
@@ -247,16 +277,32 @@ func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack
 			errlog.Info("config applied", "path", ro.confPath)
 		}
 	}
+	var link *coord.Agent
+	if ro.coordURL != "" && st != nil {
+		agent, stopLink, lerr := startCoordLink(r, st, ro.coordURL, ro.shard)
+		if lerr != nil {
+			r.Release()
+			return lerr
+		}
+		link = agent
+		defer stopLink()
+	}
 	if st != nil {
 		st.lateness = func() time.Duration { return r.Health().LastLateness }
 		st.admin = adminConfigHandler(r)
 		shutdown, serr := st.serve(func() any {
 			h := r.Health()
-			return struct {
+			resp := struct {
 				alps.RunnerHealth
 				Degraded  bool
 				Quantiles latencyQuantiles
-			}{h, h.Degraded(), st.quantiles()}
+				Coord     *coord.LinkStatus `json:",omitempty"`
+			}{RunnerHealth: h, Degraded: h.Degraded(), Quantiles: st.quantiles()}
+			if link != nil {
+				ls := link.Status()
+				resp.Coord = &ls
+			}
+			return resp
 		})
 		if serr != nil {
 			r.Release()
@@ -367,7 +413,8 @@ func cmdAttach(args []string) error {
 	cfg := opts.config()
 	st := newObsStack(*opts.httpAddr)
 	st.wire(&cfg, cycleLogger(*opts.logCycles))
-	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir})
+	url, shard := opts.coordOpt()
+	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir, coordURL: url, shard: shard})
 }
 
 func cmdSpawn(args []string) error {
@@ -451,7 +498,8 @@ func cmdSpawn(args []string) error {
 			return m
 		}
 	}
-	return runUntilSignal(cfg, tasks, st, runOpts{confPath: *opts.conf, traceDir: *opts.traceDir})
+	url, shard := opts.coordOpt()
+	return runUntilSignal(cfg, tasks, st, runOpts{confPath: *opts.conf, traceDir: *opts.traceDir, coordURL: url, shard: shard})
 }
 
 func cmdUser(args []string) error {
@@ -529,5 +577,6 @@ func cmdUser(args []string) error {
 	cfg.Refresh = membership
 	st := newObsStack(*opts.httpAddr)
 	st.wire(&cfg, cycleLogger(*opts.logCycles))
-	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir})
+	url, shard := opts.coordOpt()
+	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir, coordURL: url, shard: shard})
 }

@@ -21,17 +21,17 @@ func TestParsePidShares(t *testing.T) {
 
 func TestParsePidSharesErrors(t *testing.T) {
 	cases := [][]string{
-		{},                   // empty
-		{"100"},              // no colon
-		{"x:1"},              // bad pid
-		{"100:y"},            // bad share
-		{"100:1", "::"},      // garbage
-		{"0:1"},              // pid must be positive
-		{"-5:1"},             // negative pid
-		{"100:0"},            // share must be positive
-		{"100:-2"},           // negative share
-		{"100:1", "100:3"},   // duplicate pid
-		{"100:1", "200:0"},   // one bad pair poisons the set
+		{},                 // empty
+		{"100"},            // no colon
+		{"x:1"},            // bad pid
+		{"100:y"},          // bad share
+		{"100:1", "::"},    // garbage
+		{"0:1"},            // pid must be positive
+		{"-5:1"},           // negative pid
+		{"100:0"},          // share must be positive
+		{"100:-2"},         // negative share
+		{"100:1", "100:3"}, // duplicate pid
+		{"100:1", "200:0"}, // one bad pair poisons the set
 	}
 	for _, args := range cases {
 		if _, err := parsePidShares(args); err == nil {

@@ -8,10 +8,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
 	"alps"
+	"alps/internal/coord"
 	"alps/internal/core"
 	"alps/internal/metrics"
 	"alps/internal/obs"
@@ -49,13 +51,21 @@ type obsStack struct {
 
 	lateness func() time.Duration // reads the runner's health; set by runUntilSignal
 	admin    http.Handler         // /admin/config; set by runUntilSignal
+
+	// Fleet feedback for -coord: cumulative consumption per principal
+	// and completed cycles, read by the coordinator link's heartbeats
+	// from its own goroutine while the control loop appends.
+	fleetMu       sync.Mutex
+	fleetConsumed map[int64]float64
+	fleetCycles   int64
 }
 
 func newObsStack(addr string) *obsStack {
 	st := &obsStack{
-		reg:     obs.NewRegistry(),
-		journal: obs.NewJournal(obs.DefaultJournalSize),
-		addr:    addr,
+		reg:           obs.NewRegistry(),
+		journal:       obs.NewJournal(obs.DefaultJournalSize),
+		addr:          addr,
+		fleetConsumed: make(map[int64]float64),
 	}
 	st.rec = trace.NewRecorder(trace.RecorderConfig{
 		OnDump: func(d trace.Dump) {
@@ -150,6 +160,12 @@ func (st *obsStack) recordCycle(rec core.CycleRecord) {
 		shares = append(shares, float64(t.Share))
 	}
 	st.journal.Append(e)
+	st.fleetMu.Lock()
+	for _, t := range rec.Tasks {
+		st.fleetConsumed[int64(t.ID)] += t.Consumed.Seconds()
+	}
+	st.fleetCycles++
+	st.fleetMu.Unlock()
 	// An all-idle cycle has no defined share error; skip it rather than
 	// pollute the histograms.
 	if errs, err := metrics.ShareErrors(consumed, shares); err == nil {
@@ -174,8 +190,8 @@ func (st *obsStack) recordCycle(rec core.CycleRecord) {
 // latencyQuantiles is the /healthz quantile block: p50/p99 of the
 // runner's cycle lateness and per-task sample duration, in seconds.
 type latencyQuantiles struct {
-	CycleLatenessP50 float64
-	CycleLatenessP99 float64
+	CycleLatenessP50  float64
+	CycleLatenessP99  float64
 	SampleDurationP50 float64
 	SampleDurationP99 float64
 }
@@ -211,6 +227,38 @@ func (st *obsStack) logHealthLine(cycle int) {
 	)
 }
 
+// fleetGauges snapshots the heartbeat feedback for the -coord link:
+// cumulative per-principal consumption, the auditor's live RMS share
+// error, and the cycle count as a liveness signal.
+func (st *obsStack) fleetGauges() coord.ShardGauges {
+	st.fleetMu.Lock()
+	consumed := make(map[int64]float64, len(st.fleetConsumed))
+	for id, c := range st.fleetConsumed {
+		consumed[id] = c
+	}
+	cycles := st.fleetCycles
+	st.fleetMu.Unlock()
+	return coord.ShardGauges{
+		Consumed:      consumed,
+		RMSShareError: st.aud.RMSShareError(),
+		Cycles:        cycles,
+	}
+}
+
+// hardenedServer wraps a handler in an http.Server with the read/write
+// bounds every alps-owned listener uses: a slow-loris or runaway client
+// must not be able to pin a connection (or a handler goroutine) forever.
+// The write timeout stays wide enough for a 30s /debug/pprof/profile.
+func hardenedServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // serve starts the observability HTTP server (/metrics, /healthz,
 // /debug/journal, /debug/pprof/) when -http was given. The bound address
 // is logged to stderr, so ":0" works for tests. Returns a shutdown func.
@@ -227,7 +275,7 @@ func (st *obsStack) serve(health func() any) (shutdown func(), err error) {
 	if st.admin != nil {
 		mux.Handle("/admin/config", st.admin)
 	}
-	srv := &http.Server{Handler: mux}
+	srv := hardenedServer(mux)
 	go func() { _ = srv.Serve(ln) }()
 	errlog.Info("observability listening", "addr", ln.Addr().String())
 	return func() {

@@ -1,0 +1,77 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Cap: 8 * time.Millisecond} // no jitter
+	want := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(0, i+1); got != w {
+			t.Errorf("attempt %d: delay = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestDelayDeterministic(t *testing.T) {
+	p := New(time.Millisecond, 100*time.Millisecond, 42)
+	for attempt := 1; attempt <= 6; attempt++ {
+		a := p.Delay(7, attempt)
+		b := p.Delay(7, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: non-deterministic delay %v vs %v", attempt, a, b)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	p := New(time.Millisecond, time.Second, 1)
+	for key := uint64(0); key < 200; key++ {
+		for attempt := 1; attempt <= 5; attempt++ {
+			raw := time.Millisecond << (attempt - 1)
+			d := p.Delay(key, attempt)
+			if d < raw/2 || d >= raw {
+				t.Fatalf("key %d attempt %d: delay %v outside [%v, %v)", key, attempt, d, raw/2, raw)
+			}
+		}
+	}
+}
+
+// TestSeedsDecorrelate is the thundering-herd property: two policies
+// differing only in seed must not produce identical schedules.
+func TestSeedsDecorrelate(t *testing.T) {
+	a := New(time.Millisecond, time.Second, 1)
+	b := New(time.Millisecond, time.Second, 2)
+	same := 0
+	const n = 64
+	for attempt := 1; attempt <= n; attempt++ {
+		if a.Delay(0, attempt) == b.Delay(0, attempt) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("seeds 1 and 2 produced identical %d-step schedules", n)
+	}
+}
+
+func TestKeysDecorrelate(t *testing.T) {
+	p := New(time.Millisecond, time.Second, 9)
+	if p.Delay(1, 3) == p.Delay(2, 3) && p.Delay(1, 4) == p.Delay(2, 4) {
+		t.Fatal("distinct keys produced identical delays on consecutive attempts")
+	}
+}
+
+func TestOverflowClamped(t *testing.T) {
+	p := Policy{Base: time.Hour, Cap: 2 * time.Hour}
+	for attempt := 1; attempt <= 80; attempt++ {
+		d := p.Delay(0, attempt)
+		if d <= 0 || d > 2*time.Hour {
+			t.Fatalf("attempt %d: delay %v escaped (0, cap]", attempt, d)
+		}
+	}
+}

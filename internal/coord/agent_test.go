@@ -1,0 +1,298 @@
+package coord
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// handlerTransport routes agent RPCs straight into a Server's handler —
+// no sockets, fully deterministic. fail, while set, simulates a dead or
+// partitioned coordinator.
+type handlerTransport struct {
+	mu      sync.Mutex
+	handler http.Handler
+	fail    error
+	code    int // if nonzero (and fail nil), respond with this status
+}
+
+func (tr *handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	tr.mu.Lock()
+	fail, code, h := tr.fail, tr.code, tr.handler
+	tr.mu.Unlock()
+	if fail != nil {
+		return nil, fail
+	}
+	w := httptest.NewRecorder()
+	if code != 0 {
+		w.WriteHeader(code)
+	} else {
+		h.ServeHTTP(w, req)
+	}
+	return w.Result(), nil
+}
+
+func (tr *handlerTransport) setFail(err error) {
+	tr.mu.Lock()
+	tr.fail = err
+	tr.mu.Unlock()
+}
+
+type testShard struct {
+	mu      sync.Mutex
+	shares  map[int64]int64
+	applied []uint64 // every epoch Apply committed, in order
+	fail    error    // next Apply error, if set
+}
+
+func newTestShard(shares map[int64]int64) *testShard {
+	return &testShard{shares: shares}
+}
+
+func (ts *testShard) tasks() []TaskShare {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]TaskShare, 0, len(ts.shares))
+	for p, sh := range ts.shares {
+		out = append(out, TaskShare{ID: p, Share: sh})
+	}
+	return out
+}
+
+func (ts *testShard) apply(a Assignment) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.fail != nil {
+		err := ts.fail
+		ts.fail = nil
+		return err
+	}
+	for _, t := range a.Tasks {
+		ts.shares[t.ID] = t.Share
+	}
+	ts.applied = append(ts.applied, a.Epoch)
+	return nil
+}
+
+func newTestAgent(t *testing.T, clk *vclock, tr *handlerTransport, shard *testShard, name string) *Agent {
+	t.Helper()
+	a, err := NewAgent(AgentConfig{
+		URL:    "http://coord.test",
+		Shard:  name,
+		Tasks:  shard.tasks,
+		Gauges: func() ShardGauges { return ShardGauges{} },
+		Apply:  shard.apply,
+		Period: 100 * time.Millisecond,
+		Clock:  clk.Now,
+
+		Transport: tr,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	return a
+}
+
+// TestAgentAttachAndPull: first Step registers; after the coordinator
+// commits a new epoch, the next Step's heartbeat pulls and applies it.
+func TestAgentAttachAndPull(t *testing.T) {
+	clk := newVclock()
+	srv := newTestServer(t, clk, "")
+	tr := &handlerTransport{handler: srv}
+	shard := newTestShard(map[int64]int64{1: 100, 2: 100})
+	a := newTestAgent(t, clk, tr, shard, "s1")
+
+	if d := a.Step(); d != 100*time.Millisecond {
+		t.Fatalf("post-register delay = %v, want the period", d)
+	}
+	if st := a.Status(); !st.Attached || st.Epoch != 0 {
+		t.Fatalf("after register: %+v", st)
+	}
+
+	// Make the coordinator commit epoch 1 (skewed window), then beat.
+	beatViaAgentGauges(t, srv, clk, a, shard)
+	if st := a.Status(); st.Epoch != 1 || st.Applies != 1 {
+		t.Fatalf("after pull: %+v", st)
+	}
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if shard.shares[2] <= shard.shares[1] {
+		t.Fatalf("assignment not applied locally: %v", shard.shares)
+	}
+}
+
+// beatViaAgentGauges feeds the server a skewed window through a direct
+// heartbeat (so it has signal), rebalances, then Steps the agent so it
+// pulls the commit.
+func beatViaAgentGauges(t *testing.T, srv *Server, clk *vclock, a *Agent, shard *testShard) {
+	t.Helper()
+	srv.mu.Lock()
+	rec := srv.shards[a.cfg.Shard]
+	rec.window[1] += 0.75
+	rec.window[2] += 0.25
+	srv.mu.Unlock()
+	clk.Advance(600 * time.Millisecond)
+	srv.Rebalance(clk.Now())
+	if srv.Epoch() == 0 {
+		t.Fatal("server did not commit")
+	}
+	a.Step()
+}
+
+// TestAgentLeaseLostReregisters: the coordinator forgetting the lease
+// (restart, expiry) is not a failure — the agent re-registers on the
+// next Step and the link heals.
+func TestAgentLeaseLostReregisters(t *testing.T) {
+	clk := newVclock()
+	srv := newTestServer(t, clk, "")
+	tr := &handlerTransport{handler: srv}
+	shard := newTestShard(map[int64]int64{1: 10})
+	a := newTestAgent(t, clk, tr, shard, "s1")
+	a.Step() // register
+
+	// Expire the lease server-side.
+	clk.Advance(2 * time.Second)
+	srv.ExpireLeases(clk.Now())
+
+	d := a.Step() // heartbeat → 404 → detach
+	if st := a.Status(); st.Attached {
+		t.Fatalf("still attached after lease loss: %+v", st)
+	}
+	if d <= 0 {
+		t.Fatalf("lease-lost delay = %v, want positive jittered delay", d)
+	}
+	a.Step() // re-register
+	if st := a.Status(); !st.Attached {
+		t.Fatalf("did not re-register: %+v", st)
+	}
+	if st := a.Status(); st.Failures != 0 {
+		t.Fatalf("lease loss counted as failure: %+v", st)
+	}
+}
+
+// TestAgentBreaker: consecutive transport failures grow the backoff and
+// eventually open the circuit breaker; a later success snaps the link
+// closed again.
+func TestAgentBreaker(t *testing.T) {
+	clk := newVclock()
+	srv := newTestServer(t, clk, "")
+	tr := &handlerTransport{handler: srv}
+	shard := newTestShard(map[int64]int64{1: 10})
+	a := newTestAgent(t, clk, tr, shard, "s1")
+	a.Step() // register ok
+
+	tr.setFail(errors.New("connection refused"))
+	var delays []time.Duration
+	for i := 0; i < a.cfg.BreakerAfter; i++ {
+		delays = append(delays, a.Step())
+	}
+	st := a.Status()
+	if !st.BreakerOpen {
+		t.Fatalf("breaker closed after %d failures: %+v", a.cfg.BreakerAfter, st)
+	}
+	if st.Failures != a.cfg.BreakerAfter {
+		t.Fatalf("failures = %d, want %d", st.Failures, a.cfg.BreakerAfter)
+	}
+	// Backoff grew before the breaker tripped.
+	if !(delays[1] >= delays[0] || delays[2] >= delays[1]) {
+		t.Fatalf("backoff never grew: %v", delays)
+	}
+	// While open, Step is a no-RPC wait.
+	if d := a.Step(); d <= 0 {
+		t.Fatalf("open-breaker wait = %v", d)
+	}
+
+	// Past BreakerFor, one probe is allowed; the coordinator is back.
+	tr.setFail(nil)
+	clk.Advance(a.cfg.BreakerFor + time.Millisecond)
+	a.Step()
+	st = a.Status()
+	if st.BreakerOpen || st.Failures != 0 {
+		t.Fatalf("link did not heal: %+v", st)
+	}
+	if !st.Attached {
+		t.Fatalf("not attached after heal: %+v", st)
+	}
+}
+
+// TestAgentStaleEpochRejected: an assignment at or below the applied
+// epoch is discarded — a delayed duplicate or a rolled-back coordinator
+// cannot move shares backward.
+func TestAgentStaleEpochRejected(t *testing.T) {
+	clk := newVclock()
+	shard := newTestShard(map[int64]int64{1: 10})
+	a := newTestAgent(t, clk, &handlerTransport{}, shard, "s1")
+
+	a.maybeApply(Assignment{Epoch: 5, Tasks: []TaskShare{{ID: 1, Share: 77}}})
+	if a.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", a.Epoch())
+	}
+	a.maybeApply(Assignment{Epoch: 3, Tasks: []TaskShare{{ID: 1, Share: 1}}})
+	a.maybeApply(Assignment{Epoch: 5, Tasks: []TaskShare{{ID: 1, Share: 1}}}) // duplicate
+	st := a.Status()
+	if st.Epoch != 5 || st.StaleRejected != 1 || st.Applies != 1 {
+		t.Fatalf("after stale + duplicate: %+v", st)
+	}
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if shard.shares[1] != 77 {
+		t.Fatalf("stale assignment applied: %v", shard.shares)
+	}
+}
+
+// TestAgentApplyFailureRetried: a failed local apply leaves the agent's
+// epoch unchanged, so the coordinator re-sends the assignment on the
+// next heartbeat and the second attempt lands it.
+func TestAgentApplyFailureRetried(t *testing.T) {
+	clk := newVclock()
+	srv := newTestServer(t, clk, "")
+	tr := &handlerTransport{handler: srv}
+	shard := newTestShard(map[int64]int64{1: 100, 2: 100})
+	a := newTestAgent(t, clk, tr, shard, "s1")
+	a.Step() // register
+
+	shard.mu.Lock()
+	shard.fail = errors.New("scheduler busy")
+	shard.mu.Unlock()
+	beatViaAgentGauges(t, srv, clk, a, shard) // apply fails
+	if st := a.Status(); st.Epoch != 0 || st.Applies != 0 {
+		t.Fatalf("failed apply advanced the epoch: %+v", st)
+	}
+	a.Step() // next heartbeat re-pulls; apply succeeds now
+	if st := a.Status(); st.Epoch != 1 || st.Applies != 1 {
+		t.Fatalf("assignment not re-sent after apply failure: %+v", st)
+	}
+}
+
+// TestAgentDegradedStatic: past StaleAfter without coordinator contact
+// the link reports degraded-to-static — the operator-visible signal
+// that the shard is running on its last committed shares.
+func TestAgentDegradedStatic(t *testing.T) {
+	clk := newVclock()
+	srv := newTestServer(t, clk, "")
+	tr := &handlerTransport{handler: srv}
+	shard := newTestShard(map[int64]int64{1: 10})
+	a := newTestAgent(t, clk, tr, shard, "s1")
+
+	if st := a.Status(); !st.DegradedStatic {
+		t.Fatalf("never-attached link not degraded: %+v", st)
+	}
+	a.Step()
+	if st := a.Status(); st.DegradedStatic {
+		t.Fatalf("fresh link degraded: %+v", st)
+	}
+	tr.setFail(errors.New("partition"))
+	a.Step()
+	clk.Advance(4 * a.cfg.Period) // past StaleAfter = 3×Period
+	st := a.Status()
+	if !st.DegradedStatic {
+		t.Fatalf("partitioned link not degraded: %+v", st)
+	}
+	if !st.Attached {
+		t.Fatalf("degraded-to-static should still hold its lease view: %+v", st)
+	}
+}

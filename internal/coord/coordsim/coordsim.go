@@ -1,0 +1,267 @@
+// Package coordsim is a deterministic fault harness for the coord
+// control plane: an in-memory network of named HTTP hosts on a shared
+// virtual clock, with scriptable partitions, drops, delays, duplicated
+// deliveries and host kills injected at the http.RoundTripper layer.
+// The chaos e2e tests wire coord.Agent's Transport and coord.Server's
+// Clock through one Net, so an entire fleet — coordinator crashes,
+// partitions, lease expiries — plays out in virtual time with no
+// sockets, no goroutine sleeps and no flaky timing.
+package coordsim
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Clock is the simulation's shared virtual clock. Every component in a
+// simulated fleet (coordinator, agents, runners) must read time from
+// the same Clock or leases and heartbeats drift apart.
+type Clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewClock starts a clock at a fixed, arbitrary epoch (wall time is
+// deliberately not consulted: runs are reproducible).
+func NewClock() *Clock {
+	return &Clock{t: time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward.
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// Net is the simulated network: named hosts and the fault rules between
+// them. All methods are safe for concurrent use.
+type Net struct {
+	Clock *Clock
+
+	mu          sync.Mutex
+	hosts       map[string]http.Handler
+	killed      map[string]bool
+	partitioned map[string]bool // key "a|b", symmetric
+	drops       map[string]int  // host → remaining requests to drop
+	dupes       map[string]int  // host → remaining requests to deliver twice
+	delay       map[string]time.Duration
+
+	// Fault bookkeeping for assertions.
+	Dropped    int
+	Duplicated int
+}
+
+// NewNet builds an empty network on the given clock.
+func NewNet(clk *Clock) *Net {
+	return &Net{
+		Clock:       clk,
+		hosts:       make(map[string]http.Handler),
+		killed:      make(map[string]bool),
+		partitioned: make(map[string]bool),
+		drops:       make(map[string]int),
+		dupes:       make(map[string]int),
+		delay:       make(map[string]time.Duration),
+	}
+}
+
+// Host registers (or replaces) a named host's handler. Re-registering a
+// name models a process restart: the new handler serves from then on.
+func (n *Net) Host(name string, h http.Handler) {
+	n.mu.Lock()
+	n.hosts[name] = h
+	n.killed[name] = false
+	n.mu.Unlock()
+}
+
+// Kill makes every request to host fail with a connection error until
+// Host or Revive brings it back. The handler is kept (a SIGSTOPped or
+// crashed-but-restartable process).
+func (n *Net) Kill(name string) {
+	n.mu.Lock()
+	n.killed[name] = true
+	n.mu.Unlock()
+}
+
+// Revive undoes Kill without replacing the handler.
+func (n *Net) Revive(name string) {
+	n.mu.Lock()
+	n.killed[name] = false
+	n.mu.Unlock()
+}
+
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// Partition severs both directions between two hosts until Heal.
+func (n *Net) Partition(a, b string) {
+	n.mu.Lock()
+	n.partitioned[pairKey(a, b)] = true
+	n.mu.Unlock()
+}
+
+// Heal restores the link between two hosts.
+func (n *Net) Heal(a, b string) {
+	n.mu.Lock()
+	delete(n.partitioned, pairKey(a, b))
+	n.mu.Unlock()
+}
+
+// Drop makes the next count requests to host vanish (connection error).
+func (n *Net) Drop(host string, count int) {
+	n.mu.Lock()
+	n.drops[host] += count
+	n.mu.Unlock()
+}
+
+// Duplicate makes the next count requests to host be delivered twice —
+// the caller sees the second response, the handler sees both requests.
+// Models an at-least-once retry layer re-sending a non-idempotent POST.
+func (n *Net) Duplicate(host string, count int) {
+	n.mu.Lock()
+	n.dupes[host] += count
+	n.mu.Unlock()
+}
+
+// Delay adds fixed virtual latency to every request to host (the clock
+// advances by d before the handler runs) until called again with 0.
+func (n *Net) Delay(host string, d time.Duration) {
+	n.mu.Lock()
+	n.delay[host] = d
+	n.mu.Unlock()
+}
+
+// Transport returns the RoundTripper a component at `from` should use;
+// requests route by URL host and pass through the fault rules.
+func (n *Net) Transport(from string) http.RoundTripper {
+	return &transport{net: n, from: from}
+}
+
+type transport struct {
+	net  *Net
+	from string
+}
+
+// errNet is the connection-level error surfaced for killed, partitioned
+// or dropped deliveries — the same class a real dial failure produces,
+// which coord.Agent classifies as retryable.
+type errNet struct{ msg string }
+
+func (e errNet) Error() string   { return e.msg }
+func (e errNet) Timeout() bool   { return true }
+func (e errNet) Temporary() bool { return true }
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	n := t.net
+
+	n.mu.Lock()
+	h, ok := n.hosts[host]
+	killed := n.killed[host]
+	parted := n.partitioned[pairKey(t.from, host)]
+	var dropped, duped bool
+	if n.drops[host] > 0 {
+		n.drops[host]--
+		n.Dropped++
+		dropped = true
+	}
+	if !dropped && n.dupes[host] > 0 {
+		n.dupes[host]--
+		n.Duplicated++
+		duped = true
+	}
+	delay := n.delay[host]
+	n.mu.Unlock()
+
+	if delay > 0 {
+		n.Clock.Advance(delay)
+	}
+	switch {
+	case !ok:
+		return nil, errNet{fmt.Sprintf("coordsim: no such host %q", host)}
+	case killed:
+		return nil, errNet{fmt.Sprintf("coordsim: connect %s: connection refused (killed)", host)}
+	case parted:
+		return nil, errNet{fmt.Sprintf("coordsim: %s -> %s: network partitioned", t.from, host)}
+	case dropped:
+		return nil, errNet{fmt.Sprintf("coordsim: request to %s dropped", host)}
+	}
+
+	// Buffer the body so a duplicated delivery can replay it.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	deliver := func() *response {
+		r2 := req.Clone(req.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		w := &response{header: make(http.Header)}
+		h.ServeHTTP(w, r2)
+		return w
+	}
+	w := deliver()
+	if duped {
+		w = deliver() // caller sees the second delivery's response
+	}
+	return w.result(req), nil
+}
+
+// response is a minimal in-memory http.ResponseWriter; coordsim lives
+// in non-test code, so it does not reach for httptest.
+type response struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (w *response) Header() http.Header { return w.header }
+
+func (w *response) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+
+func (w *response) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.body.Write(p)
+}
+
+func (w *response) result(req *http.Request) *http.Response {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return &http.Response{
+		StatusCode:    w.code,
+		Status:        fmt.Sprintf("%d %s", w.code, http.StatusText(w.code)),
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        w.header,
+		Body:          io.NopCloser(bytes.NewReader(w.body.Bytes())),
+		ContentLength: int64(w.body.Len()),
+		Request:       req,
+	}
+}

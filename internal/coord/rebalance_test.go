@@ -1,0 +1,173 @@
+package coord
+
+import (
+	"math"
+	"testing"
+)
+
+// simulateWindow models what a fleet of 1-CPU shards would consume in
+// one window given local share vectors: each shard spends the window's
+// CPU in proportion to its local shares (a perfect local
+// proportional-share scheduler, all principals backlogged).
+func simulateWindow(shares map[string]map[int64]int64, window float64) []ShardLoad {
+	var loads []ShardLoad
+	for name, sv := range shares {
+		var tot int64
+		for _, sh := range sv {
+			tot += sh
+		}
+		consumed := make(map[int64]float64, len(sv))
+		for p, sh := range sv {
+			consumed[p] = window * float64(sh) / float64(tot)
+		}
+		cp := make(map[int64]int64, len(sv))
+		for p, sh := range sv {
+			cp[p] = sh
+		}
+		loads = append(loads, ShardLoad{Name: name, Shares: cp, Consumed: consumed})
+	}
+	return loads
+}
+
+// TestPlanConverges: starting from a maximally skewed distribution, the
+// damped multiplicative update drives the global RMS share error under
+// the deadband within a bounded number of rounds. The bound here (12) is
+// the one DESIGN.md documents and the bench gate enforces.
+func TestPlanConverges(t *testing.T) {
+	// 2 shards, 3 principals; global weights 4:2:1 but initial local
+	// shares are uniform, so principal 1 (hosted twice) starts far over.
+	weights := map[int64]int64{1: 4, 2: 2, 3: 1}
+	shares := map[string]map[int64]int64{
+		"s1": {1: 100, 2: 100},
+		"s2": {1: 100, 3: 100},
+	}
+	var cfg PlannerConfig
+	lastRMS := math.Inf(1)
+	for round := 1; round <= 12; round++ {
+		res := Plan(cfg, weights, simulateWindow(shares, 1.0))
+		if res.GlobalRMS < 0 {
+			t.Fatalf("round %d: no RMS measured", round)
+		}
+		if !res.Changed {
+			if res.GlobalRMS >= cfg.withDefaults().Deadband {
+				t.Fatalf("round %d: planner stopped at rms=%.4f, above deadband", round, res.GlobalRMS)
+			}
+			t.Logf("converged after %d rounds (rms=%.4f)", round, res.GlobalRMS)
+			return
+		}
+		lastRMS = res.GlobalRMS
+		shares = res.Shares
+	}
+	t.Fatalf("did not converge in 12 rounds (last rms=%.4f)", lastRMS)
+}
+
+// TestPlanDeadband: an already-balanced fleet is left alone — no epoch
+// churn from rounding wobble.
+func TestPlanDeadband(t *testing.T) {
+	weights := map[int64]int64{1: 1, 2: 1}
+	shares := map[string]map[int64]int64{"s1": {1: 100, 2: 100}}
+	res := Plan(PlannerConfig{}, weights, simulateWindow(shares, 1.0))
+	if res.Changed {
+		t.Fatalf("balanced fleet replanned: %v", res.Shares)
+	}
+	if res.GlobalRMS >= 0.02 {
+		t.Fatalf("balanced fleet measured rms=%.4f", res.GlobalRMS)
+	}
+}
+
+// TestPlanIdleWindow: a window with no consumption carries no signal;
+// shares are copied through unchanged and RMS reports -1.
+func TestPlanIdleWindow(t *testing.T) {
+	res := Plan(PlannerConfig{}, map[int64]int64{1: 1},
+		[]ShardLoad{{Name: "s1", Shares: map[int64]int64{1: 50}}})
+	if res.Changed {
+		t.Fatal("idle window moved shares")
+	}
+	if res.GlobalRMS != -1 {
+		t.Fatalf("idle window rms = %v, want -1", res.GlobalRMS)
+	}
+	if res.Shares["s1"][1] != 50 {
+		t.Fatalf("idle window altered shares: %v", res.Shares)
+	}
+}
+
+// TestPlanDeadShardRedistribution: when every host of a principal dies,
+// the principal drops out of the target and the survivors' principals
+// absorb its weight — the surviving distribution is planned among the
+// living only.
+func TestPlanDeadShardRedistribution(t *testing.T) {
+	weights := map[int64]int64{1: 1, 2: 1, 3: 2}
+	// Shard s2 (sole host of principal 3) is dead: not in the input.
+	shares := map[string]map[int64]int64{"s1": {1: 10, 2: 30}}
+	res := Plan(PlannerConfig{}, weights, simulateWindow(shares, 1.0))
+	if !res.Changed {
+		t.Fatal("skewed survivors not replanned")
+	}
+	s1 := res.Shares["s1"]
+	if _, ok := s1[3]; ok {
+		t.Fatalf("dead principal 3 assigned to survivor: %v", s1)
+	}
+	// Principals 1 and 2 have equal weight; shares must move toward
+	// parity from the 10:30 skew.
+	r := float64(s1[1]) / float64(s1[2])
+	if r <= 10.0/30.0 {
+		t.Fatalf("share ratio did not move toward parity: %v", s1)
+	}
+}
+
+// TestPlanClamp: one round can at most double or halve a share (Gain 2),
+// so one noisy window cannot slingshot the distribution.
+func TestPlanClamp(t *testing.T) {
+	weights := map[int64]int64{1: 1000, 2: 1}
+	shares := map[string]map[int64]int64{"s1": {1: 10, 2: 10}}
+	// Principal 1 is massively underserved: uniform consumption.
+	// Damping 1 takes the raw step, so only the clamp bounds it.
+	res := Plan(PlannerConfig{ScaleTotal: 20, Damping: 1}, weights, simulateWindow(shares, 1.0))
+	if !res.Changed {
+		t.Fatal("skew not replanned")
+	}
+	s1 := res.Shares["s1"]
+	// Ratios are clamped to [0.5, 2]: 10*2 : 10*0.5 = 4:1 of total 20.
+	if s1[1] != 16 || s1[2] != 4 {
+		t.Fatalf("clamped step gave %v, want map[1:16 2:4]", s1)
+	}
+}
+
+// TestPlanUnservedPrincipal: a principal with zero consumption in a
+// busy window gets the maximum boost instead of a divide-by-zero.
+func TestPlanUnservedPrincipal(t *testing.T) {
+	weights := map[int64]int64{1: 1, 2: 1}
+	loads := []ShardLoad{{
+		Name:     "s1",
+		Shares:   map[int64]int64{1: 100, 2: 100},
+		Consumed: map[int64]float64{1: 1.0}, // principal 2 starved
+	}}
+	res := Plan(PlannerConfig{}, weights, loads)
+	if !res.Changed {
+		t.Fatal("starved principal not replanned")
+	}
+	s1 := res.Shares["s1"]
+	if s1[2] <= s1[1] {
+		t.Fatalf("starved principal not boosted: %v", s1)
+	}
+}
+
+// TestScaleSharesDeterministic: identical inputs yield identical output
+// regardless of map iteration order (run a few times to shake it).
+func TestScaleSharesDeterministic(t *testing.T) {
+	shares := map[int64]int64{5: 7, 1: 13, 9: 3, 2: 11}
+	ratio := map[int64]float64{5: 1.7, 1: 0.6, 9: 2.0, 2: 1.0}
+	first := scaleShares(shares, ratio, 4096)
+	for i := 0; i < 10; i++ {
+		if got := scaleShares(shares, ratio, 4096); !sameShares(got, first) {
+			t.Fatalf("run %d differed: %v vs %v", i, got, first)
+		}
+	}
+	var tot int64
+	for _, sh := range first {
+		tot += sh
+	}
+	if tot < 4090 || tot > 4102 {
+		t.Fatalf("renormalized total %d far from 4096: %v", tot, first)
+	}
+}

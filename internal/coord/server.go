@@ -1,0 +1,615 @@
+package coord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"alps/internal/ckpt"
+	"alps/internal/obs"
+)
+
+// ServerConfig parameterizes a coordinator.
+type ServerConfig struct {
+	// TTL is the lease TTL granted to shards; a shard silent past it is
+	// declared dead and its capacity redistributed. Default DefaultTTL.
+	TTL time.Duration
+	// RebalanceEvery is the rebalance period. Default
+	// DefaultRebalanceEvery.
+	RebalanceEvery time.Duration
+	// Quantum, if nonzero, is a fleet-wide quantum pushed with every
+	// assignment (zero: each shard keeps its own -q).
+	Quantum time.Duration
+	// Weights is the operator-supplied global distribution. Principals
+	// a shard registers that are absent here are adopted with their
+	// registered share as weight.
+	Weights map[int64]int64
+	// StatePath, if nonempty, checkpoints the committed distribution
+	// (epoch, weights, per-shard assignments) via internal/ckpt before
+	// each publish, and restores it in NewServer.
+	StatePath string
+	// Planner tunes the rebalance step.
+	Planner PlannerConfig
+	// Clock overrides time.Now (tests run on a virtual clock).
+	Clock func() time.Time
+	// Metrics, if non-nil, receives the alps_coord_* families.
+	Metrics *obs.Registry
+	// Logf, if non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// shardRec is one attached shard's runtime state (leases are volatile:
+// they are never checkpointed, a restarted coordinator re-learns the
+// fleet from re-registrations).
+type shardRec struct {
+	lease    string
+	expires  time.Time
+	ackEpoch uint64
+	gauges   ShardGauges
+	// lastCum is the last cumulative per-principal consumption reading;
+	// window accumulates differenced consumption for the next rebalance.
+	lastCum map[int64]float64
+	window  map[int64]float64
+}
+
+// Server is the coordinator: lease table, weight table, epoch-numbered
+// committed assignments, and the rebalance loop. It implements
+// http.Handler for the /coord/v1/* endpoints. All methods are safe for
+// concurrent use.
+type Server struct {
+	cfg ServerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	epoch    uint64
+	weights  map[int64]int64
+	assigned map[string]map[int64]int64 // last committed per-shard shares
+	shards   map[string]*shardRec       // live leases only
+	leaseSeq uint64
+	nextReb  time.Time
+	lastRMS  float64 // last measured global RMS (-1: no signal yet)
+
+	registers, heartbeats, expiries counter
+	rebalances, fastForwards        counter
+	ckptErrors, rejectedStaleLeases counter
+	mux                             *http.ServeMux
+}
+
+// counter is a tiny internal counter mirrored to the obs registry via
+// CounterFunc, so Status() and /metrics read the same source.
+type counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (c *counter) inc()       { c.mu.Lock(); c.v++; c.mu.Unlock() }
+func (c *counter) get() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.v }
+
+// maxBodyBytes bounds every request body the coordinator reads; the
+// control plane must not be stallable by an unbounded POST.
+const maxBodyBytes = 1 << 20
+
+// NewServer builds a coordinator, restoring the committed distribution
+// from cfg.StatePath when a checkpoint exists there (fail-closed: a
+// corrupt file is an error, not a silent fresh start).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.RebalanceEvery <= 0 {
+		cfg.RebalanceEvery = DefaultRebalanceEvery
+	}
+	s := &Server{
+		cfg:      cfg,
+		now:      time.Now,
+		weights:  make(map[int64]int64),
+		assigned: make(map[string]map[int64]int64),
+		shards:   make(map[string]*shardRec),
+		lastRMS:  -1,
+	}
+	if cfg.Clock != nil {
+		s.now = cfg.Clock
+	}
+	for p, w := range cfg.Weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("coord: weight %d for principal %d is not positive", w, p)
+		}
+		s.weights[p] = w
+	}
+	if cfg.StatePath != "" {
+		var st persistedState
+		err := ckpt.Load(cfg.StatePath, &st)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// fresh start
+		case err != nil:
+			return nil, fmt.Errorf("coord: state file %s: %w (refusing partial restore)", cfg.StatePath, err)
+		default:
+			s.epoch = st.Epoch
+			for p, w := range st.Weights {
+				if _, fromOperator := s.weights[p]; !fromOperator {
+					s.weights[p] = w
+				}
+			}
+			for name, shares := range st.Assigned {
+				s.assigned[name] = shares
+			}
+			s.logf("coord: restored state epoch=%d shards=%d principals=%d",
+				st.Epoch, len(st.Assigned), len(s.weights))
+		}
+	}
+	s.nextReb = s.now().Add(cfg.RebalanceEvery)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/coord/v1/register", s.handleRegister)
+	s.mux.HandleFunc("/coord/v1/heartbeat", s.handleHeartbeat)
+	s.mux.HandleFunc("/coord/v1/assignment", s.handleAssignment)
+	s.mux.HandleFunc("/coord/v1/status", s.handleStatus)
+	if cfg.Metrics != nil {
+		s.registerMetrics(cfg.Metrics)
+	}
+	return s, nil
+}
+
+// persistedState is the checkpoint payload: everything epoch semantics
+// depend on. Leases and consumption windows are deliberately absent —
+// they are re-learned from heartbeats.
+type persistedState struct {
+	Epoch    uint64                     `json:"epoch"`
+	Weights  map[int64]int64            `json:"weights"`
+	Assigned map[string]map[int64]int64 `json:"assigned"`
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("alps_coord_epoch",
+		"Last committed rebalance epoch.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.epoch) })
+	reg.GaugeFunc("alps_coord_leases_active",
+		"Shards currently holding an unexpired lease.",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.shards)) })
+	reg.GaugeFunc("alps_coord_global_rms_share_error",
+		"Global RMS relative share error measured at the last rebalance (-1: no signal).",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return s.lastRMS })
+	reg.CounterFunc("alps_coord_registers_total",
+		"Shard registrations accepted.", s.registers.get)
+	reg.CounterFunc("alps_coord_heartbeats_total",
+		"Shard heartbeats accepted.", s.heartbeats.get)
+	reg.CounterFunc("alps_coord_lease_expiries_total",
+		"Leases expired (shard declared dead, capacity redistributed).", s.expiries.get)
+	reg.CounterFunc("alps_coord_rebalances_total",
+		"Rebalance rounds committed (epoch advanced).", s.rebalances.get)
+	reg.CounterFunc("alps_coord_stale_fastforwards_total",
+		"Epoch fast-forwards after a restart from a stale checkpoint.", s.fastForwards.get)
+	reg.CounterFunc("alps_coord_checkpoint_errors_total",
+		"Distribution checkpoint writes that failed (publish proceeded).", s.ckptErrors.get)
+	reg.CounterFunc("alps_coord_unknown_leases_total",
+		"Heartbeats rejected for an unknown or superseded lease.", s.rejectedStaleLeases.get)
+}
+
+// ServeHTTP serves the /coord/v1/* control-plane endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Tick drives lease expiry and the rebalance schedule; Run calls it
+// periodically, deterministic tests call it directly.
+func (s *Server) Tick(now time.Time) {
+	expired := s.ExpireLeases(now)
+	s.mu.Lock()
+	due := !now.Before(s.nextReb)
+	s.mu.Unlock()
+	if due || expired > 0 {
+		s.Rebalance(now)
+	}
+}
+
+// Run drives Tick on a real clock until ctx is done.
+func (s *Server) Run(ctx interface{ Done() <-chan struct{} }) {
+	period := s.cfg.TTL / 4
+	if period <= 0 || period > s.cfg.RebalanceEvery/2 {
+		period = s.cfg.RebalanceEvery / 2
+	}
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.Tick(s.now())
+		}
+	}
+}
+
+// ExpireLeases drops every shard whose lease expired before now and
+// reports how many it dropped. Their last-committed assignments are
+// kept, so a shard that comes back resumes where it left off.
+func (s *Server) ExpireLeases(now time.Time) int {
+	s.mu.Lock()
+	var dead []string
+	for name, rec := range s.shards {
+		if now.After(rec.expires) {
+			dead = append(dead, name)
+		}
+	}
+	for _, name := range dead {
+		delete(s.shards, name)
+	}
+	s.mu.Unlock()
+	for _, name := range dead {
+		s.expiries.inc()
+		s.logf("coord: lease expired, shard %s declared dead", name)
+	}
+	return len(dead)
+}
+
+// Rebalance runs one planning round over the live shards and, if any
+// share moved, commits it: epoch+1, checkpoint, then publish (shards
+// pull the new assignment on their next heartbeat). Crash order matters:
+// the checkpoint is written *before* the new epoch becomes visible, so a
+// coordinator killed mid-rebalance restarts into the epoch it was about
+// to publish, never behind it.
+func (s *Server) Rebalance(now time.Time) {
+	s.mu.Lock()
+	s.nextReb = now.Add(s.cfg.RebalanceEvery)
+	loads := make([]ShardLoad, 0, len(s.shards))
+	for name, rec := range s.shards {
+		shares := s.assigned[name]
+		if len(shares) == 0 {
+			continue
+		}
+		loads = append(loads, ShardLoad{Name: name, Shares: shares, Consumed: rec.window})
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].Name < loads[j].Name })
+	weights := make(map[int64]int64, len(s.weights))
+	for p, w := range s.weights {
+		weights[p] = w
+	}
+	s.mu.Unlock()
+	if len(loads) == 0 {
+		return
+	}
+
+	res := Plan(s.cfg.Planner, weights, loads)
+
+	s.mu.Lock()
+	if res.GlobalRMS >= 0 {
+		s.lastRMS = res.GlobalRMS
+	}
+	// The window is spent whether or not anything moved.
+	for _, rec := range s.shards {
+		rec.window = make(map[int64]float64)
+	}
+	if !res.Changed {
+		s.mu.Unlock()
+		return
+	}
+	s.epoch++
+	for name, shares := range res.Shares {
+		s.assigned[name] = shares
+	}
+	st := s.persistedLocked()
+	epoch := s.epoch
+	s.mu.Unlock()
+
+	if s.cfg.StatePath != "" {
+		if err := ckpt.Save(s.cfg.StatePath, st); err != nil {
+			// Publish anyway: shards reject stale epochs after a
+			// rollback restart, and heartbeats fast-forward us — the
+			// epoch protocol is the backstop the checkpoint merely
+			// accelerates.
+			s.ckptErrors.inc()
+			s.logf("coord: checkpoint %s failed: %v (publishing anyway)", s.cfg.StatePath, err)
+		}
+	}
+	s.rebalances.inc()
+	s.logf("coord: committed epoch %d (rms=%.3f, %d shards)", epoch, res.GlobalRMS, len(loads))
+}
+
+func (s *Server) persistedLocked() persistedState {
+	st := persistedState{
+		Epoch:    s.epoch,
+		Weights:  make(map[int64]int64, len(s.weights)),
+		Assigned: make(map[string]map[int64]int64, len(s.assigned)),
+	}
+	for p, w := range s.weights {
+		st.Weights[p] = w
+	}
+	for name, shares := range s.assigned {
+		cp := make(map[int64]int64, len(shares))
+		for p, sh := range shares {
+			cp[p] = sh
+		}
+		st.Assigned[name] = cp
+	}
+	return st
+}
+
+// assignmentLocked builds the wire Assignment for one shard at the
+// current epoch.
+func (s *Server) assignmentLocked(name string) Assignment {
+	a := Assignment{Epoch: s.epoch}
+	if s.cfg.Quantum > 0 {
+		a.Quantum = s.cfg.Quantum.String()
+	}
+	shares := s.assigned[name]
+	ids := make([]int64, 0, len(shares))
+	for p := range shares {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, p := range ids {
+		a.Tasks = append(a.Tasks, TaskShare{ID: p, Share: shares[p]})
+	}
+	return a
+}
+
+// Register attaches (or re-attaches) a shard: grants a fresh lease,
+// adopts weights for principals the operator didn't configure, and
+// returns the shard's current assignment. A re-registration supersedes
+// any lease the shard held before (the newest incarnation wins).
+func (s *Server) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.Shard == "" {
+		return RegisterResponse{}, errors.New("coord: register: empty shard name")
+	}
+	if len(req.Tasks) == 0 {
+		return RegisterResponse{}, errors.New("coord: register: no tasks")
+	}
+	for _, t := range req.Tasks {
+		if t.Share <= 0 {
+			return RegisterResponse{}, fmt.Errorf("coord: register: share %d for task %d is not positive", t.Share, t.ID)
+		}
+	}
+	now := s.now()
+	s.mu.Lock()
+	for _, t := range req.Tasks {
+		if _, ok := s.weights[t.ID]; !ok {
+			s.weights[t.ID] = t.Share
+		}
+	}
+	// Committed shares win over the registered ones (a shard re-joining
+	// after a crash resumes its last slice); previously unseen shards
+	// start from their registered vector. Principals added since the
+	// last commit join at their registered share.
+	shares := s.assigned[req.Shard]
+	if shares == nil {
+		shares = make(map[int64]int64, len(req.Tasks))
+	}
+	merged := make(map[int64]int64, len(req.Tasks))
+	for _, t := range req.Tasks {
+		if sh, ok := shares[t.ID]; ok {
+			merged[t.ID] = sh
+		} else {
+			merged[t.ID] = t.Share
+		}
+	}
+	s.assigned[req.Shard] = merged
+	s.leaseSeq++
+	rec := &shardRec{
+		lease:   fmt.Sprintf("lease-%d", s.leaseSeq),
+		expires: now.Add(s.cfg.TTL),
+		lastCum: make(map[int64]float64),
+		window:  make(map[int64]float64),
+	}
+	s.shards[req.Shard] = rec
+	resp := RegisterResponse{
+		Lease:      rec.lease,
+		TTLMillis:  s.cfg.TTL.Milliseconds(),
+		Assignment: s.assignmentLocked(req.Shard),
+	}
+	s.mu.Unlock()
+	s.registers.inc()
+	s.logf("coord: shard %s registered (%d tasks, lease %s)", req.Shard, len(req.Tasks), resp.Lease)
+	return resp, nil
+}
+
+// errUnknownLease makes a heartbeat for a dead or superseded lease a
+// distinct, client-actionable failure: re-register.
+var errUnknownLease = errors.New("coord: unknown or superseded lease")
+
+// Heartbeat renews a lease, records the shard's gauges, and returns the
+// current assignment when the coordinator has committed an epoch newer
+// than the shard's. A heartbeat carrying an epoch *ahead* of the
+// coordinator means this coordinator restarted from a stale checkpoint:
+// it fast-forwards, so its next commit is newer than anything any shard
+// has — epochs never roll backward fleet-wide.
+func (s *Server) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	now := s.now()
+	s.mu.Lock()
+	rec := s.shards[req.Shard]
+	if rec == nil || rec.lease != req.Lease {
+		s.mu.Unlock()
+		s.rejectedStaleLeases.inc()
+		return HeartbeatResponse{}, errUnknownLease
+	}
+	rec.expires = now.Add(s.cfg.TTL)
+	rec.ackEpoch = req.Epoch
+	rec.gauges = req.Gauges
+	for p, cum := range req.Gauges.Consumed {
+		last := rec.lastCum[p]
+		delta := cum - last
+		if delta < 0 {
+			// Shard restarted: counters reset; its fresh cumulative
+			// value is the whole new window.
+			delta = cum
+		}
+		rec.window[p] += delta
+		rec.lastCum[p] = cum
+	}
+	if req.Epoch > s.epoch {
+		s.logf("coord: fast-forwarding epoch %d -> %d (stale checkpoint; shard %s is ahead)",
+			s.epoch, req.Epoch, req.Shard)
+		s.epoch = req.Epoch
+		s.fastForwards.inc()
+	}
+	resp := HeartbeatResponse{TTLMillis: s.cfg.TTL.Milliseconds()}
+	if s.epoch > req.Epoch {
+		a := s.assignmentLocked(req.Shard)
+		resp.Assignment = &a
+	}
+	s.mu.Unlock()
+	s.heartbeats.inc()
+	return resp, nil
+}
+
+// Epoch returns the last committed epoch.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// GlobalRMS returns the global RMS share error measured at the last
+// rebalance round that had consumption to measure (-1 before that).
+func (s *Server) GlobalRMS() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastRMS
+}
+
+// ShardStatus is one shard's row in the coordinator's fleet status.
+type ShardStatus struct {
+	Shard    string      `json:"shard"`
+	Lease    string      `json:"lease"`
+	TTLLeft  string      `json:"ttl_left"`
+	AckEpoch uint64      `json:"ack_epoch"`
+	Gauges   ShardGauges `json:"gauges"`
+	Shares   []TaskShare `json:"shares"`
+}
+
+// FleetStatus is the /coord/v1/status document.
+type FleetStatus struct {
+	Epoch     uint64          `json:"epoch"`
+	GlobalRMS float64         `json:"global_rms_share_error"`
+	Weights   map[int64]int64 `json:"weights"`
+	Shards    []ShardStatus   `json:"shards"`
+}
+
+// Status snapshots the fleet for operators.
+func (s *Server) Status() FleetStatus {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := FleetStatus{Epoch: s.epoch, GlobalRMS: s.lastRMS, Weights: make(map[int64]int64, len(s.weights))}
+	for p, w := range s.weights {
+		st.Weights[p] = w
+	}
+	names := make([]string, 0, len(s.shards))
+	for name := range s.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rec := s.shards[name]
+		row := ShardStatus{
+			Shard:    name,
+			Lease:    rec.lease,
+			TTLLeft:  rec.expires.Sub(now).String(),
+			AckEpoch: rec.ackEpoch,
+			Gauges:   rec.gauges,
+		}
+		for _, ts := range s.assignmentLocked(name).Tasks {
+			row.Shares = append(row.Shares, ts)
+		}
+		st.Shards = append(st.Shards, row)
+	}
+	return st
+}
+
+// --- HTTP plumbing ---
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.Register(req)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.Heartbeat(req)
+	if errors.Is(err, errUnknownLease) {
+		writeJSONError(w, http.StatusNotFound, err)
+		return
+	}
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		writeJSONError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	name := r.URL.Query().Get("shard")
+	s.mu.Lock()
+	_, known := s.assigned[name]
+	a := s.assignmentLocked(name)
+	s.mu.Unlock()
+	if name == "" || !known {
+		writeJSONError(w, http.StatusNotFound, fmt.Errorf("coord: unknown shard %q", name))
+		return
+	}
+	writeJSON(w, a)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		writeJSONError(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, s.Status())
+}
+
+// decodeBody reads a size-capped POST body with strict field checking;
+// on failure it writes the error response and reports false.
+func decodeBody(w http.ResponseWriter, r *http.Request, out any) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeJSONError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(wireError{Error: err.Error()})
+}

@@ -1,0 +1,42 @@
+package osproc
+
+import (
+	"testing"
+	"time"
+)
+
+// retryElapsed drives one runner through two transient signal failures
+// (EINTR on the first SIGCONT, retried with jittered backoff) and
+// returns the virtual time the step consumed — quantum plus the two
+// backoff sleeps.
+func retryElapsed(t *testing.T, seed uint64) time.Duration {
+	t.Helper()
+	fs := NewFaultSys()
+	fs.AddProc(FaultProc{PID: 42, Start: 1})
+	r := newFaultRunner(t, fs, Config{BackoffSeed: seed},
+		[]Task{{ID: 1, Share: 1, PIDs: []int{42}}})
+	fs.Inject(42, CallCont, FaultEINTR, FaultEINTR)
+	before := fs.Now()
+	stepQuantum(fs, r)
+	elapsed := fs.Now().Sub(before)
+	if fs.Sleeps != 2 {
+		t.Fatalf("seed %d: backoff sleeps = %d, want 2", seed, fs.Sleeps)
+	}
+	r.Release()
+	return elapsed
+}
+
+// TestBackoffSeedDeterministic: the signal-retry backoff is jittered but
+// reproducible — same seed, same schedule; different seeds, different
+// schedules (the fleet's thundering-herd defence).
+func TestBackoffSeedDeterministic(t *testing.T) {
+	a1 := retryElapsed(t, 7)
+	a2 := retryElapsed(t, 7)
+	if a1 != a2 {
+		t.Errorf("same seed gave different backoff schedules: %v vs %v", a1, a2)
+	}
+	b := retryElapsed(t, 8)
+	if a1 == b {
+		t.Errorf("seeds 7 and 8 gave identical backoff schedules (%v): jitter not decorrelating", a1)
+	}
+}

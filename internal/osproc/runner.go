@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"alps/internal/backoff"
 	"alps/internal/core"
 	"alps/internal/obs"
 )
@@ -80,6 +81,13 @@ type Config struct {
 	// Overload configures the §4.2 overload guard; the zero value
 	// leaves it disabled.
 	Overload OverloadConfig
+	// BackoffSeed seeds the jitter stream of the runner's capped
+	// signal-retry backoff (see internal/backoff). The zero value is a
+	// fixed default stream — fault-injection tests stay deterministic —
+	// while cmd/alps derives a per-process seed so a fleet of shards
+	// whose substrate misbehaves simultaneously never retries in
+	// lockstep.
+	BackoffSeed uint64
 }
 
 // Fault-tolerance knobs. Real systems exhibit every one of these failure
@@ -145,6 +153,7 @@ type Runner struct {
 	inSleep bool             // an open sleep phase span awaits the next Step
 	health  healthCounters
 	mx      *runnerMetrics // nil unless Config.Metrics was set
+	retry   backoff.Policy // signal-retry backoff (jittered, seedable)
 
 	// statCache holds the worker pool's prefetched stat reads for the
 	// current quantum (nil when sampling sequentially); read() consumes
@@ -241,6 +250,11 @@ func newRunnerSkeleton(cfg Config) *Runner {
 	if cfg.Clock != nil {
 		r.now = cfg.Clock
 	}
+	base := cfg.Quantum / 64
+	if base <= 0 {
+		base = 100 * time.Microsecond
+	}
+	r.retry = backoff.New(base, cfg.Quantum/8, cfg.BackoffSeed)
 	r.start = r.now()
 	r.tracer = obs.Stamp(func() time.Duration {
 		return r.now().Sub(r.start)
@@ -688,10 +702,6 @@ func (r *Runner) deliverSignal(pid int, stop bool) sigResult {
 	if stop {
 		op = r.sys.Stop
 	}
-	backoff := r.cfg.Quantum / 64
-	if backoff <= 0 {
-		backoff = 100 * time.Microsecond
-	}
 	var err error
 	for attempt := 1; ; attempt++ {
 		if err = op(pid); err == nil {
@@ -705,8 +715,10 @@ func (r *Runner) deliverSignal(pid int, stop bool) sigResult {
 			return sigResult{pid: pid, stop: stop, err: err}
 		}
 		r.health.sigRetries.Add(1)
-		r.sys.Sleep(backoff)
-		backoff *= 2
+		// Jittered so a fleet-wide substrate hiccup never produces
+		// lockstep retries across shards; deterministic per
+		// (seed, pid, attempt) so fault tests replay exactly.
+		r.sys.Sleep(r.retry.Delay(uint64(pid), attempt))
 	}
 }
 
