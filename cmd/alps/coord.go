@@ -14,6 +14,7 @@ import (
 
 	"alps"
 	"alps/internal/coord"
+	"alps/internal/fleetobs"
 	"alps/internal/obs"
 )
 
@@ -37,6 +38,11 @@ func startCoordLink(r *alps.Runner, st *obsStack, url, shard string) (*coord.Age
 		}
 		shard = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	// The fleet tracer records this shard's apply/upload events; its
+	// window plus the flight recorder's (anchored to wall time) is what
+	// this shard contributes when the coordinator opens a correlated
+	// collection.
+	tracer := fleetobs.NewTracer(fleetobs.TracerConfig{Node: shard})
 	agent, err := coord.NewAgent(coord.AgentConfig{
 		URL:   url,
 		Shard: shard,
@@ -67,6 +73,14 @@ func startCoordLink(r *alps.Runner, st *obsStack, url, shard string) (*coord.Age
 			return r.Reconfigure(rc)
 		},
 		Metrics: st.reg,
+		Tracer:  tracer,
+		Collect: func(fleetobs.DumpRequest) (fleetobs.DumpPayload, bool) {
+			return fleetobs.DumpPayload{
+				Fleet:          tracer.Snapshot(),
+				Obs:            st.rec.Snapshot(),
+				AnchorUnixNano: st.started.UnixNano(),
+			}, true
+		},
 		Logf: func(format string, args ...any) {
 			errlog.Info(fmt.Sprintf(format, args...))
 		},
@@ -93,6 +107,7 @@ func cmdCoord(args []string) error {
 	quantum := fs.Duration("q", 0, "fleet-wide quantum pushed with every assignment (0: shards keep their own)")
 	gain := fs.Float64("gain", 0, "rebalance step clamp: one round moves a share by at most this factor (0: default 2)")
 	deadband := fs.Float64("deadband", 0, "global RMS share error below which no rebalance is committed (0: default 0.02)")
+	traceDir := fs.String("trace-dir", "", "directory for correlated fleet trace bundles (empty: in-memory only, still served at /debug/fleet-trace)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,6 +132,13 @@ func cmdCoord(args []string) error {
 	}
 
 	reg := obs.NewRegistry()
+	fleet := fleetobs.NewStack(fleetobs.StackConfig{
+		Dir:     *traceDir,
+		Metrics: reg,
+		Logf: func(format string, args ...any) {
+			errlog.Info(fmt.Sprintf(format, args...))
+		},
+	})
 	srv, err := coord.NewServer(coord.ServerConfig{
 		TTL:            *ttl,
 		RebalanceEvery: *rebalance,
@@ -125,6 +147,7 @@ func cmdCoord(args []string) error {
 		StatePath:      *state,
 		Planner:        coord.PlannerConfig{Gain: *gain, Deadband: *deadband},
 		Metrics:        reg,
+		Fleet:          fleet,
 		Logf: func(format string, args ...any) {
 			errlog.Info(fmt.Sprintf(format, args...))
 		},
@@ -135,6 +158,7 @@ func cmdCoord(args []string) error {
 
 	mux := obs.NewMux(reg, func() any { return srv.Status() }, nil)
 	mux.Handle("/coord/v1/", srv)
+	fleet.Mount(mux)
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		return fmt.Errorf("coordinator listener on %s: %w", *httpAddr, err)

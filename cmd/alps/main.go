@@ -82,7 +82,8 @@ func usage() {
   alps attach [common flags] pid:share ...
   alps spawn  [common flags] [-children] -shares 1,2,3 -- command [args...]
   alps user   [common flags] [-refresh 1s] name:share ...
-  alps coord  -http :7070 [-ttl 5s] [-rebalance 2s] [-state FILE] [id:weight ...]
+  alps coord  -http :7070 [-ttl 5s] [-rebalance 2s] [-state FILE]
+              [-trace-dir D] [id:weight ...]
 
 common flags:
   -q 20ms       ALPS quantum
@@ -105,6 +106,12 @@ common flags:
                 the coordinator's share assignments; on coordinator loss
                 the shard keeps its last-committed shares
   -shard NAME   fleet-unique shard name for -coord (default hostname-pid)
+
+The coordinator additionally serves federated fleet metrics on
+/fleet/metrics, the fleet health document on /fleet/healthz, and the
+latest correlated fleet trace bundle (Perfetto-loadable, merged across
+the coordinator and every uploading shard) on /debug/fleet-trace;
+-trace-dir on coord persists those bundles as fleet-<reason>-<epoch>/.
 
 SIGUSR1 dumps the cycle journal to stderr. SIGUSR2 dumps a flight-recorder
 trace. SIGHUP reloads -config.

@@ -58,6 +58,10 @@ type obsStack struct {
 	fleetMu       sync.Mutex
 	fleetConsumed map[int64]float64
 	fleetCycles   int64
+
+	// started anchors the flight recorder's substrate offsets onto the
+	// wall clock when a window is uploaded to a fleet collection.
+	started time.Time
 }
 
 func newObsStack(addr string) *obsStack {
@@ -66,6 +70,7 @@ func newObsStack(addr string) *obsStack {
 		journal:       obs.NewJournal(obs.DefaultJournalSize),
 		addr:          addr,
 		fleetConsumed: make(map[int64]float64),
+		started:       time.Now(),
 	}
 	st.rec = trace.NewRecorder(trace.RecorderConfig{
 		OnDump: func(d trace.Dump) {
@@ -242,6 +247,7 @@ func (st *obsStack) fleetGauges() coord.ShardGauges {
 		Consumed:      consumed,
 		RMSShareError: st.aud.RMSShareError(),
 		Cycles:        cycles,
+		TraceDumps:    st.rec.Dumps(),
 	}
 }
 

@@ -12,6 +12,7 @@ package coord_test
 // the global share error is bounded and no process is left SIGSTOPped.
 
 import (
+	"bytes"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -21,7 +22,9 @@ import (
 	"alps/internal/coord"
 	"alps/internal/coord/coordsim"
 	"alps/internal/core"
+	"alps/internal/fleetobs"
 	"alps/internal/osproc"
+	"alps/internal/trace"
 )
 
 const (
@@ -34,10 +37,11 @@ const (
 // simShard is one simulated cmd/alps shard: a runner over a fault
 // process table, the consumption accumulator, and the coordinator link.
 type simShard struct {
-	name  string
-	fs    *osproc.FaultSys
-	r     *osproc.Runner
-	agent *coord.Agent
+	name   string
+	fs     *osproc.FaultSys
+	r      *osproc.Runner
+	agent  *coord.Agent
+	tracer *fleetobs.Tracer
 
 	mu       sync.Mutex
 	consumed map[int64]float64 // cumulative seconds per principal
@@ -89,6 +93,10 @@ type fleet struct {
 	srvCfg     coord.ServerConfig
 	coordAlive bool
 	shards     []*simShard
+	// stacks holds one fleet observability stack per coordinator
+	// incarnation (crash restarts get a fresh one, like a real restart
+	// would); all of them contribute sources to the final merged trace.
+	stacks []*fleetobs.Stack
 }
 
 // principalLayout maps each shard to its principals; every principal is
@@ -151,6 +159,7 @@ func newFleet(t *testing.T) *fleet {
 			t.Fatalf("shard %s runner: %v", name, err)
 		}
 		sh.r = r
+		sh.tracer = fleetobs.NewTracer(fleetobs.TracerConfig{Node: name, Now: clk.Now})
 		agent, err := coord.NewAgent(coord.AgentConfig{
 			URL:        "http://coord",
 			Shard:      name,
@@ -161,7 +170,11 @@ func newFleet(t *testing.T) *fleet {
 			StaleAfter: 3 * chaosPeriod,
 			Clock:      clk.Now,
 			Transport:  f.net.Transport(name),
-			Logf:       t.Logf,
+			Tracer:     sh.tracer,
+			Collect: func(fleetobs.DumpRequest) (fleetobs.DumpPayload, bool) {
+				return fleetobs.DumpPayload{Fleet: sh.tracer.Snapshot()}, true
+			},
+			Logf: t.Logf,
 		})
 		if err != nil {
 			t.Fatalf("shard %s agent: %v", name, err)
@@ -176,6 +189,14 @@ func newFleet(t *testing.T) *fleet {
 // startCoordinator (re)builds the coordinator from its checkpoint and
 // plugs it into the network — both initial start and crash restart.
 func (f *fleet) startCoordinator() {
+	stack := fleetobs.NewStack(fleetobs.StackConfig{
+		Node:     fmt.Sprintf("coord#%d", len(f.stacks)+1),
+		Now:      f.clk.Now,
+		Cooldown: time.Second,
+		Logf:     f.t.Logf,
+	})
+	f.stacks = append(f.stacks, stack)
+	f.srvCfg.Fleet = stack
 	srv, err := coord.NewServer(f.srvCfg)
 	if err != nil {
 		f.t.Fatalf("NewServer: %v", err)
@@ -264,6 +285,141 @@ func (f *fleet) assertEpochsMonotonic() {
 	}
 }
 
+// fleetSources gathers every node's trace window: one source per
+// coordinator incarnation plus one per shard.
+func (f *fleet) fleetSources() []trace.FleetSource {
+	var sources []trace.FleetSource
+	for _, stack := range f.stacks {
+		sources = append(sources, stack.Tracer.Source(nil, time.Time{}))
+	}
+	for _, sh := range f.shards {
+		sources = append(sources, sh.tracer.Source(nil, time.Time{}))
+	}
+	return sources
+}
+
+// assertFleetTrace merges every node's trace window and checks the
+// tentpole contract: the document validates, it has a coordinator track
+// and one track per shard, and every epoch every shard ever applied has
+// a publish→apply flow landing on that shard's track. It also checks
+// the partition story is visible: healed s2's applied-epoch sequence
+// jumps by more than one where it fast-forwarded past the epochs it
+// missed.
+func (f *fleet) assertFleetTrace() {
+	t := f.t
+	t.Helper()
+	sources := f.fleetSources()
+	events := trace.BuildFleet(sources)
+
+	// Track discovery: process_name metadata names each node's group.
+	pidByName := make(map[string]int64)
+	for _, ev := range events {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			if name, _ := ev.Args["name"].(string); name != "" {
+				pidByName[name] = ev.PID
+			}
+		}
+	}
+	for _, want := range []string{"coord#1 (coordinator)", "coord#2 (coordinator)",
+		"s1 (shard)", "s2 (shard)", "s3 (shard)", "s4 (shard)"} {
+		if _, ok := pidByName[want]; !ok {
+			t.Errorf("fleet trace missing track %q (have %v)", want, pidByName)
+		}
+	}
+
+	// Flow arrivals per shard track, by epoch.
+	flowEpochs := make(map[int64]map[uint64]bool)
+	for _, ev := range events {
+		if ev.Ph != "f" {
+			continue
+		}
+		epoch, ok := ev.Args["epoch"].(uint64)
+		if !ok {
+			t.Fatalf("flow event without epoch arg: %+v", ev)
+		}
+		if flowEpochs[ev.PID] == nil {
+			flowEpochs[ev.PID] = make(map[uint64]bool)
+		}
+		flowEpochs[ev.PID][epoch] = true
+	}
+	for _, sh := range f.shards {
+		pid := pidByName[sh.name+" (shard)"]
+		sh.mu.Lock()
+		applied := append([]uint64(nil), sh.applied...)
+		sh.mu.Unlock()
+		for _, epoch := range applied {
+			if !flowEpochs[pid][epoch] {
+				t.Errorf("shard %s applied epoch %d but the merged trace has no publish→apply flow for it",
+					sh.name, epoch)
+			}
+		}
+	}
+
+	// The healed shard's fast-forward is visible: s2 skipped the epochs
+	// committed while it was partitioned, so somewhere its applied
+	// sequence jumps by more than one.
+	s2 := f.shards[1]
+	s2.mu.Lock()
+	applied := append([]uint64(nil), s2.applied...)
+	s2.mu.Unlock()
+	jumped := false
+	for i := 1; i < len(applied); i++ {
+		if applied[i] > applied[i-1]+1 {
+			jumped = true
+		}
+	}
+	if !jumped {
+		t.Errorf("healed s2 shows no epoch fast-forward in its applied sequence: %v", applied)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteFleet(&buf, sources, map[string]any{"scenario": "chaos"}); err != nil {
+		t.Fatalf("WriteFleet: %v", err)
+	}
+	if err := trace.Validate(buf.Bytes()); err != nil {
+		t.Fatalf("merged fleet trace does not validate: %v", err)
+	}
+	t.Logf("fleet trace: %d events, %d sources, %d bytes", len(events), len(sources), buf.Len())
+}
+
+// assertFleetFederation checks the coordinator-side federation results:
+// propagation latencies were observed, the lease losses opened
+// correlated collections, and the surviving members uploaded their
+// windows into the latest one.
+func (f *fleet) assertFleetFederation() {
+	t := f.t
+	t.Helper()
+	stack := f.stacks[len(f.stacks)-1]
+	h := stack.Auditor.Health()
+	if h.PropagationCount == 0 {
+		t.Error("fleet auditor observed no epoch propagation latencies")
+	}
+	if h.GlobalRMS < 0 || h.GlobalRMS > 0.5 {
+		t.Errorf("fleet auditor global RMS %.3f out of bounds", h.GlobalRMS)
+	}
+	if stack.Bundler.Collections() == 0 {
+		t.Fatal("s4's lease loss opened no correlated collection")
+	}
+	req, sources, ok := stack.Bundler.Last()
+	if !ok || req.Reason != "lease_lost" {
+		t.Fatalf("latest collection = %+v (ok=%v), want lease_lost", req, ok)
+	}
+	// Coordinator self plus the three live shards (s1, s2, s3).
+	if len(sources) < 4 {
+		t.Fatalf("lease_lost collection has %d member windows, want coordinator + 3 shards: %+v",
+			len(sources), sources)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteFleet(&buf, sources, nil); err != nil {
+		t.Fatalf("WriteFleet(bundle): %v", err)
+	}
+	if err := trace.Validate(buf.Bytes()); err != nil {
+		t.Fatalf("correlated bundle does not validate: %v", err)
+	}
+	t.Logf("fleet federation: propagation_count=%d global_rms=%.3f collections=%d uploads=%d",
+		h.PropagationCount, h.GlobalRMS, stack.Bundler.Collections(), stack.Bundler.Uploads())
+}
+
 func TestChaosFleet(t *testing.T) {
 	f := newFleet(t)
 
@@ -295,7 +451,9 @@ func TestChaosFleet(t *testing.T) {
 	f.net.Partition("s2", "coord")
 	before = f.cycleCounts()
 	epochBefore := f.srv.Epoch()
-	f.run(1 * time.Second)
+	// Long enough for several survivor-only epochs to commit, so the
+	// healed s2's applied sequence shows a genuine fast-forward gap.
+	f.run(2500 * time.Millisecond)
 	f.assertCyclesAdvanced("partition", before)
 	if st := s2.agent.Status(); !st.DegradedStatic {
 		t.Fatalf("partition: s2 not degraded-to-static: %+v", st)
@@ -366,6 +524,8 @@ func TestChaosFleet(t *testing.T) {
 
 	// Invariants over the whole script.
 	f.assertEpochsMonotonic()
+	f.assertFleetTrace()
+	f.assertFleetFederation()
 	if f.net.Duplicated == 0 {
 		t.Error("duplicate injection never fired — idempotence untested")
 	}

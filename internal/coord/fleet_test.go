@@ -1,0 +1,284 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"alps/internal/fleetobs"
+	"alps/internal/trace"
+)
+
+// newFleetServer builds a coordinator with the fleet observability
+// stack attached, on the test's virtual clock.
+func newFleetServer(t *testing.T, clk *vclock) (*Server, *fleetobs.Stack) {
+	t.Helper()
+	stack := fleetobs.NewStack(fleetobs.StackConfig{
+		Node: "coord", Now: clk.Now, Cooldown: time.Second, Logf: t.Logf,
+	})
+	s, err := NewServer(ServerConfig{
+		TTL:            time.Second,
+		RebalanceEvery: 500 * time.Millisecond,
+		Clock:          clk.Now,
+		Fleet:          stack,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return s, stack
+}
+
+// kinds extracts the event kinds in a tracer window.
+func kinds(events []fleetobs.Event) map[fleetobs.Kind]int {
+	out := make(map[fleetobs.Kind]int)
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// TestFleetCounterRegressionClamp: a heartbeat whose cumulative
+// consumption rewound (shard restart mid-window) credits the fresh
+// cumulative value, never subtracts, clamps pathological negative
+// readings at zero, and is flagged on the coordinator counter, the
+// fleet auditor, and the coordinator's trace.
+func TestFleetCounterRegressionClamp(t *testing.T) {
+	clk := newVclock()
+	s, stack := newFleetServer(t, clk)
+	reg := mustRegister(t, s, "s1", TaskShare{ID: 1, Share: 100})
+
+	beat(t, s, "s1", reg.Lease, 0, map[int64]float64{1: 5.0})
+	if n := s.counterRegressions.get(); n != 0 {
+		t.Fatalf("normal beat flagged as regression (%d)", n)
+	}
+	beat(t, s, "s1", reg.Lease, 0, map[int64]float64{1: 0.25}) // restarted
+	// Pathological: a negative cumulative reading clamps to zero.
+	beat(t, s, "s1", reg.Lease, 0, map[int64]float64{1: -3})
+
+	s.mu.Lock()
+	win := s.shards["s1"].window[1]
+	s.mu.Unlock()
+	if win != 5.25 {
+		t.Fatalf("window = %v, want 5.25 (5.0 + fresh 0.25 + clamped 0)", win)
+	}
+	if n := s.counterRegressions.get(); n != 2 {
+		t.Fatalf("coordinator regressions = %d, want 2", n)
+	}
+	if h := stack.Auditor.Health(); h.CounterRegressions != 2 {
+		t.Fatalf("auditor regressions = %d, want 2", h.CounterRegressions)
+	}
+	if k := kinds(stack.Tracer.Snapshot()); k[fleetobs.KindCounterRegression] != 2 {
+		t.Fatalf("trace regression events = %d, want 2", k[fleetobs.KindCounterRegression])
+	}
+}
+
+// TestFleetPublishApplyAckFlow runs a real agent against a fleet-traced
+// coordinator and asserts the epoch-causal loop end to end: the pulled
+// assignment carries a trace context, the shard's apply span parents on
+// it, the next heartbeat's echo produces a coordinator ack with the
+// same parent, and the merged two-source trace validates with exactly
+// one publish→apply flow.
+func TestFleetPublishApplyAckFlow(t *testing.T) {
+	clk := newVclock()
+	srv, stack := newFleetServer(t, clk)
+	tr := &handlerTransport{handler: srv}
+	shard := newTestShard(map[int64]int64{1: 100, 2: 100})
+	shardTracer := fleetobs.NewTracer(fleetobs.TracerConfig{Node: "s1", Now: clk.Now})
+	a, err := NewAgent(AgentConfig{
+		URL: "http://coord.test", Shard: "s1",
+		Tasks:  shard.tasks,
+		Gauges: func() ShardGauges { return ShardGauges{} },
+		Apply:  shard.apply,
+		Period: 100 * time.Millisecond,
+		Clock:  clk.Now, Transport: tr,
+		Tracer: shardTracer,
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+
+	a.Step() // register
+	beatViaAgentGauges(t, srv, clk, a, shard)
+	if a.Epoch() != 1 {
+		t.Fatalf("agent did not apply epoch 1 (epoch=%d)", a.Epoch())
+	}
+	a.Step() // heartbeat echoing the applied trace context → ack
+
+	coordEvents := stack.Tracer.Snapshot()
+	var publishSpan uint64
+	for _, e := range coordEvents {
+		if e.Kind == fleetobs.KindPublish && e.Epoch == 1 {
+			publishSpan = e.Span
+		}
+	}
+	if publishSpan == 0 {
+		t.Fatalf("no publish event for epoch 1 in %v", kinds(coordEvents))
+	}
+	var sawAck bool
+	for _, e := range coordEvents {
+		if e.Kind == fleetobs.KindAck && e.Epoch == 1 {
+			sawAck = true
+			if e.Parent != publishSpan || e.ParentInc != stack.Tracer.Incarnation() {
+				t.Fatalf("ack parent = (%d,%d), want publish span (%d,%d)",
+					e.Parent, e.ParentInc, publishSpan, stack.Tracer.Incarnation())
+			}
+		}
+	}
+	if !sawAck {
+		t.Fatal("no ack event for epoch 1")
+	}
+	var sawApply bool
+	for _, e := range shardTracer.Snapshot() {
+		if e.Kind == fleetobs.KindApply && e.Epoch == 1 {
+			sawApply = true
+			if e.Parent != publishSpan {
+				t.Fatalf("apply parent = %d, want publish span %d", e.Parent, publishSpan)
+			}
+		}
+	}
+	if !sawApply {
+		t.Fatal("no apply event on the shard tracer")
+	}
+
+	sources := []trace.FleetSource{
+		stack.Tracer.Source(nil, time.Time{}),
+		shardTracer.Source(nil, time.Time{}),
+	}
+	var flows int
+	for _, ev := range trace.BuildFleet(sources) {
+		if ev.Ph == "f" {
+			flows++
+		}
+	}
+	if flows != 1 {
+		t.Fatalf("merged trace has %d publish→apply flows, want 1", flows)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteFleet(&buf, sources, nil); err != nil {
+		t.Fatalf("WriteFleet: %v", err)
+	}
+	if err := trace.Validate(buf.Bytes()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestFleetDumpCollection: a jump in a shard's heartbeated TraceDumps
+// gauge opens a correlated collection, the dump request piggybacks on
+// the heartbeat response, the agent uploads its window through
+// /coord/v1/dump exactly once, and the bundle merges coordinator +
+// shard sources.
+func TestFleetDumpCollection(t *testing.T) {
+	clk := newVclock()
+	srv, stack := newFleetServer(t, clk)
+	tr := &handlerTransport{handler: srv}
+	shard := newTestShard(map[int64]int64{1: 100})
+	shardTracer := fleetobs.NewTracer(fleetobs.TracerConfig{Node: "s1", Now: clk.Now})
+	var traceDumps int64
+	var collects int
+	a, err := NewAgent(AgentConfig{
+		URL: "http://coord.test", Shard: "s1",
+		Tasks:  shard.tasks,
+		Gauges: func() ShardGauges { return ShardGauges{TraceDumps: traceDumps} },
+		Apply:  shard.apply,
+		Period: 100 * time.Millisecond,
+		Clock:  clk.Now, Transport: tr,
+		Tracer: shardTracer,
+		Collect: func(req fleetobs.DumpRequest) (fleetobs.DumpPayload, bool) {
+			collects++
+			return fleetobs.DumpPayload{Fleet: shardTracer.Snapshot()}, true
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+
+	a.Step() // register
+	a.Step() // first heartbeat sets the TraceDumps watermark
+	if stack.Bundler.Collections() != 0 {
+		t.Fatal("watermark heartbeat must not open a collection")
+	}
+
+	shardTracer.Emit(fleetobs.Event{Kind: fleetobs.KindApply, Epoch: 1})
+	traceDumps = 1 // the shard's recorder fired
+	a.Step()       // heartbeat triggers the collection AND uploads in one step
+	if stack.Bundler.Collections() != 1 {
+		t.Fatalf("collections = %d, want 1", stack.Bundler.Collections())
+	}
+	if collects != 1 || stack.Bundler.Uploads() != 1 {
+		t.Fatalf("collects=%d uploads=%d, want 1/1", collects, stack.Bundler.Uploads())
+	}
+
+	a.Step() // same pending request again: deduped by seq
+	if collects != 1 || stack.Bundler.Uploads() != 1 {
+		t.Fatalf("dump re-uploaded: collects=%d uploads=%d", collects, stack.Bundler.Uploads())
+	}
+
+	req, sources, ok := stack.Bundler.Last()
+	if !ok || req.Reason != "shard_dump" {
+		t.Fatalf("collection = %+v, ok=%v", req, ok)
+	}
+	if len(sources) != 2 || !sources[0].Coordinator || sources[1].Name != "s1" {
+		t.Fatalf("bundle sources wrong: %+v", sources)
+	}
+
+	// A lease expiry after the cooldown opens a second, distinct
+	// collection with the lease_lost reason.
+	clk.Advance(2 * time.Second)
+	srv.Tick(clk.Now())
+	if stack.Bundler.Collections() != 2 {
+		t.Fatalf("collections after lease expiry = %d, want 2", stack.Bundler.Collections())
+	}
+	if req := stack.Bundler.Pending(); req.Reason != "lease_lost" {
+		t.Fatalf("pending reason = %q, want lease_lost", req.Reason)
+	}
+	if h := stack.Auditor.Health(); h.LeaseExpiries != 1 || len(h.Shards) != 1 || !h.Shards[0].Detached {
+		t.Fatalf("auditor after expiry: %+v", h)
+	}
+}
+
+// TestFleetDumpLargeUpload: a real flight-recorder window serializes to
+// several MB — over the 1MB control-RPC body cap, which must not apply
+// to /coord/v1/dump (it did once: every production upload bounced with
+// "request body too large" while the tiny test windows sailed through).
+func TestFleetDumpLargeUpload(t *testing.T) {
+	clk := newVclock()
+	srv, stack := newFleetServer(t, clk)
+	if !stack.Bundler.Open("shard_dump", 0) {
+		t.Fatal("Open refused")
+	}
+	req := stack.Bundler.Pending()
+
+	peer := strings.Repeat("x", 256)
+	events := make([]fleetobs.Event, 3*4096)
+	for i := range events {
+		events[i] = fleetobs.Event{
+			Kind: fleetobs.KindApply, At: clk.Now(), Epoch: 1,
+			Span: uint64(i + 1), Peer: peer,
+		}
+	}
+	body, err := json.Marshal(fleetobs.DumpPayload{
+		Shard: "s1", Seq: req.Seq, Reason: req.Reason, Fleet: events,
+	})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if len(body) <= maxBodyBytes {
+		t.Fatalf("test payload is only %d bytes; grow it past maxBodyBytes", len(body))
+	}
+
+	hr := httptest.NewRequest("POST", "http://coord.test/coord/v1/dump", bytes.NewReader(body))
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, hr)
+	if rr.Code != 200 {
+		t.Fatalf("dump upload = %d %s, want 200", rr.Code, rr.Body.String())
+	}
+	if stack.Bundler.Uploads() != 1 {
+		t.Fatalf("uploads = %d, want 1", stack.Bundler.Uploads())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"alps/internal/ckpt"
+	"alps/internal/fleetobs"
 	"alps/internal/obs"
 )
 
@@ -39,6 +40,12 @@ type ServerConfig struct {
 	Clock func() time.Time
 	// Metrics, if non-nil, receives the alps_coord_* families.
 	Metrics *obs.Registry
+	// Fleet, if non-nil, enables fleet observability: control-plane
+	// events are traced with epoch-causal contexts, heartbeat gauges are
+	// federated into the stack's auditor, and anomalies (shard recorder
+	// dumps, lease losses, epoch stalls) open correlated trace
+	// collections through the stack's bundler.
+	Fleet *fleetobs.Stack
 	// Logf, if non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +62,17 @@ type shardRec struct {
 	// window accumulates differenced consumption for the next rebalance.
 	lastCum map[int64]float64
 	window  map[int64]float64
+	// audit is the shard's row in the fleet auditor (nil without Fleet).
+	audit *fleetobs.ShardAudit
+	// lastDumps is the TraceDumps watermark; -1 until the first
+	// heartbeat, so a re-registration never misreads the shard's existing
+	// dump count as a fresh trigger.
+	lastDumps int64
+	// behindSince is when the shard started acking behind the committed
+	// epoch; stallFlagged keeps one stall from opening a collection on
+	// every tick.
+	behindSince  time.Time
+	stallFlagged bool
 }
 
 // Server is the coordinator: lease table, weight table, epoch-numbered
@@ -77,6 +95,7 @@ type Server struct {
 	registers, heartbeats, expiries counter
 	rebalances, fastForwards        counter
 	ckptErrors, rejectedStaleLeases counter
+	counterRegressions              counter
 	mux                             *http.ServeMux
 }
 
@@ -93,6 +112,11 @@ func (c *counter) get() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.v }
 // maxBodyBytes bounds every request body the coordinator reads; the
 // control plane must not be stallable by an unbounded POST.
 const maxBodyBytes = 1 << 20
+
+// maxDumpBodyBytes bounds trace-window uploads separately: a full
+// flight-recorder ring serializes to a few MB, far over the control
+// RPC cap but still bounded by the ring sizes on the shard.
+const maxDumpBodyBytes = 32 << 20
 
 // NewServer builds a coordinator, restoring the committed distribution
 // from cfg.StatePath when a checkpoint exists there (fail-closed: a
@@ -149,6 +173,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mux.HandleFunc("/coord/v1/heartbeat", s.handleHeartbeat)
 	s.mux.HandleFunc("/coord/v1/assignment", s.handleAssignment)
 	s.mux.HandleFunc("/coord/v1/status", s.handleStatus)
+	s.mux.HandleFunc("/coord/v1/dump", s.handleDump)
 	if cfg.Metrics != nil {
 		s.registerMetrics(cfg.Metrics)
 	}
@@ -194,6 +219,8 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 		"Distribution checkpoint writes that failed (publish proceeded).", s.ckptErrors.get)
 	reg.CounterFunc("alps_coord_unknown_leases_total",
 		"Heartbeats rejected for an unknown or superseded lease.", s.rejectedStaleLeases.get)
+	reg.CounterFunc("alps_coord_counter_regressions_total",
+		"Heartbeats whose consumption counters went backwards (clamped).", s.counterRegressions.get)
 }
 
 // ServeHTTP serves the /coord/v1/* control-plane endpoints.
@@ -208,6 +235,57 @@ func (s *Server) Tick(now time.Time) {
 	s.mu.Unlock()
 	if due || expired > 0 {
 		s.Rebalance(now)
+	}
+	s.checkStalls(now)
+}
+
+// checkStalls flags live shards that keep acking an epoch behind the
+// committed one well past the rebalance cadence — a sign the assignment
+// is published but never lands (apply failures, a wedged agent) — and
+// opens a correlated trace collection for the episode.
+func (s *Server) checkStalls(now time.Time) {
+	fleet := s.cfg.Fleet
+	if fleet == nil {
+		return
+	}
+	bound := 3 * s.cfg.RebalanceEvery
+	s.mu.Lock()
+	epoch := s.epoch
+	var stalled []string
+	for name, rec := range s.shards {
+		if rec.ackEpoch >= epoch {
+			rec.behindSince = time.Time{}
+			rec.stallFlagged = false
+			continue
+		}
+		if rec.behindSince.IsZero() {
+			rec.behindSince = now
+			continue
+		}
+		if !rec.stallFlagged && now.Sub(rec.behindSince) > bound {
+			rec.stallFlagged = true
+			stalled = append(stalled, name)
+		}
+	}
+	s.mu.Unlock()
+	for _, name := range stalled {
+		fleet.Tracer.Emit(fleetobs.Event{Kind: fleetobs.KindEpochStall, Epoch: epoch, Peer: name})
+		s.logf("coord: shard %s stalled behind epoch %d", name, epoch)
+		s.openCollection("epoch_stall", epoch)
+	}
+}
+
+// openCollection starts a correlated fleet dump and traces the request.
+func (s *Server) openCollection(reason string, epoch uint64) {
+	fleet := s.cfg.Fleet
+	if fleet == nil {
+		return
+	}
+	if fleet.Bundler.Open(reason, epoch) {
+		fleet.Tracer.Emit(fleetobs.Event{
+			Kind: fleetobs.KindDumpRequest, Epoch: epoch, Note: "reason=" + reason,
+		})
+		s.logf("coord: opened fleet trace collection (%s, epoch %d)", reason, epoch)
 	}
 }
 
@@ -246,10 +324,18 @@ func (s *Server) ExpireLeases(now time.Time) int {
 	for _, name := range dead {
 		delete(s.shards, name)
 	}
+	epoch := s.epoch
 	s.mu.Unlock()
 	for _, name := range dead {
 		s.expiries.inc()
 		s.logf("coord: lease expired, shard %s declared dead", name)
+		if fleet := s.cfg.Fleet; fleet != nil {
+			fleet.Tracer.Emit(fleetobs.Event{Kind: fleetobs.KindLeaseExpire, Epoch: epoch, Peer: name})
+			fleet.Auditor.OnLeaseExpire(name)
+		}
+	}
+	if len(dead) > 0 {
+		s.openCollection("lease_lost", epoch)
 	}
 	return len(dead)
 }
@@ -287,21 +373,45 @@ func (s *Server) Rebalance(now time.Time) {
 	if res.GlobalRMS >= 0 {
 		s.lastRMS = res.GlobalRMS
 	}
-	// The window is spent whether or not anything moved.
+	// The window is spent whether or not anything moved. Replacing the
+	// maps (rather than clearing) keeps the references inside loads valid
+	// for the fleet aggregation below.
 	for _, rec := range s.shards {
 		rec.window = make(map[int64]float64)
 	}
-	if !res.Changed {
-		s.mu.Unlock()
-		return
+	var st persistedState
+	if res.Changed {
+		s.epoch++
+		for name, shares := range res.Shares {
+			s.assigned[name] = shares
+		}
+		st = s.persistedLocked()
 	}
-	s.epoch++
-	for name, shares := range res.Shares {
-		s.assigned[name] = shares
-	}
-	st := s.persistedLocked()
 	epoch := s.epoch
 	s.mu.Unlock()
+
+	if fleet := s.cfg.Fleet; fleet != nil {
+		agg := make(map[int64]float64)
+		for _, l := range loads {
+			for p, v := range l.Consumed {
+				agg[p] += v
+			}
+		}
+		wf := make(map[int64]float64, len(weights))
+		for p, w := range weights {
+			wf[p] = float64(w)
+		}
+		fleet.Auditor.OnRound(agg, wf, res.Changed)
+		fleet.Tracer.Emit(fleetobs.Event{Kind: fleetobs.KindPlan, Epoch: epoch,
+			Note: fmt.Sprintf("rms=%.3f shards=%d", res.GlobalRMS, len(loads))})
+		if res.Changed {
+			fleet.Tracer.Emit(fleetobs.Event{Kind: fleetobs.KindCommit, Epoch: epoch})
+			fleet.Auditor.OnCommit(epoch, now)
+		}
+	}
+	if !res.Changed {
+		return
+	}
 
 	if s.cfg.StatePath != "" {
 		if err := ckpt.Save(s.cfg.StatePath, st); err != nil {
@@ -397,10 +507,14 @@ func (s *Server) Register(req RegisterRequest) (RegisterResponse, error) {
 	s.assigned[req.Shard] = merged
 	s.leaseSeq++
 	rec := &shardRec{
-		lease:   fmt.Sprintf("lease-%d", s.leaseSeq),
-		expires: now.Add(s.cfg.TTL),
-		lastCum: make(map[int64]float64),
-		window:  make(map[int64]float64),
+		lease:     fmt.Sprintf("lease-%d", s.leaseSeq),
+		expires:   now.Add(s.cfg.TTL),
+		lastCum:   make(map[int64]float64),
+		window:    make(map[int64]float64),
+		lastDumps: -1,
+	}
+	if fleet := s.cfg.Fleet; fleet != nil {
+		rec.audit = fleet.Auditor.Shard(req.Shard)
 	}
 	s.shards[req.Shard] = rec
 	resp := RegisterResponse{
@@ -410,8 +524,34 @@ func (s *Server) Register(req RegisterRequest) (RegisterResponse, error) {
 	}
 	s.mu.Unlock()
 	s.registers.inc()
+	if fleet := s.cfg.Fleet; fleet != nil {
+		rec.audit.OnHeartbeat(now, resp.Assignment.Epoch, 0, false)
+		fleet.Tracer.Emit(fleetobs.Event{
+			Kind: fleetobs.KindRegister, Epoch: resp.Assignment.Epoch, Peer: req.Shard,
+			Note: "lease=" + resp.Lease,
+		})
+		s.stampPublish(&resp.Assignment, req.Shard)
+	}
 	s.logf("coord: shard %s registered (%d tasks, lease %s)", req.Shard, len(req.Tasks), resp.Lease)
 	return resp, nil
+}
+
+// stampPublish attaches the epoch-causal trace context to an outgoing
+// assignment and records the publish span. No-op without fleet tracing.
+func (s *Server) stampPublish(a *Assignment, peer string) {
+	fleet := s.cfg.Fleet
+	if fleet == nil {
+		return
+	}
+	span := fleet.Tracer.NextSpan()
+	a.Trace = &fleetobs.TraceContext{
+		Epoch:       a.Epoch,
+		Incarnation: fleet.Tracer.Incarnation(),
+		Span:        span,
+	}
+	fleet.Tracer.Emit(fleetobs.Event{
+		Kind: fleetobs.KindPublish, Epoch: a.Epoch, Peer: peer, Span: span,
+	})
 }
 
 // errUnknownLease makes a heartbeat for a dead or superseded lease a
@@ -426,6 +566,7 @@ var errUnknownLease = errors.New("coord: unknown or superseded lease")
 // has — epochs never roll backward fleet-wide.
 func (s *Server) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
 	now := s.now()
+	fleet := s.cfg.Fleet
 	s.mu.Lock()
 	rec := s.shards[req.Shard]
 	if rec == nil || rec.lease != req.Lease {
@@ -434,32 +575,86 @@ func (s *Server) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
 		return HeartbeatResponse{}, errUnknownLease
 	}
 	rec.expires = now.Add(s.cfg.TTL)
+	prevAck := rec.ackEpoch
 	rec.ackEpoch = req.Epoch
 	rec.gauges = req.Gauges
+	regressed := false
 	for p, cum := range req.Gauges.Consumed {
 		last := rec.lastCum[p]
 		delta := cum - last
 		if delta < 0 {
-			// Shard restarted: counters reset; its fresh cumulative
-			// value is the whole new window.
-			delta = cum
+			// Shard restarted mid-window: counters reset, so the fresh
+			// cumulative value is the whole new window — clamped at zero
+			// so a rewound reading can never subtract consumption.
+			regressed = true
+			if delta = cum; delta < 0 {
+				delta = 0
+			}
 		}
 		rec.window[p] += delta
 		rec.lastCum[p] = cum
 	}
+	fastForwarded := false
 	if req.Epoch > s.epoch {
 		s.logf("coord: fast-forwarding epoch %d -> %d (stale checkpoint; shard %s is ahead)",
 			s.epoch, req.Epoch, req.Shard)
 		s.epoch = req.Epoch
 		s.fastForwards.inc()
+		fastForwarded = true
 	}
+	dumpTriggered := false
+	if fleet != nil {
+		if rec.lastDumps >= 0 && req.Gauges.TraceDumps > rec.lastDumps {
+			dumpTriggered = true
+		}
+		rec.lastDumps = req.Gauges.TraceDumps
+	}
+	epoch := s.epoch
 	resp := HeartbeatResponse{TTLMillis: s.cfg.TTL.Milliseconds()}
 	if s.epoch > req.Epoch {
 		a := s.assignmentLocked(req.Shard)
 		resp.Assignment = &a
 	}
+	audit := rec.audit
 	s.mu.Unlock()
 	s.heartbeats.inc()
+	if regressed {
+		s.counterRegressions.inc()
+		s.logf("coord: shard %s consumption counters went backwards (restart?); delta clamped", req.Shard)
+	}
+
+	if fleet != nil {
+		if audit != nil {
+			audit.OnHeartbeat(now, req.Epoch, req.Gauges.RMSShareError, req.Gauges.Degraded)
+		}
+		if regressed {
+			fleet.Auditor.OnCounterRegression()
+			fleet.Tracer.Emit(fleetobs.Event{
+				Kind: fleetobs.KindCounterRegression, Epoch: req.Epoch, Peer: req.Shard,
+			})
+		}
+		if req.Epoch > prevAck {
+			ev := fleetobs.Event{Kind: fleetobs.KindAck, Epoch: req.Epoch, Peer: req.Shard}
+			if req.Trace != nil {
+				ev.Parent = req.Trace.Span
+				ev.ParentInc = req.Trace.Incarnation
+			}
+			fleet.Tracer.Emit(ev)
+			fleet.Auditor.OnAck(req.Shard, req.Epoch, now)
+		}
+		if fastForwarded {
+			fleet.Tracer.Emit(fleetobs.Event{
+				Kind: fleetobs.KindFastForward, Epoch: req.Epoch, Peer: req.Shard,
+			})
+		}
+		if dumpTriggered {
+			s.openCollection("shard_dump", epoch)
+		}
+		if resp.Assignment != nil {
+			s.stampPublish(resp.Assignment, req.Shard)
+		}
+		resp.Dump = fleet.Bundler.Pending()
+	}
 	return resp, nil
 }
 
@@ -577,6 +772,28 @@ func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, a)
 }
 
+// handleDump accepts a member's trace-window upload into the open
+// correlated collection. 400 (not 404/409/410) on a rotated-out
+// sequence: the lease-loss status codes would make the agent
+// re-register over a merely late dump.
+func (s *Server) handleDump(w http.ResponseWriter, r *http.Request) {
+	var p fleetobs.DumpPayload
+	if !decodeBodyLimit(w, r, &p, maxDumpBodyBytes) {
+		return
+	}
+	fleet := s.cfg.Fleet
+	if fleet == nil {
+		writeJSONError(w, http.StatusBadRequest, errors.New("coord: fleet observability disabled"))
+		return
+	}
+	if err := fleet.Bundler.Accept(p); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.logf("coord: accepted fleet trace window from %s (seq %d)", p.Shard, p.Seq)
+	writeJSON(w, struct{}{})
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", "GET")
@@ -589,12 +806,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // decodeBody reads a size-capped POST body with strict field checking;
 // on failure it writes the error response and reports false.
 func decodeBody(w http.ResponseWriter, r *http.Request, out any) bool {
+	return decodeBodyLimit(w, r, out, maxBodyBytes)
+}
+
+func decodeBodyLimit(w http.ResponseWriter, r *http.Request, out any, limit int64) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		writeJSONError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return false
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(out); err != nil {
 		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))

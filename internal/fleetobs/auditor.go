@@ -1,0 +1,478 @@
+package fleetobs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alps/internal/obs"
+)
+
+// DefaultRMSWindow is the number of rebalance rounds the global RMS share
+// error averages over when AuditorConfig leaves RMSWindow zero. One round
+// is a single heartbeat window per shard — noisy; eight rounds smooth
+// per-window jitter without hiding real drift.
+const DefaultRMSWindow = 8
+
+// DefaultStableStreak is how many consecutive no-change rounds declare
+// the fleet converged after a disturbance.
+const DefaultStableStreak = 2
+
+// trackedCommits bounds the per-epoch propagation bookkeeping: acks for
+// epochs older than the newest 64 commits are no longer timed (a shard
+// that far behind is the degraded-shard gauge's problem, not latency's).
+const trackedCommits = 64
+
+// AuditorConfig parameterizes a FleetAuditor.
+type AuditorConfig struct {
+	// Now overrides time.Now.
+	Now func() time.Time
+	// RMSWindow is the global-RMS sliding window in rebalance rounds
+	// (DefaultRMSWindow when 0).
+	RMSWindow int
+	// StableStreak is the convergence streak (DefaultStableStreak when 0).
+	StableStreak int
+}
+
+// Flag bits in a ShardAudit's packed state word.
+const (
+	auditDegraded = 1 << iota
+	auditDetached
+)
+
+// ShardAudit is one shard's row in the fleet auditor, updated on every
+// heartbeat. The fields are independent atomics — no lock at all on the
+// hot path; readers (gauges, healthz) tolerate seeing a heartbeat's
+// fields mid-update, which only skews a monitoring snapshot by one
+// beat.
+type ShardAudit struct {
+	name string
+
+	lastBeatNano atomic.Int64
+	ackEpoch     atomic.Uint64
+	rmsBits      atomic.Uint64
+	flags        atomic.Uint32
+}
+
+// OnHeartbeat records one heartbeat's shard-local gauges (and clears
+// the detached flag: a heartbeat means the shard re-attached).
+func (a *ShardAudit) OnHeartbeat(at time.Time, ackEpoch uint64, rms float64, degraded bool) {
+	a.lastBeatNano.Store(at.UnixNano())
+	a.ackEpoch.Store(ackEpoch)
+	a.rmsBits.Store(math.Float64bits(rms))
+	var f uint32
+	if degraded {
+		f = auditDegraded
+	}
+	a.flags.Store(f)
+}
+
+// markDetached sets the detached flag, preserving degraded.
+func (a *ShardAudit) markDetached() {
+	for {
+		old := a.flags.Load()
+		if a.flags.CompareAndSwap(old, old|auditDetached) {
+			return
+		}
+	}
+}
+
+// snapshot reads the row.
+func (a *ShardAudit) snapshot() (lastBeat time.Time, ackEpoch uint64, rms float64, degraded, detached bool) {
+	if nano := a.lastBeatNano.Load(); nano != 0 {
+		lastBeat = time.Unix(0, nano)
+	}
+	f := a.flags.Load()
+	return lastBeat, a.ackEpoch.Load(), math.Float64frombits(a.rmsBits.Load()),
+		f&auditDegraded != 0, f&auditDetached != 0
+}
+
+// commitRec times one committed epoch's propagation to each shard.
+type commitRec struct {
+	epoch uint64
+	at    time.Time
+	acked map[string]bool
+}
+
+// roundRec is one rebalance round's aggregated consumption, the unit of
+// the global-RMS sliding window.
+type roundRec struct {
+	consumed map[int64]float64
+}
+
+// FleetAuditor is the fleet-level mirror of the single-node accuracy
+// auditor: it folds per-shard heartbeat gauges and per-round aggregates
+// into fleet health — global RMS share error against the global weight
+// table, per-shard lease age, epoch propagation latency, degraded and
+// detached counts, and rebalance-round convergence — exported as
+// alps_fleet_* metrics and a /fleet/healthz document.
+type FleetAuditor struct {
+	cfg AuditorConfig
+	now func() time.Time
+
+	counterRegressions atomic.Int64
+	leaseExpiries      atomic.Int64
+	registrations      atomic.Int64
+
+	// Propagation stats kept inline so healthz works without a registry;
+	// the histogram (when registered) gets the same observations.
+	propCount atomic.Int64
+	propMax   atomicFloat
+
+	mu      sync.Mutex
+	shards  map[string]*ShardAudit
+	commits []commitRec
+	rounds  []roundRec
+	weights map[int64]float64
+	rms     float64
+	conv    convergence
+	hist    *obs.Histogram
+	reg     *obs.Registry
+}
+
+// convergence is the round-level state machine: a round that moved
+// shares is a disturbance; StableStreak unchanged rounds after one
+// declare the fleet converged and record how many rounds it took.
+type convergence struct {
+	converged bool
+	rounds    int // rounds since the disturbance began
+	stable    int // consecutive unchanged rounds
+	last      int // rounds the previous disturbance took to settle
+}
+
+// NewFleetAuditor builds an auditor.
+func NewFleetAuditor(cfg AuditorConfig) *FleetAuditor {
+	if cfg.RMSWindow <= 0 {
+		cfg.RMSWindow = DefaultRMSWindow
+	}
+	if cfg.StableStreak <= 0 {
+		cfg.StableStreak = DefaultStableStreak
+	}
+	now := time.Now
+	if cfg.Now != nil {
+		now = cfg.Now
+	}
+	return &FleetAuditor{
+		cfg:    cfg,
+		now:    now,
+		shards: make(map[string]*ShardAudit),
+		conv:   convergence{converged: true},
+	}
+}
+
+// Shard returns (creating if needed) the named shard's audit row. The
+// server caches the pointer in its shard record so heartbeats touch only
+// the row mutex.
+func (f *FleetAuditor) Shard(name string) *ShardAudit {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	row, ok := f.shards[name]
+	if !ok {
+		row = &ShardAudit{name: name}
+		f.shards[name] = row
+		f.registrations.Add(1)
+		if f.reg != nil {
+			f.registerLeaseAgeLocked(row)
+		}
+	}
+	return row
+}
+
+// registerLeaseAgeLocked exports one shard's lease-age gauge. Caller
+// holds f.mu; GaugeFunc re-registration replaces, so re-attach is safe.
+func (f *FleetAuditor) registerLeaseAgeLocked(row *ShardAudit) {
+	f.reg.GaugeFunc(
+		fmt.Sprintf("alps_fleet_lease_age_seconds{shard=%q}", row.name),
+		"Seconds since the shard's last heartbeat.",
+		func() float64 {
+			last, _, _, _, detached := row.snapshot()
+			if last.IsZero() || detached {
+				return math.Inf(1)
+			}
+			return f.now().Sub(last).Seconds()
+		})
+}
+
+// OnCommit records a committed epoch so later acks can be timed.
+func (f *FleetAuditor) OnCommit(epoch uint64, at time.Time) {
+	f.mu.Lock()
+	f.commits = append(f.commits, commitRec{epoch: epoch, at: at, acked: make(map[string]bool)})
+	if len(f.commits) > trackedCommits {
+		f.commits = f.commits[len(f.commits)-trackedCommits:]
+	}
+	f.mu.Unlock()
+}
+
+// OnAck times the propagation of every tracked commit the shard's new
+// ack epoch covers for the first time. Called only when a heartbeat
+// advances the shard's acked epoch — the slow path.
+func (f *FleetAuditor) OnAck(shard string, ackEpoch uint64, at time.Time) {
+	f.mu.Lock()
+	for i := range f.commits {
+		c := &f.commits[i]
+		if c.epoch > ackEpoch || c.acked[shard] {
+			continue
+		}
+		c.acked[shard] = true
+		lat := at.Sub(c.at).Seconds()
+		if lat < 0 {
+			lat = 0
+		}
+		f.propCount.Add(1)
+		f.propMax.setMax(lat)
+		if f.hist != nil {
+			f.hist.Observe(lat)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// OnRound folds one rebalance round: the fleet-aggregated window
+// consumption per principal, the global weight table, and whether the
+// round moved shares. It advances the global RMS sliding window and the
+// convergence state machine.
+func (f *FleetAuditor) OnRound(consumed map[int64]float64, weights map[int64]float64, changed bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.weights = weights
+	f.rounds = append(f.rounds, roundRec{consumed: consumed})
+	if len(f.rounds) > f.cfg.RMSWindow {
+		f.rounds = f.rounds[len(f.rounds)-f.cfg.RMSWindow:]
+	}
+	f.rms = f.globalRMSLocked()
+
+	c := &f.conv
+	if changed {
+		if c.converged {
+			c.converged = false
+			c.rounds = 0
+		}
+		c.rounds++
+		c.stable = 0
+	} else if !c.converged {
+		c.rounds++
+		c.stable++
+		if c.stable >= f.cfg.StableStreak {
+			c.converged = true
+			c.last = c.rounds
+		}
+	}
+}
+
+// globalRMSLocked computes §3.1's RMS share error fleet-wide: over the
+// window, each principal's achieved fraction of total consumption vs its
+// fraction of total weight, error normalized by the target. Principals
+// with zero weight or no consumption window are skipped.
+func (f *FleetAuditor) globalRMSLocked() float64 {
+	if len(f.weights) == 0 || len(f.rounds) == 0 {
+		return 0
+	}
+	sum := make(map[int64]float64)
+	var total float64
+	for _, r := range f.rounds {
+		for p, v := range r.consumed {
+			sum[p] += v
+			total += v
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	var totalW float64
+	for _, w := range f.weights {
+		if w > 0 {
+			totalW += w
+		}
+	}
+	if totalW <= 0 {
+		return 0
+	}
+	var sq float64
+	var n int
+	for p, w := range f.weights {
+		if w <= 0 {
+			continue
+		}
+		target := w / totalW
+		achieved := sum[p] / total
+		e := (achieved - target) / target
+		sq += e * e
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sq / float64(n))
+}
+
+// OnLeaseExpire marks a shard detached.
+func (f *FleetAuditor) OnLeaseExpire(shard string) {
+	f.leaseExpiries.Add(1)
+	f.mu.Lock()
+	row := f.shards[shard]
+	f.mu.Unlock()
+	if row != nil {
+		row.markDetached()
+	}
+}
+
+// OnCounterRegression counts one clamped consumption-counter rewind.
+func (f *FleetAuditor) OnCounterRegression() { f.counterRegressions.Add(1) }
+
+// GlobalRMSShareError returns the windowed fleet-wide RMS share error.
+func (f *FleetAuditor) GlobalRMSShareError() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rms
+}
+
+// Register exports the fleet gauges on a registry (typically the
+// coordinator's dedicated fleet registry behind /fleet/metrics).
+func (f *FleetAuditor) Register(reg *obs.Registry) {
+	f.mu.Lock()
+	f.reg = reg
+	f.hist = reg.Histogram("alps_fleet_epoch_propagation_seconds",
+		"Latency from epoch commit to each shard's heartbeat ack.", obs.LatencyBuckets)
+	for _, row := range f.shards {
+		f.registerLeaseAgeLocked(row)
+	}
+	f.mu.Unlock()
+
+	reg.GaugeFunc("alps_fleet_shards",
+		"Shards currently attached (live lease).", func() float64 {
+			live, _, _ := f.countShards()
+			return float64(live)
+		})
+	reg.GaugeFunc("alps_fleet_shards_degraded",
+		"Attached shards reporting degraded local scheduling.", func() float64 {
+			_, degraded, _ := f.countShards()
+			return float64(degraded)
+		})
+	reg.GaugeFunc("alps_fleet_shards_detached",
+		"Shards whose lease expired and have not re-registered.", func() float64 {
+			_, _, detached := f.countShards()
+			return float64(detached)
+		})
+	reg.GaugeFunc("alps_fleet_global_rms_share_error",
+		"Fleet-wide RMS share error vs the global weight table (windowed).",
+		f.GlobalRMSShareError)
+	reg.GaugeFunc("alps_fleet_convergence_rounds",
+		"Rebalance rounds the last disturbance took to settle.", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(f.conv.last)
+		})
+	reg.GaugeFunc("alps_fleet_converged",
+		"1 when no rebalance round has moved shares recently.", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			if f.conv.converged {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("alps_fleet_counter_regressions_total",
+		"Heartbeat consumption counters that went backwards (clamped).",
+		f.counterRegressions.Load)
+	reg.CounterFunc("alps_fleet_lease_expiries_total",
+		"Shard leases expired by the coordinator.", f.leaseExpiries.Load)
+	reg.CounterFunc("alps_fleet_registrations_total",
+		"Shard registrations observed by the auditor.", f.registrations.Load)
+}
+
+func (f *FleetAuditor) countShards() (live, degraded, detached int) {
+	f.mu.Lock()
+	rows := make([]*ShardAudit, 0, len(f.shards))
+	for _, row := range f.shards {
+		rows = append(rows, row)
+	}
+	f.mu.Unlock()
+	for _, row := range rows {
+		_, _, _, deg, det := row.snapshot()
+		if det {
+			detached++
+			continue
+		}
+		live++
+		if deg {
+			degraded++
+		}
+	}
+	return
+}
+
+// ShardHealth is one shard's row in the healthz document.
+type ShardHealth struct {
+	Name        string  `json:"name"`
+	AckEpoch    uint64  `json:"ack_epoch"`
+	LeaseAgeSec float64 `json:"lease_age_sec"`
+	RMS         float64 `json:"rms_share_error"`
+	Degraded    bool    `json:"degraded"`
+	Detached    bool    `json:"detached"`
+}
+
+// FleetHealth is the /fleet/healthz document.
+type FleetHealth struct {
+	Shards             []ShardHealth `json:"shards"`
+	GlobalRMS          float64       `json:"global_rms_share_error"`
+	Converged          bool          `json:"converged"`
+	ConvergenceRounds  int           `json:"convergence_rounds"`
+	PropagationCount   int64         `json:"epoch_propagation_count"`
+	PropagationMaxSec  float64       `json:"epoch_propagation_max_sec"`
+	CounterRegressions int64         `json:"counter_regressions"`
+	LeaseExpiries      int64         `json:"lease_expiries"`
+}
+
+// Health snapshots the fleet view.
+func (f *FleetAuditor) Health() FleetHealth {
+	now := f.now()
+	f.mu.Lock()
+	rows := make([]*ShardAudit, 0, len(f.shards))
+	for _, row := range f.shards {
+		rows = append(rows, row)
+	}
+	h := FleetHealth{
+		GlobalRMS:         f.rms,
+		Converged:         f.conv.converged,
+		ConvergenceRounds: f.conv.last,
+	}
+	f.mu.Unlock()
+
+	for _, row := range rows {
+		last, ack, rms, deg, det := row.snapshot()
+		age := math.Inf(1)
+		if !last.IsZero() {
+			age = now.Sub(last).Seconds()
+		}
+		h.Shards = append(h.Shards, ShardHealth{
+			Name: row.name, AckEpoch: ack, LeaseAgeSec: age,
+			RMS: rms, Degraded: deg, Detached: det,
+		})
+	}
+	sort.Slice(h.Shards, func(i, j int) bool { return h.Shards[i].Name < h.Shards[j].Name })
+	h.PropagationCount = f.propCount.Load()
+	h.PropagationMaxSec = f.propMax.load()
+	h.CounterRegressions = f.counterRegressions.Load()
+	h.LeaseExpiries = f.leaseExpiries.Load()
+	return h
+}
+
+// atomicFloat is a max-tracking float64 on atomic bits.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+func (a *atomicFloat) setMax(v float64) {
+	for {
+		old := a.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

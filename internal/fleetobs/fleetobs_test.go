@@ -1,0 +1,285 @@
+package fleetobs
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"alps/internal/obs"
+	"alps/internal/trace"
+)
+
+// testClock is a settable virtual clock.
+type testClock struct{ t time.Time }
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *testClock) Now() time.Time          { return c.t }
+func (c *testClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestTracerRingAndSpans(t *testing.T) {
+	clk := newTestClock()
+	tr := NewTracer(TracerConfig{Node: "s1", Events: 4, Now: clk.Now})
+	if tr.Incarnation() != uint64(clk.Now().UnixNano()) {
+		t.Fatalf("incarnation not taken from clock: %d", tr.Incarnation())
+	}
+	for i := 0; i < 6; i++ {
+		clk.Advance(time.Millisecond)
+		tr.Emit(Event{Kind: KindPublish, Epoch: uint64(i)})
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("ring should hold 4 events, got %d", len(got))
+	}
+	// Oldest first, and the two oldest were evicted.
+	if got[0].Epoch != 2 || got[3].Epoch != 5 {
+		t.Fatalf("ring order wrong: epochs %d..%d", got[0].Epoch, got[3].Epoch)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Span <= got[i-1].Span {
+			t.Fatalf("span ids not monotone: %d then %d", got[i-1].Span, got[i].Span)
+		}
+		if got[i].Incarnation != tr.Incarnation() {
+			t.Fatalf("event missing incarnation")
+		}
+	}
+	if tr.Events() != 6 {
+		t.Fatalf("total events = %d, want 6", tr.Events())
+	}
+}
+
+func TestTracerSourceRoundTrip(t *testing.T) {
+	clk := newTestClock()
+	tr := NewTracer(TracerConfig{Node: "coord", Coordinator: true, Now: clk.Now})
+	tr.Emit(Event{Kind: KindPublish, Epoch: 3, Peer: "s1", Note: "ttl=5s"})
+	src := tr.Source(nil, time.Time{})
+	if !src.Coordinator || src.Name != "coord" {
+		t.Fatalf("source header wrong: %+v", src)
+	}
+	if len(src.Spans) != 1 {
+		t.Fatalf("want 1 span, got %d", len(src.Spans))
+	}
+	sp := src.Spans[0]
+	if sp.Name != "publish" || sp.Epoch != 3 || sp.Inc != tr.Incarnation() {
+		t.Fatalf("span conversion wrong: %+v", sp)
+	}
+	if sp.Args["peer"] != "s1" || sp.Args["note"] != "ttl=5s" {
+		t.Fatalf("span args wrong: %+v", sp.Args)
+	}
+}
+
+func TestAuditorGlobalRMS(t *testing.T) {
+	clk := newTestClock()
+	a := NewFleetAuditor(AuditorConfig{Now: clk.Now, RMSWindow: 4})
+	weights := map[int64]float64{1: 3, 2: 1}
+	// Perfect proportional consumption: 3:1.
+	for i := 0; i < 4; i++ {
+		a.OnRound(map[int64]float64{1: 0.3, 2: 0.1}, weights, false)
+	}
+	if rms := a.GlobalRMSShareError(); rms > 1e-9 {
+		t.Fatalf("perfect split should give ~0 RMS, got %g", rms)
+	}
+	// Inverted consumption: principal 2 hogging.
+	for i := 0; i < 4; i++ {
+		a.OnRound(map[int64]float64{1: 0.1, 2: 0.3}, weights, true)
+	}
+	if rms := a.GlobalRMSShareError(); rms < 0.3 {
+		t.Fatalf("inverted split should give large RMS, got %g", rms)
+	}
+}
+
+func TestAuditorConvergence(t *testing.T) {
+	a := NewFleetAuditor(AuditorConfig{StableStreak: 2})
+	w := map[int64]float64{1: 1}
+	c := map[int64]float64{1: 1}
+	h := a.Health()
+	if !h.Converged {
+		t.Fatal("fresh auditor should be converged")
+	}
+	// Disturbance: 3 changing rounds, then 2 stable ones.
+	a.OnRound(c, w, true)
+	a.OnRound(c, w, true)
+	a.OnRound(c, w, true)
+	if a.Health().Converged {
+		t.Fatal("should not be converged mid-disturbance")
+	}
+	a.OnRound(c, w, false)
+	a.OnRound(c, w, false)
+	h = a.Health()
+	if !h.Converged {
+		t.Fatal("two stable rounds should re-converge")
+	}
+	if h.ConvergenceRounds != 5 {
+		t.Fatalf("convergence took 5 rounds, reported %d", h.ConvergenceRounds)
+	}
+}
+
+func TestAuditorPropagationAndLeases(t *testing.T) {
+	clk := newTestClock()
+	a := NewFleetAuditor(AuditorConfig{Now: clk.Now})
+	reg := obs.NewRegistry()
+	a.Register(reg)
+
+	s1 := a.Shard("s1")
+	s1.OnHeartbeat(clk.Now(), 0, 0.1, false)
+	a.OnCommit(1, clk.Now())
+	clk.Advance(250 * time.Millisecond)
+	a.OnAck("s1", 1, clk.Now())
+	// Re-acking the same epoch must not double-observe.
+	a.OnAck("s1", 1, clk.Now())
+	clk.Advance(100 * time.Millisecond)
+	a.OnCommit(2, clk.Now())
+	a.OnCommit(3, clk.Now())
+	clk.Advance(50 * time.Millisecond)
+	// One ack covering both outstanding epochs times both.
+	a.OnAck("s1", 3, clk.Now())
+
+	h := a.Health()
+	if h.PropagationCount != 3 {
+		t.Fatalf("want 3 propagation observations, got %d", h.PropagationCount)
+	}
+	if h.PropagationMaxSec < 0.24 || h.PropagationMaxSec > 0.26 {
+		t.Fatalf("max propagation should be ~0.25s, got %g", h.PropagationMaxSec)
+	}
+
+	a.OnLeaseExpire("s1")
+	h = a.Health()
+	if len(h.Shards) != 1 || !h.Shards[0].Detached {
+		t.Fatalf("lease expiry should mark shard detached: %+v", h.Shards)
+	}
+	if h.LeaseExpiries != 1 {
+		t.Fatalf("lease expiries = %d", h.LeaseExpiries)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"alps_fleet_global_rms_share_error",
+		"alps_fleet_epoch_propagation_seconds",
+		`alps_fleet_lease_age_seconds{shard="s1"}`,
+		"alps_fleet_lease_expiries_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestBundlerCollectionFlow(t *testing.T) {
+	clk := newTestClock()
+	coordTr := NewTracer(TracerConfig{Node: "coord", Coordinator: true, Now: clk.Now})
+	coordTr.Emit(Event{Kind: KindCommit, Epoch: 7})
+	dir := t.TempDir()
+	b := NewBundler(BundlerConfig{
+		Dir: dir, Cooldown: time.Second, Now: clk.Now,
+		Self: func() trace.FleetSource { return coordTr.Source(nil, time.Time{}) },
+	})
+
+	if b.Pending() != nil {
+		t.Fatal("no collection yet, Pending should be nil")
+	}
+	if !b.Open("lease_lost", 7) {
+		t.Fatal("first Open should start a collection")
+	}
+	if b.Open("shard_dump", 7) {
+		t.Fatal("second Open inside cooldown should be suppressed")
+	}
+	req := b.Pending()
+	if req == nil || req.Reason != "lease_lost" || req.Epoch != 7 {
+		t.Fatalf("Pending = %+v", req)
+	}
+
+	shardTr := NewTracer(TracerConfig{Node: "s1", Now: clk.Now})
+	shardTr.Emit(Event{Kind: KindApply, Epoch: 7, Parent: 1, ParentInc: coordTr.Incarnation()})
+	payload := DumpPayload{
+		Shard: "s1", Seq: req.Seq, Reason: req.Reason,
+		Incarnation:    shardTr.Incarnation(),
+		AnchorUnixNano: clk.Now().UnixNano(),
+		Fleet:          shardTr.Snapshot(),
+		Obs: []obs.Event{
+			{Kind: obs.KindQuantumStart, Tick: 1, At: 0},
+			{Kind: obs.KindQuantumEnd, Tick: 1, At: 10 * time.Millisecond},
+		},
+	}
+	if err := b.Accept(payload); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	if err := b.Accept(DumpPayload{Shard: "sX", Seq: 42}); err == nil {
+		t.Fatal("unknown seq should be rejected")
+	}
+
+	_, sources, ok := b.Last()
+	if !ok || len(sources) != 2 {
+		t.Fatalf("want coord+s1 in collection, got %d sources", len(sources))
+	}
+	if !sources[0].Coordinator || sources[1].Name != "s1" {
+		t.Fatalf("sources not coordinator-first: %+v", sources)
+	}
+
+	// The HTTP download is a valid merged trace with download headers.
+	rr := httptest.NewRecorder()
+	b.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/fleet-trace", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if cd := rr.Header().Get("Content-Disposition"); !strings.Contains(cd, "fleet-lease_lost-7.json") {
+		t.Errorf("Content-Disposition = %q", cd)
+	}
+	if err := trace.Validate(rr.Body.Bytes()); err != nil {
+		t.Fatalf("served bundle does not validate: %v", err)
+	}
+
+	// And the bundle directory holds the member payload + merged trace.
+	for _, name := range []string{"fleet-lease_lost-7/fleet.json", "fleet-lease_lost-7/s1.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("bundle file %s: %v", name, err)
+		}
+	}
+
+	// After the cooldown a new collection opens and Pending moves on.
+	clk.Advance(2 * time.Second)
+	if !b.Open("epoch_stall", 9) {
+		t.Fatal("Open after cooldown should succeed")
+	}
+	if req := b.Pending(); req.Reason != "epoch_stall" {
+		t.Fatalf("Pending should track latest collection, got %+v", req)
+	}
+	if b.Collections() != 2 {
+		t.Fatalf("collections = %d", b.Collections())
+	}
+}
+
+func TestStackMount(t *testing.T) {
+	clk := newTestClock()
+	s := NewStack(StackConfig{Node: "coord", Now: clk.Now})
+	s.Auditor.OnRound(map[int64]float64{1: 1}, map[int64]float64{1: 1}, false)
+	mux := http.NewServeMux()
+	s.Mount(mux)
+
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/fleet/metrics", nil))
+	if !strings.Contains(rr.Body.String(), "alps_fleet_global_rms_share_error") {
+		t.Errorf("/fleet/metrics missing fleet gauges: %s", rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/fleet/healthz", nil))
+	if !strings.Contains(rr.Body.String(), "global_rms_share_error") {
+		t.Errorf("/fleet/healthz body: %s", rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/fleet-trace", nil))
+	if rr.Code != 404 {
+		t.Errorf("fleet-trace before any collection should 404, got %d", rr.Code)
+	}
+}

@@ -1,0 +1,78 @@
+package fleetobs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"alps/internal/obs"
+	"alps/internal/trace"
+)
+
+// StackConfig parameterizes the coordinator-side fleet observability
+// stack.
+type StackConfig struct {
+	// Node names the coordinator in merged traces (e.g. "coord").
+	Node string
+	// Dir is the bundle directory ("" keeps collections in memory).
+	Dir string
+	// Cooldown rate-limits collections (DefaultBundleCooldown when 0).
+	Cooldown time.Duration
+	// Metrics receives the alps_fleet_* exports; nil allocates a
+	// dedicated registry (served on /fleet/metrics either way).
+	Metrics *obs.Registry
+	// Now overrides time.Now.
+	Now func() time.Time
+	// Logf receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Stack bundles the coordinator's three fleet observability pieces: the
+// tracer (its own control-plane event ring), the auditor (federated
+// fleet metrics), and the bundler (correlated flight recording). The
+// coord server calls its hooks; cmd/alps mounts its HTTP surface.
+type Stack struct {
+	Tracer  *Tracer
+	Auditor *FleetAuditor
+	Bundler *Bundler
+	Metrics *obs.Registry
+}
+
+// NewStack wires a coordinator stack: the bundler's self source is the
+// tracer's window, and everything registers on the fleet registry.
+func NewStack(cfg StackConfig) *Stack {
+	if cfg.Node == "" {
+		cfg.Node = "coord"
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := NewTracer(TracerConfig{Node: cfg.Node, Coordinator: true, Now: cfg.Now})
+	auditor := NewFleetAuditor(AuditorConfig{Now: cfg.Now})
+	bundler := NewBundler(BundlerConfig{
+		Dir:      cfg.Dir,
+		Cooldown: cfg.Cooldown,
+		Now:      cfg.Now,
+		Logf:     cfg.Logf,
+		Self:     func() trace.FleetSource { return tracer.Source(nil, time.Time{}) },
+	})
+	auditor.Register(reg)
+	bundler.Register(reg)
+	reg.CounterFunc("alps_fleet_trace_events_total",
+		"Coordinator control-plane events traced.", tracer.Events)
+	return &Stack{Tracer: tracer, Auditor: auditor, Bundler: bundler, Metrics: reg}
+}
+
+// Mount exposes the fleet endpoints on a mux: federated metrics, the
+// fleet health document, and the latest correlated trace bundle.
+func (s *Stack) Mount(mux *http.ServeMux) {
+	mux.Handle("/fleet/metrics", s.Metrics.Handler())
+	mux.HandleFunc("/fleet/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Auditor.Health())
+	})
+	mux.Handle("/debug/fleet-trace", s.Bundler)
+}

@@ -51,6 +51,8 @@ type ChromeEvent struct {
 	Dur  float64        `json:"dur"`
 	PID  int64          `json:"pid"`
 	TID  int64          `json:"tid"`
+	ID   uint64         `json:"id,omitempty"` // flow-event binding ("s"/"f")
+	BP   string         `json:"bp,omitempty"` // flow binding point ("e": enclosing slice)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -86,10 +88,29 @@ func Build(events []obs.Event) []ChromeEvent {
 	eligible := make(map[int64]*openSpan)
 	tasksSeen := make(map[int64]bool)
 
+	// Every track Build emits carries *sequential* spans — quanta,
+	// phases and per-task eligibility windows never legitimately nest on
+	// their own track. Merged or skewed multi-source streams can violate
+	// the event order that property relies on (a close edge delivered
+	// "before" its open edge, duplicated deliveries), which would produce
+	// negative durations or overlapping spans that trace viewers reject.
+	// frontier tracks the end of the last span emitted per (pid, tid) and
+	// clamps every new span to start at or after it, keeping the output a
+	// valid trace no matter how disordered the input is.
+	frontier := make(map[[2]int64]float64)
 	span := func(name string, pid, tid int64, o *openSpan, end float64, cat string) {
+		key := [2]int64{pid, tid}
+		ts := o.ts
+		if f := frontier[key]; ts < f {
+			ts = f
+		}
+		if end < ts {
+			end = ts
+		}
+		frontier[key] = end
 		out = append(out, ChromeEvent{
 			Name: name, Cat: cat, Ph: "X",
-			TS: o.ts, Dur: end - o.ts, PID: pid, TID: tid, Args: o.args,
+			TS: ts, Dur: end - ts, PID: pid, TID: tid, Args: o.args,
 		})
 	}
 	instant := func(name string, pid, tid int64, ts float64, args map[string]any) {

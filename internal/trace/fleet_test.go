@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"alps/internal/obs"
+)
+
+// buildAndValidate runs events through Build → WriteChrome → Validate.
+func buildAndValidate(t *testing.T, events []obs.Event) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events, nil); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("Validate: %v\ntrace: %s", err, buf.String())
+	}
+}
+
+// quantumAt emits a start/end pair at the given offsets.
+func quantumAt(tick int64, start, end time.Duration) []obs.Event {
+	return []obs.Event{
+		{Kind: obs.KindQuantumStart, Tick: tick, At: start},
+		{Kind: obs.KindQuantumEnd, Tick: tick, At: end},
+	}
+}
+
+// TestBuildSkewedMergedStreams is the multi-source robustness contract:
+// two shards' event streams concatenated with a constant clock skew —
+// so timestamps jump backwards at the seam — must still produce a trace
+// with valid span nesting and no negative durations.
+func TestBuildSkewedMergedStreams(t *testing.T) {
+	var merged []obs.Event
+	// Shard A: quanta at 100ms grid.
+	for i := 0; i < 3; i++ {
+		d := time.Duration(i) * 100 * time.Millisecond
+		merged = append(merged, quantumAt(int64(i), d, d+90*time.Millisecond)...)
+	}
+	// Shard B: same grid but its clock reads 150ms earlier, so the first
+	// B event is older than the last A event.
+	for i := 0; i < 3; i++ {
+		d := time.Duration(i)*100*time.Millisecond - 150*time.Millisecond
+		merged = append(merged, quantumAt(int64(100+i), d, d+90*time.Millisecond)...)
+	}
+	buildAndValidate(t, merged)
+}
+
+// TestBuildDuplicatedEvents: duplicated deliveries (the same open and
+// close edges twice, as a lossy collector might produce) must not break
+// nesting on any track.
+func TestBuildDuplicatedEvents(t *testing.T) {
+	base := []obs.Event{
+		{Kind: obs.KindQuantumStart, Tick: 1, At: 0},
+		{Kind: obs.KindPhaseBegin, N: int(obs.PhaseSample), Tick: 1, At: time.Millisecond},
+		{Kind: obs.KindPhaseEnd, N: int(obs.PhaseSample), Tick: 1, At: 2 * time.Millisecond},
+		{Kind: obs.KindTransition, Task: 7, Eligible: true, Tick: 1, At: 3 * time.Millisecond},
+		{Kind: obs.KindQuantumEnd, Tick: 1, At: 9 * time.Millisecond},
+		{Kind: obs.KindTransition, Task: 7, Eligible: false, Tick: 2, At: 11 * time.Millisecond},
+	}
+	var dup []obs.Event
+	for _, e := range base {
+		dup = append(dup, e, e)
+	}
+	buildAndValidate(t, dup)
+}
+
+// TestBuildOutOfOrderPhases: phase edges delivered out of timestamp
+// order (a close older than its open) must clamp to zero-length spans,
+// never negative durations or overlaps.
+func TestBuildOutOfOrderPhases(t *testing.T) {
+	events := []obs.Event{
+		{Kind: obs.KindPhaseBegin, N: int(obs.PhaseSample), Tick: 1, At: 10 * time.Millisecond},
+		// Close stamped *before* the open: a skewed merge artifact.
+		{Kind: obs.KindPhaseEnd, N: int(obs.PhaseSample), Tick: 1, At: 4 * time.Millisecond},
+		// Overlapping different phases from interleaved sources.
+		{Kind: obs.KindPhaseBegin, N: int(obs.PhaseCharge), Tick: 1, At: 6 * time.Millisecond},
+		{Kind: obs.KindPhaseBegin, N: int(obs.PhaseDecide), Tick: 1, At: 8 * time.Millisecond},
+		{Kind: obs.KindPhaseEnd, N: int(obs.PhaseCharge), Tick: 1, At: 14 * time.Millisecond},
+		{Kind: obs.KindPhaseEnd, N: int(obs.PhaseDecide), Tick: 1, At: 12 * time.Millisecond},
+	}
+	buildAndValidate(t, events)
+}
+
+// fleetFixture builds a coordinator + two shard sources with two
+// committed epochs, each published to and applied by both shards.
+func fleetFixture(base time.Time) []FleetSource {
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	coord := FleetSource{Name: "coord", Coordinator: true}
+	shards := []FleetSource{{Name: "s1"}, {Name: "s2"}}
+	span := uint64(0)
+	for epoch := uint64(1); epoch <= 2; epoch++ {
+		ms := int(epoch) * 100
+		span++
+		coord.Spans = append(coord.Spans,
+			FleetSpan{Name: "plan", At: at(ms), Epoch: epoch - 1, Inc: 1, Span: span})
+		span++
+		coord.Spans = append(coord.Spans,
+			FleetSpan{Name: "commit", At: at(ms + 1), Epoch: epoch, Inc: 1, Span: span})
+		for si := range shards {
+			span++
+			coord.Spans = append(coord.Spans,
+				FleetSpan{Name: "publish", At: at(ms + 2 + si), Epoch: epoch, Inc: 1, Span: span})
+			shards[si].Spans = append(shards[si].Spans,
+				FleetSpan{Name: "apply", At: at(ms + 10 + si), Epoch: epoch,
+					Inc: 100 + uint64(si), Span: epoch, Parent: span, ParentInc: 1},
+				FleetSpan{Name: "ack", At: at(ms + 20 + si), Epoch: epoch,
+					Inc: 100 + uint64(si), Span: epoch + 10},
+			)
+		}
+	}
+	return append([]FleetSource{coord}, shards...)
+}
+
+// TestBuildFleetFlows: every publish→apply pair yields a matched flow
+// ("s" then "f" with the same id), tracks are named, and the merged
+// document validates.
+func TestBuildFleetFlows(t *testing.T) {
+	base := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	sources := fleetFixture(base)
+	events := BuildFleet(sources)
+
+	starts := make(map[uint64]ChromeEvent)
+	finishes := make(map[uint64]ChromeEvent)
+	procNames := make(map[int64]string)
+	for _, ev := range events {
+		switch {
+		case ev.Ph == "s":
+			starts[ev.ID] = ev
+		case ev.Ph == "f":
+			finishes[ev.ID] = ev
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procNames[ev.PID], _ = ev.Args["name"].(string)
+		}
+	}
+	if len(starts) != 4 || len(finishes) != 4 {
+		t.Fatalf("want 4 publish→apply flow pairs, got %d starts / %d finishes", len(starts), len(finishes))
+	}
+	for id, s := range starts {
+		f, ok := finishes[id]
+		if !ok {
+			t.Fatalf("flow %d has no finish", id)
+		}
+		if f.TS < s.TS {
+			t.Errorf("flow %d arrives (%v) before it departs (%v)", id, f.TS, s.TS)
+		}
+		if s.PID == f.PID {
+			t.Errorf("flow %d does not cross processes (pid %d)", id, s.PID)
+		}
+		if s.Args["epoch"] != f.Args["epoch"] {
+			t.Errorf("flow %d epoch mismatch: %v vs %v", id, s.Args["epoch"], f.Args["epoch"])
+		}
+	}
+	wantTracks := []string{"coord (coordinator)", "s1 (shard)", "s2 (shard)"}
+	for _, want := range wantTracks {
+		found := false
+		for _, name := range procNames {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing track %q (have %v)", want, procNames)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteFleet(&buf, sources, map[string]any{"reason": "test"}); err != nil {
+		t.Fatalf("WriteFleet: %v", err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestBuildFleetSkewedSources: per-source clock skew and a duplicated
+// span must still produce a Validate-clean merged trace, and an apply
+// whose publish never made it into the window yields no dangling flow.
+func TestBuildFleetSkewedSources(t *testing.T) {
+	base := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	sources := fleetFixture(base)
+	// Skew shard s2's clock 50ms into the past: its applies now look
+	// older than the publishes that caused them.
+	for i := range sources[2].Spans {
+		sources[2].Spans[i].At = sources[2].Spans[i].At.Add(-50 * time.Millisecond)
+	}
+	// Duplicate a coordinator span (redelivered collector payload).
+	sources[0].Spans = append(sources[0].Spans, sources[0].Spans[2])
+	// And an orphan apply pointing at an unknown publish.
+	sources[1].Spans = append(sources[1].Spans, FleetSpan{
+		Name: "apply", At: base.Add(time.Second), Epoch: 9,
+		Inc: 100, Span: 99, Parent: 777, ParentInc: 42,
+	})
+
+	var buf bytes.Buffer
+	if err := WriteFleet(&buf, sources, nil); err != nil {
+		t.Fatalf("WriteFleet: %v", err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("Validate on skewed merge: %v", err)
+	}
+	var orphanFlows int
+	for _, ev := range BuildFleet(sources) {
+		if ev.Ph == "f" && ev.Args["epoch"] == uint64(9) {
+			orphanFlows++
+		}
+	}
+	if orphanFlows != 0 {
+		t.Errorf("orphan apply produced %d dangling flows", orphanFlows)
+	}
+}
+
+// TestBuildFleetWithObsWindows: a source contributing its local
+// flight-recorder window gets controller/tasks tracks under its own
+// process group, shifted onto the wall clock.
+func TestBuildFleetWithObsWindows(t *testing.T) {
+	base := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	sources := fleetFixture(base)
+	sources[1].Anchor = base
+	sources[1].Obs = []obs.Event{
+		{Kind: obs.KindQuantumStart, Tick: 1, At: 100 * time.Millisecond},
+		{Kind: obs.KindQuantumEnd, Tick: 1, At: 110 * time.Millisecond},
+	}
+	events := BuildFleet(sources)
+	var quantumTS float64
+	var sawShardController bool
+	for _, ev := range events {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			if name, _ := ev.Args["name"].(string); name == "s1 alps controller" {
+				sawShardController = true
+			}
+		}
+		if ev.Name == "quantum" && ev.Ph == "X" {
+			quantumTS = ev.TS
+		}
+	}
+	if !sawShardController {
+		t.Error("shard obs window did not get its own controller track")
+	}
+	wantTS := wallMicros(base.Add(100 * time.Millisecond))
+	if quantumTS != wantTS {
+		t.Errorf("obs window not anchored: quantum at %v, want %v", quantumTS, wantTS)
+	}
+	var buf bytes.Buffer
+	if err := WriteFleet(&buf, sources, nil); err != nil {
+		t.Fatalf("WriteFleet: %v", err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}

@@ -176,13 +176,27 @@ func (r *Recorder) WriteChrome(w io.Writer, extra map[string]any) error {
 	return WriteChrome(w, r.Snapshot(), extra)
 }
 
+// SetJSONDownloadHeaders stamps the response headers every trace
+// download endpoint uses: an explicit JSON content type (so nothing is
+// content-sniffed into an unnamed octet stream) and a Content-Disposition
+// attachment filename the browser saves the trace under. /debug/trace
+// and /debug/fleet-trace both go through it, keeping the two consistent.
+func SetJSONDownloadHeaders(h http.Header, filename string) {
+	h.Set("Content-Type", "application/json; charset=utf-8")
+	h.Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", filename))
+}
+
 // ServeHTTP serves the current window as a downloadable Chrome trace
 // (the /debug/trace endpoint).
 func (r *Recorder) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.Header().Set("Content-Disposition", `attachment; filename="alps-trace.json"`)
+	SetJSONDownloadHeaders(w.Header(), "alps-trace.json")
 	_ = r.WriteChrome(w, map[string]any{"source": "/debug/trace"})
 }
+
+// Dumps returns the number of flight-recorder windows dumped so far; a
+// shard heartbeats it so the coordinator can open a correlated fleet
+// collection when any member's recorder fires.
+func (r *Recorder) Dumps() int64 { return r.dumps.Load() }
 
 // Register exposes the recorder's bookkeeping on a metrics registry.
 func (r *Recorder) Register(reg *obs.Registry) {
