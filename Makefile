@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench trace trace-fleet chaos chaos-fleet vulncheck
+.PHONY: check vet build test race short bench trace trace-fleet chaos chaos-fleet chaos-failover vulncheck
 
 check: vet build race
 
@@ -82,6 +82,15 @@ chaos:
 chaos-fleet:
 	$(GO) test -race -run 'TestChaosFleet' -v ./internal/coord/
 	$(GO) test -race -run 'TestFleetEndToEnd' -v ./cmd/alps/
+
+# Replicated-coordinator failover suite under the race detector: the
+# coordsim replica-set scenario (three coordinator replicas, the leader
+# partitioned away from standbys and shards, a standby elected and
+# reconfigured live, then killed so the fleet walks back onto the
+# deposed original — whose stale-term publishes must be fenced) plus the
+# replica-set and agent-failover unit scripts. Fully deterministic.
+chaos-failover:
+	$(GO) test -race -run 'TestChaosFailover|TestReplica|TestDeposed|TestWeightsUpdate|TestHeartbeatHigherTerm|TestAgent' -v ./internal/coord/
 
 # Known-vulnerability scan, gated on the tool being installed (the CI
 # image may not ship it; we never install dependencies on the fly).

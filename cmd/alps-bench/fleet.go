@@ -34,16 +34,32 @@ type convergenceRow struct {
 // fleetWindow is simulateWindow from the planner tests: perfect local
 // proportional consumption of one window per shard.
 func fleetWindow(shares map[string]map[int64]int64) []coord.ShardLoad {
+	return fleetWindowMixed(shares, shares)
+}
+
+// fleetWindowMixed separates what the planner believes the fleet runs
+// (base, its committed share table) from what the fleet actually runs
+// (running, which generates the consumption). The two differ exactly
+// during a failover: a standby that took over from a lagged replica
+// plans from its own committed table while the windows it measures come
+// from the newer shares the dead leader had already published.
+func fleetWindowMixed(base, running map[string]map[int64]int64) []coord.ShardLoad {
 	var loads []coord.ShardLoad
-	for name, sv := range shares {
+	for name, sv := range base {
+		run := running[name]
+		if run == nil {
+			run = sv
+		}
 		var tot int64
-		for _, sh := range sv {
+		for _, sh := range run {
 			tot += sh
 		}
-		consumed := make(map[int64]float64, len(sv))
+		consumed := make(map[int64]float64, len(run))
+		for p, sh := range run {
+			consumed[p] = float64(sh) / float64(tot)
+		}
 		cp := make(map[int64]int64, len(sv))
 		for p, sh := range sv {
-			consumed[p] = float64(sh) / float64(tot)
 			cp[p] = sh
 		}
 		loads = append(loads, coord.ShardLoad{Name: name, Shares: cp, Consumed: consumed})
@@ -63,6 +79,13 @@ func fleetWindow(shares map[string]map[int64]int64) []coord.ShardLoad {
 // a demand above 2 windows cannot be served — so this is the hardest
 // feasible uniform-start case.
 func measureConvergence(s int) (convergenceRow, error) {
+	weights, shares := ringFleet(s)
+	return measureConvergenceFrom(s, weights, shares)
+}
+
+// ringFleet builds the s-shard ring with alternating 4/1 weights and
+// uniform initial shares.
+func ringFleet(s int) (map[int64]int64, map[string]map[int64]int64) {
 	weights := make(map[int64]int64, s)
 	shares := make(map[string]map[int64]int64, s)
 	shardName := func(i int) string { return fmt.Sprintf("s%03d", i) }
@@ -78,7 +101,10 @@ func measureConvergence(s int) (convergenceRow, error) {
 		shares[shardName(p)][int64(p)] = 100
 		shares[shardName((p+1)%s)][int64(p)] = 100
 	}
+	return weights, shares
+}
 
+func measureConvergenceFrom(s int, weights map[int64]int64, shares map[string]map[int64]int64) (convergenceRow, error) {
 	row := convergenceRow{Shards: s, Principals: s, InitialRMS: -1, FinalRMS: -1}
 	var cfg coord.PlannerConfig
 	for round := 1; round <= convergenceRoundsCap; round++ {
@@ -98,6 +124,79 @@ func measureConvergence(s int) (convergenceRow, error) {
 	}
 	return row, fmt.Errorf("S=%d: planner did not converge in %d rounds (rms=%.4f)",
 		s, convergenceRoundsCap, row.FinalRMS)
+}
+
+// Coordinator failover: the leader runs the ring fleet partway to
+// convergence and dies; a standby takes over from its replica, which is
+// one replication pull (one committed round) behind. The standby plans
+// from the lagged table while the first window it measures reflects the
+// newer shares the fleet actually runs — the worst mismatch failover can
+// produce, since heartbeat fast-forward caps replica lag at one commit.
+// The gate is 2x the steady-state convergence gate: taking over from a
+// lagged replica may cost rounds, but not a fresh cold start's worth.
+const failoverRoundsGate = 2 * convergenceRoundsGate
+
+type failoverRow struct {
+	Shards      int     `json:"shards"`
+	LeadRounds  int     `json:"leader_rounds_before_death"`
+	LagRounds   int     `json:"replica_lag_rounds"`
+	Rounds      int     `json:"failover_rounds_to_deadband"`
+	TakeoverRMS float64 `json:"takeover_rms"`
+	FinalRMS    float64 `json:"final_rms"`
+}
+
+func measureFailover(s int) (failoverRow, error) {
+	weights, actual := ringFleet(s)
+	row := failoverRow{Shards: s, LeadRounds: 3, LagRounds: 1, TakeoverRMS: -1, FinalRMS: -1}
+	var cfg coord.PlannerConfig
+
+	// The leader's reign: each commit lands on the shards immediately;
+	// the standby replicates the previous round's table.
+	replica := actual
+	for round := 1; round <= row.LeadRounds; round++ {
+		res := coord.Plan(cfg, weights, fleetWindow(actual))
+		if res.GlobalRMS < 0 {
+			return row, fmt.Errorf("failover S=%d lead round %d: no RMS measured", s, round)
+		}
+		if !res.Changed {
+			break
+		}
+		replica = actual
+		actual = res.Shares
+	}
+
+	// Takeover: the standby's committed table is the replica; the fleet
+	// keeps running the dead leader's last publish until the standby's
+	// own first commit overwrites it.
+	committed := replica
+	running := actual
+	for round := 1; round <= convergenceRoundsCap; round++ {
+		res := coord.Plan(cfg, weights, fleetWindowMixed(committed, running))
+		if res.GlobalRMS < 0 {
+			return row, fmt.Errorf("failover S=%d round %d: no RMS measured", s, round)
+		}
+		if row.TakeoverRMS < 0 {
+			row.TakeoverRMS = res.GlobalRMS
+		}
+		row.FinalRMS = res.GlobalRMS
+		if !res.Changed {
+			row.Rounds = round
+			return row, nil
+		}
+		committed = res.Shares
+		running = res.Shares
+	}
+	return row, fmt.Errorf("failover S=%d: standby did not converge in %d rounds (rms=%.4f)",
+		s, convergenceRoundsCap, row.FinalRMS)
+}
+
+// runFailover produces the failover report row and enforces its gate.
+func runFailover() (failoverRow, bool, error) {
+	row, err := measureFailover(4)
+	if err != nil {
+		return row, false, err
+	}
+	return row, row.Rounds <= failoverRoundsGate, nil
 }
 
 // runConvergence produces the report section and enforces the gate.

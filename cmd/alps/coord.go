@@ -30,7 +30,7 @@ import (
 // applies pulled assignments through the same diff-based reconfiguration
 // path as /admin/config. Returns the agent (for /healthz) and a stop
 // func.
-func startCoordLink(r *alps.Runner, st *obsStack, url, shard string) (*coord.Agent, func(), error) {
+func startCoordLink(r *alps.Runner, st *obsStack, url, shard string, capacity float64) (*coord.Agent, func(), error) {
 	if shard == "" {
 		host, err := os.Hostname()
 		if err != nil || host == "" {
@@ -38,14 +38,26 @@ func startCoordLink(r *alps.Runner, st *obsStack, url, shard string) (*coord.Age
 		}
 		shard = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	// -coord accepts a comma-separated replica list; the agent rotates
+	// across it on failures and not-leader redirects.
+	var urls []string
+	for _, u := range strings.Split(url, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return nil, nil, fmt.Errorf("coordinator link: -coord %q names no URLs", url)
+	}
 	// The fleet tracer records this shard's apply/upload events; its
 	// window plus the flight recorder's (anchored to wall time) is what
 	// this shard contributes when the coordinator opens a correlated
 	// collection.
 	tracer := fleetobs.NewTracer(fleetobs.TracerConfig{Node: shard})
 	agent, err := coord.NewAgent(coord.AgentConfig{
-		URL:   url,
-		Shard: shard,
+		URLs:     urls,
+		Shard:    shard,
+		Capacity: capacity,
 		Tasks: func() []coord.TaskShare {
 			var out []coord.TaskShare
 			for _, t := range r.State().Tasks {
@@ -108,11 +120,23 @@ func cmdCoord(args []string) error {
 	gain := fs.Float64("gain", 0, "rebalance step clamp: one round moves a share by at most this factor (0: default 2)")
 	deadband := fs.Float64("deadband", 0, "global RMS share error below which no rebalance is committed (0: default 0.02)")
 	traceDir := fs.String("trace-dir", "", "directory for correlated fleet trace bundles (empty: in-memory only, still served at /debug/fleet-trace)")
+	self := fs.String("self", "", "this replica's own base URL as peers and shards reach it (enables replication)")
+	peers := fs.String("peers", "", "comma-separated base URLs of the other coordinator replicas")
+	leaderTTL := fs.Duration("leader-ttl", coord.DefaultLeaderTTL, "leadership lease TTL; a standby that hears nothing from the leader for its staggered multiple of this elects itself")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *httpAddr == "" {
 		return fmt.Errorf("-http is required (the coordinator is an HTTP server)")
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) > 0 && *self == "" {
+		return fmt.Errorf("-peers given without -self; a replica must know its own URL to stagger elections and stamp leader hints")
 	}
 	weights := make(map[int64]int64)
 	for _, a := range fs.Args() {
@@ -133,8 +157,9 @@ func cmdCoord(args []string) error {
 
 	reg := obs.NewRegistry()
 	fleet := fleetobs.NewStack(fleetobs.StackConfig{
-		Dir:     *traceDir,
-		Metrics: reg,
+		Dir:      *traceDir,
+		Metrics:  reg,
+		LeaseTTL: *ttl,
 		Logf: func(format string, args ...any) {
 			errlog.Info(fmt.Sprintf(format, args...))
 		},
@@ -145,6 +170,9 @@ func cmdCoord(args []string) error {
 		Quantum:        *quantum,
 		Weights:        weights,
 		StatePath:      *state,
+		Self:           *self,
+		Peers:          peerList,
+		LeaderTTL:      *leaderTTL,
 		Planner:        coord.PlannerConfig{Gain: *gain, Deadband: *deadband},
 		Metrics:        reg,
 		Fleet:          fleet,
@@ -166,7 +194,8 @@ func cmdCoord(args []string) error {
 	hs := hardenedServer(mux)
 	go func() { _ = hs.Serve(ln) }()
 	errlog.Info("coordinator listening", "addr", ln.Addr().String(),
-		"ttl", *ttl, "rebalance", *rebalance, "weights", len(weights))
+		"ttl", *ttl, "rebalance", *rebalance, "weights", len(weights),
+		"self", *self, "peers", len(peerList))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

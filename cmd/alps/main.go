@@ -83,6 +83,7 @@ func usage() {
   alps spawn  [common flags] [-children] -shares 1,2,3 -- command [args...]
   alps user   [common flags] [-refresh 1s] name:share ...
   alps coord  -http :7070 [-ttl 5s] [-rebalance 2s] [-state FILE]
+              [-self URL -peers URL,URL] [-leader-ttl 2s]
               [-trace-dir D] [id:weight ...]
 
 common flags:
@@ -101,11 +102,21 @@ common flags:
                 in Perfetto) to directory D; dumps fire automatically on
                 lateness spikes, share-error drift, overload degradation,
                 process drops and checkpoint failures
-  -coord URL    attach this instance to a fleet coordinator as a shard:
+  -coord URLs   attach this instance to a fleet coordinator as a shard:
                 register under a lease, heartbeat consumption, and apply
                 the coordinator's share assignments; on coordinator loss
-                the shard keeps its last-committed shares
+                the shard keeps its last-committed shares. A comma-
+                separated list names a replica set: the shard follows
+                not-leader redirects and fails over on leader death
   -shard NAME   fleet-unique shard name for -coord (default hostname-pid)
+  -capacity W   relative capacity weight sent with lease registration;
+                the rebalancer steers bigger hosts harder (0: 1.0)
+
+Replication: -self and -peers on "alps coord" run a replica set. Standbys
+pull committed state from the leader; leadership is a term-fenced TTL
+lease, so a deposed leader's publishes are rejected by shards and
+replicas alike. POST /coord/v1/weights on the leader reconfigures the
+global weight table live (followers answer 409 with a leader hint).
 
 The coordinator additionally serves federated fleet metrics on
 /fleet/metrics, the fleet health document on /fleet/healthz, and the
@@ -132,6 +143,7 @@ type commonOpts struct {
 	samplers  *int
 	coordURL  *string
 	shard     *string
+	capacity  *float64
 	fs        *flag.FlagSet // nil when constructed directly (tests)
 }
 
@@ -145,8 +157,9 @@ func commonFlags(fs *flag.FlagSet) commonOpts {
 		maxq:      fs.Duration("maxq", 40*time.Millisecond, "overload guard quantum bound (0 disables the guard; default scales to 2q when -q exceeds it)"),
 		traceDir:  fs.String("trace-dir", "", "write flight-recorder dumps (Chrome trace JSON, loadable in Perfetto) to this directory"),
 		samplers:  fs.Int("samplers", runtime.GOMAXPROCS(0), "worker pool size for concurrent /proc sampling and signal delivery (1 = sequential)"),
-		coordURL:  fs.String("coord", "", "fleet coordinator base URL; attach this instance as a shard"),
+		coordURL:  fs.String("coord", "", "fleet coordinator base URL, or a comma-separated replica list; attach this instance as a shard"),
 		shard:     fs.String("shard", "", "fleet-unique shard name for -coord (default hostname-pid)"),
+		capacity:  fs.Float64("capacity", 0, "relative capacity weight sent with -coord lease registration; the rebalancer steers bigger hosts harder (0: 1.0)"),
 		fs:        fs,
 	}
 }
@@ -184,6 +197,14 @@ func (o commonOpts) validate() error {
 	if o.coordURL != nil && o.shard != nil && *o.shard != "" && *o.coordURL == "" {
 		return fmt.Errorf("-shard %q given without -coord; a shard name only means something to a coordinator", *o.shard)
 	}
+	if o.capacity != nil {
+		if *o.capacity < 0 {
+			return fmt.Errorf("-capacity must be non-negative, got %v", *o.capacity)
+		}
+		if *o.capacity != 0 && (o.coordURL == nil || *o.coordURL == "") {
+			return fmt.Errorf("-capacity %v given without -coord; capacity only means something to a coordinator", *o.capacity)
+		}
+	}
 	return nil
 }
 
@@ -197,6 +218,14 @@ func (o commonOpts) coordOpt() (url, shard string) {
 		shard = *o.shard
 	}
 	return url, shard
+}
+
+// capacityOpt reads -capacity, tolerating directly-constructed opts.
+func (o commonOpts) capacityOpt() float64 {
+	if o.capacity == nil {
+		return 0
+	}
+	return *o.capacity
 }
 
 // samplerCount is the -samplers value, defaulting to GOMAXPROCS when the
@@ -227,11 +256,12 @@ func (o commonOpts) config() alps.RunnerConfig {
 // runOpts carries the crash-safety, live-reconfiguration and trace-dump
 // paths into runUntilSignal.
 type runOpts struct {
-	statePath string // -state: per-cycle checkpoint file; empty disables
-	confPath  string // -config: SIGHUP reload source; empty disables
-	traceDir  string // -trace-dir: flight-recorder dump directory; empty discards dumps
-	coordURL  string // -coord: fleet coordinator base URL; empty runs standalone
-	shard     string // -shard: fleet-unique name; defaulted from hostname-pid
+	statePath string  // -state: per-cycle checkpoint file; empty disables
+	confPath  string  // -config: SIGHUP reload source; empty disables
+	traceDir  string  // -trace-dir: flight-recorder dump directory; empty discards dumps
+	coordURL  string  // -coord: coordinator URL or comma-separated replica list; empty runs standalone
+	shard     string  // -shard: fleet-unique name; defaulted from hostname-pid
+	capacity  float64 // -capacity: relative capacity weight in lease registration; 0 means 1.0
 }
 
 func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack, ro runOpts) (err error) {
@@ -286,7 +316,7 @@ func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack
 	}
 	var link *coord.Agent
 	if ro.coordURL != "" && st != nil {
-		agent, stopLink, lerr := startCoordLink(r, st, ro.coordURL, ro.shard)
+		agent, stopLink, lerr := startCoordLink(r, st, ro.coordURL, ro.shard, ro.capacity)
 		if lerr != nil {
 			r.Release()
 			return lerr
@@ -421,7 +451,7 @@ func cmdAttach(args []string) error {
 	st := newObsStack(*opts.httpAddr)
 	st.wire(&cfg, cycleLogger(*opts.logCycles))
 	url, shard := opts.coordOpt()
-	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir, coordURL: url, shard: shard})
+	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir, coordURL: url, shard: shard, capacity: opts.capacityOpt()})
 }
 
 func cmdSpawn(args []string) error {
@@ -506,7 +536,7 @@ func cmdSpawn(args []string) error {
 		}
 	}
 	url, shard := opts.coordOpt()
-	return runUntilSignal(cfg, tasks, st, runOpts{confPath: *opts.conf, traceDir: *opts.traceDir, coordURL: url, shard: shard})
+	return runUntilSignal(cfg, tasks, st, runOpts{confPath: *opts.conf, traceDir: *opts.traceDir, coordURL: url, shard: shard, capacity: opts.capacityOpt()})
 }
 
 func cmdUser(args []string) error {
@@ -585,5 +615,5 @@ func cmdUser(args []string) error {
 	st := newObsStack(*opts.httpAddr)
 	st.wire(&cfg, cycleLogger(*opts.logCycles))
 	url, shard := opts.coordOpt()
-	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir, coordURL: url, shard: shard})
+	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir, coordURL: url, shard: shard, capacity: opts.capacityOpt()})
 }

@@ -122,6 +122,22 @@ func (n *Net) Heal(a, b string) {
 	n.mu.Unlock()
 }
 
+// Isolate partitions host from each of the others, leaving the others
+// connected among themselves — the classic replica-set split where a
+// leader keeps serving shards but loses its standbys (or vice versa).
+func (n *Net) Isolate(host string, others ...string) {
+	for _, o := range others {
+		n.Partition(host, o)
+	}
+}
+
+// Rejoin heals host's links to each of the others.
+func (n *Net) Rejoin(host string, others ...string) {
+	for _, o := range others {
+		n.Heal(host, o)
+	}
+}
+
 // Drop makes the next count requests to host vanish (connection error).
 func (n *Net) Drop(host string, count int) {
 	n.mu.Lock()

@@ -64,6 +64,12 @@ type ShardLoad struct {
 	// Consumed is CPU consumed per principal over the last window,
 	// in seconds (already differenced by the caller).
 	Consumed map[int64]float64
+	// Capacity is the shard's relative capacity weight (0 means 1.0).
+	// Corrections are exponentiated by capacity/mean-capacity, so a 2×
+	// host absorbs more of each round's adjustment than a 1× host —
+	// shares move where there is CPU to back them. Uniform capacities
+	// reduce exactly to the capacity-blind update.
+	Capacity float64
 }
 
 // PlanResult is one rebalance round's outcome.
@@ -127,7 +133,8 @@ func Plan(cfg PlannerConfig, weights map[int64]int64, shards []ShardLoad) PlanRe
 		return res // idle window: nothing to measure, nothing to move
 	}
 
-	// Measured error and per-principal correction ratio.
+	// Measured error and per-principal raw correction ratio (clamped
+	// per shard below, after the capacity exponent).
 	ratio := make(map[int64]float64, len(live))
 	var sumSq float64
 	for p := range live {
@@ -139,15 +146,39 @@ func Plan(cfg PlannerConfig, weights map[int64]int64, shards []ShardLoad) PlanRe
 		if f > 0 {
 			r = math.Pow(t/f, cfg.Damping)
 		}
-		ratio[p] = clamp(r, 1/cfg.Gain, cfg.Gain)
+		ratio[p] = r
 	}
 	res.GlobalRMS = math.Sqrt(sumSq / float64(len(live)))
 	if res.GlobalRMS < cfg.Deadband {
 		return res // converged: hold the distribution steady
 	}
 
+	// Capacity-weighted step: each shard's correction is the global
+	// ratio raised to capacity/mean — a 2× host takes a bigger step, a
+	// ½× host a gentler one, and a uniform fleet gets exponent 1 exactly
+	// (byte-identical to the capacity-blind plan).
+	capOf := func(s ShardLoad) float64 {
+		if s.Capacity > 0 {
+			return s.Capacity
+		}
+		return 1
+	}
+	var capSum float64
 	for _, s := range shards {
-		res.Shares[s.Name] = scaleShares(s.Shares, ratio, cfg.ScaleTotal)
+		capSum += capOf(s)
+	}
+	capMean := capSum / float64(len(shards))
+
+	shardRatio := make(map[int64]float64, len(ratio))
+	for _, s := range shards {
+		e := capOf(s) / capMean
+		for p, r := range ratio {
+			if e != 1 {
+				r = math.Pow(r, e)
+			}
+			shardRatio[p] = clamp(r, 1/cfg.Gain, cfg.Gain)
+		}
+		res.Shares[s.Name] = scaleShares(s.Shares, shardRatio, cfg.ScaleTotal)
 		if !sameShares(res.Shares[s.Name], s.Shares) {
 			res.Changed = true
 		}

@@ -152,6 +152,54 @@ func TestPlanUnservedPrincipal(t *testing.T) {
 	}
 }
 
+// TestPlanCapacityWeighted: a 2×-capacity shard absorbs more of each
+// round's correction than a 1× peer — its exponent is capacity/mean, so
+// the big host's shares move further toward the target in one step —
+// while a fleet with *uniform* capacities (whatever the value) plans
+// byte-identically to a capacity-blind fleet.
+func TestPlanCapacityWeighted(t *testing.T) {
+	weights := map[int64]int64{1: 3, 2: 1}
+	mkLoads := func(caps map[string]float64) []ShardLoad {
+		loads := simulateWindow(map[string]map[int64]int64{
+			"s1": {1: 100, 2: 100},
+			"s2": {1: 100, 2: 100},
+		}, 1.0)
+		for i := range loads {
+			loads[i].Capacity = caps[loads[i].Name]
+		}
+		return loads
+	}
+
+	// Uniform capacity (2.0 everywhere) reduces exactly to capacity-blind.
+	blind := Plan(PlannerConfig{}, weights, mkLoads(nil))
+	uniform := Plan(PlannerConfig{}, weights, mkLoads(map[string]float64{"s1": 2, "s2": 2}))
+	for _, name := range []string{"s1", "s2"} {
+		if !sameShares(blind.Shares[name], uniform.Shares[name]) {
+			t.Fatalf("uniform capacity changed the plan for %s: %v vs %v",
+				name, uniform.Shares[name], blind.Shares[name])
+		}
+	}
+
+	// Mixed fleet: s2 has twice s1's capacity. Both host the underserved
+	// principal 1 (weight 3, consuming like weight 1), so both boost it —
+	// but s2 must take the larger step.
+	res := Plan(PlannerConfig{}, weights, mkLoads(map[string]float64{"s1": 1, "s2": 2}))
+	if !res.Changed {
+		t.Fatal("skewed mixed-capacity fleet not replanned")
+	}
+	s1, s2 := res.Shares["s1"], res.Shares["s2"]
+	if s2[1] <= s1[1] {
+		t.Fatalf("2x shard did not take the bigger boost: s1=%v s2=%v", s1, s2)
+	}
+	if s2[2] >= s1[2] {
+		t.Fatalf("2x shard did not take the bigger cut: s1=%v s2=%v", s1, s2)
+	}
+	// Both still move in the right direction relative to the 100:100 start.
+	if s1[1] <= s1[2] || s2[1] <= s2[2] {
+		t.Fatalf("correction direction wrong: s1=%v s2=%v", s1, s2)
+	}
+}
+
 // TestScaleSharesDeterministic: identical inputs yield identical output
 // regardless of map iteration order (run a few times to shake it).
 func TestScaleSharesDeterministic(t *testing.T) {

@@ -31,9 +31,29 @@ type ServerConfig struct {
 	// registered share as weight.
 	Weights map[int64]int64
 	// StatePath, if nonempty, checkpoints the committed distribution
-	// (epoch, weights, per-shard assignments) via internal/ckpt before
-	// each publish, and restores it in NewServer.
+	// (term, epoch, weights, per-shard assignments) via internal/ckpt
+	// before each publish, and restores it in NewServer.
 	StatePath string
+	// Self, if nonempty, is this replica's advertised URL and enables
+	// coordinator replication: the server joins the replica set named by
+	// Peers, starts as a follower, pulls committed state from the leader,
+	// and elects itself (term+1) after LeaderTTL of leader silence,
+	// rank-staggered so the lowest-ranked live replica wins. Empty Self
+	// runs the classic standalone coordinator (term stays 0 on the wire).
+	Self string
+	// Peers lists the other replicas' URLs (ignored when Self is empty).
+	Peers []string
+	// LeaderTTL is the leadership lease: a follower that has not seen the
+	// leader for LeaderTTL (plus its rank stagger) elects itself; a
+	// leader probes its peers every LeaderTTL/2 and steps down on seeing
+	// a higher term. Default DefaultLeaderTTL.
+	LeaderTTL time.Duration
+	// FollowEvery is the follower's state-pull period. Default
+	// LeaderTTL/4.
+	FollowEvery time.Duration
+	// Transport overrides the replica-to-replica HTTP transport
+	// (coordsim injects its in-memory net here).
+	Transport http.RoundTripper
 	// Planner tunes the rebalance step.
 	Planner PlannerConfig
 	// Clock overrides time.Now (tests run on a virtual clock).
@@ -68,6 +88,8 @@ type shardRec struct {
 	// heartbeat, so a re-registration never misreads the shard's existing
 	// dump count as a fresh trigger.
 	lastDumps int64
+	// capacity is the shard's registered relative capacity weight (0 → 1).
+	capacity float64
 	// behindSince is when the shard started acking behind the committed
 	// epoch; stallFlagged keeps one stall from opening a collection on
 	// every tick.
@@ -92,11 +114,35 @@ type Server struct {
 	nextReb  time.Time
 	lastRMS  float64 // last measured global RMS (-1: no signal yet)
 
+	// Replication state (quiescent when cfg.Self is empty: isLeader is
+	// pinned true and term stays at whatever the checkpoint held).
+	term        uint64
+	maxSeenTerm uint64
+	isLeader    bool
+	leaderURL   string    // last known leader ("" unknown)
+	leaderSeen  time.Time // last proof of the leader's liveness
+	rank        int       // stable index of Self in the sorted replica set
+	nextFollow  time.Time
+	nextProbe   time.Time
+	shardDigest map[string]uint64 // replicated leases digest (shard → ack epoch)
+	peerView    map[string]peerView
+
 	registers, heartbeats, expiries counter
 	rebalances, fastForwards        counter
 	ckptErrors, rejectedStaleLeases counter
 	counterRegressions              counter
+	elections, stepDowns            counter
+	notLeaderRejects, fencedPulls   counter
+	weightUpdates                   counter
+	rclient                         *http.Client
 	mux                             *http.ServeMux
+}
+
+// peerView is the last replication state observed from one peer replica.
+type peerView struct {
+	term  uint64
+	epoch uint64
+	at    time.Time
 }
 
 // counter is a tiny internal counter mirrored to the obs registry via
@@ -128,6 +174,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.RebalanceEvery <= 0 {
 		cfg.RebalanceEvery = DefaultRebalanceEvery
 	}
+	if cfg.LeaderTTL <= 0 {
+		cfg.LeaderTTL = DefaultLeaderTTL
+	}
+	if cfg.FollowEvery <= 0 {
+		cfg.FollowEvery = cfg.LeaderTTL / 4
+	}
 	s := &Server{
 		cfg:      cfg,
 		now:      time.Now,
@@ -135,6 +187,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		assigned: make(map[string]map[int64]int64),
 		shards:   make(map[string]*shardRec),
 		lastRMS:  -1,
+		isLeader: cfg.Self == "", // standalone coordinator: always leads
+		peerView: make(map[string]peerView),
 	}
 	if cfg.Clock != nil {
 		s.now = cfg.Clock
@@ -155,6 +209,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			return nil, fmt.Errorf("coord: state file %s: %w (refusing partial restore)", cfg.StatePath, err)
 		default:
 			s.epoch = st.Epoch
+			s.term = st.Term
+			s.maxSeenTerm = st.Term
 			for p, w := range st.Weights {
 				if _, fromOperator := s.weights[p]; !fromOperator {
 					s.weights[p] = w
@@ -163,17 +219,23 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			for name, shares := range st.Assigned {
 				s.assigned[name] = shares
 			}
-			s.logf("coord: restored state epoch=%d shards=%d principals=%d",
-				st.Epoch, len(st.Assigned), len(s.weights))
+			s.logf("coord: restored state term=%d epoch=%d shards=%d principals=%d",
+				st.Term, st.Epoch, len(st.Assigned), len(s.weights))
 		}
 	}
-	s.nextReb = s.now().Add(cfg.RebalanceEvery)
+	now := s.now()
+	s.nextReb = now.Add(cfg.RebalanceEvery)
+	if s.replicated() {
+		s.initReplication(now)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/coord/v1/register", s.handleRegister)
 	s.mux.HandleFunc("/coord/v1/heartbeat", s.handleHeartbeat)
 	s.mux.HandleFunc("/coord/v1/assignment", s.handleAssignment)
 	s.mux.HandleFunc("/coord/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/coord/v1/dump", s.handleDump)
+	s.mux.HandleFunc("/coord/v1/replica/state", s.handleReplicaState)
+	s.mux.HandleFunc("/coord/v1/weights", s.handleWeights)
 	if cfg.Metrics != nil {
 		s.registerMetrics(cfg.Metrics)
 	}
@@ -184,7 +246,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // depend on. Leases and consumption windows are deliberately absent —
 // they are re-learned from heartbeats.
 type persistedState struct {
-	Epoch    uint64                     `json:"epoch"`
+	Epoch uint64 `json:"epoch"`
+	// Term is the leadership term the state was committed under (0:
+	// standalone coordinator, or a pre-replication checkpoint).
+	Term     uint64                     `json:"term,omitempty"`
 	Weights  map[int64]int64            `json:"weights"`
 	Assigned map[string]map[int64]int64 `json:"assigned"`
 }
@@ -221,14 +286,61 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 		"Heartbeats rejected for an unknown or superseded lease.", s.rejectedStaleLeases.get)
 	reg.CounterFunc("alps_coord_counter_regressions_total",
 		"Heartbeats whose consumption counters went backwards (clamped).", s.counterRegressions.get)
+	reg.GaugeFunc("alps_coord_term",
+		"Leadership term this replica is at (0: standalone).",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(s.term) })
+	reg.GaugeFunc("alps_coord_is_leader",
+		"1 when this coordinator replica currently leads.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.isLeader {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("alps_coord_replica_lag_epochs",
+		"Committed epochs the farthest-behind peer replica lags (0: in sync or no peers).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var lag uint64
+			for _, v := range s.peerView {
+				if v.epoch < s.epoch && s.epoch-v.epoch > lag {
+					lag = s.epoch - v.epoch
+				}
+			}
+			return float64(lag)
+		})
+	reg.CounterFunc("alps_coord_elections_total",
+		"Times this replica elected itself leader.", s.elections.get)
+	reg.CounterFunc("alps_coord_stepdowns_total",
+		"Times this replica stepped down on seeing a higher term.", s.stepDowns.get)
+	reg.CounterFunc("alps_coord_not_leader_rejects_total",
+		"Mutating RPCs rejected because this replica is a follower.", s.notLeaderRejects.get)
+	reg.CounterFunc("alps_coord_fenced_pulls_total",
+		"Replica-state pulls from a deposed (lower-term) leader, ignored.", s.fencedPulls.get)
+	reg.CounterFunc("alps_coord_weight_updates_total",
+		"Live weight-table reconfigurations committed.", s.weightUpdates.get)
 }
 
 // ServeHTTP serves the /coord/v1/* control-plane endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Tick drives lease expiry and the rebalance schedule; Run calls it
-// periodically, deterministic tests call it directly.
+// Tick drives the replication duties (follower pulls, leader probes,
+// elections), lease expiry and the rebalance schedule; Run calls it
+// periodically, deterministic tests call it directly. Followers do no
+// fleet work — they replicate and wait.
 func (s *Server) Tick(now time.Time) {
+	if s.replicated() {
+		s.replicaTick(now)
+	}
+	s.mu.Lock()
+	leading := s.isLeader
+	s.mu.Unlock()
+	if !leading {
+		return
+	}
 	expired := s.ExpireLeases(now)
 	s.mu.Lock()
 	due := !now.Before(s.nextReb)
@@ -298,6 +410,9 @@ func (s *Server) Run(ctx interface{ Done() <-chan struct{} }) {
 	if period <= 0 {
 		period = 100 * time.Millisecond
 	}
+	if s.replicated() && period > s.cfg.FollowEvery {
+		period = s.cfg.FollowEvery // replication duties pace the tick too
+	}
 	t := time.NewTicker(period)
 	defer t.Stop()
 	for {
@@ -355,7 +470,7 @@ func (s *Server) Rebalance(now time.Time) {
 		if len(shares) == 0 {
 			continue
 		}
-		loads = append(loads, ShardLoad{Name: name, Shares: shares, Consumed: rec.window})
+		loads = append(loads, ShardLoad{Name: name, Shares: shares, Consumed: rec.window, Capacity: rec.capacity})
 	}
 	sort.Slice(loads, func(i, j int) bool { return loads[i].Name < loads[j].Name })
 	weights := make(map[int64]int64, len(s.weights))
@@ -388,6 +503,7 @@ func (s *Server) Rebalance(now time.Time) {
 		st = s.persistedLocked()
 	}
 	epoch := s.epoch
+	term := s.term
 	s.mu.Unlock()
 
 	if fleet := s.cfg.Fleet; fleet != nil {
@@ -397,15 +513,28 @@ func (s *Server) Rebalance(now time.Time) {
 				agg[p] += v
 			}
 		}
-		wf := make(map[int64]float64, len(weights))
-		for p, w := range weights {
-			wf[p] = float64(w)
+		// The auditor's global-RMS target is restricted to principals
+		// still hosted by a *live* shard: a dead shard's principals must
+		// not keep shaping the fleet error after their capacity was
+		// redistributed.
+		wf := make(map[int64]float64)
+		for _, l := range loads {
+			for p := range l.Shares {
+				if _, seen := wf[p]; seen {
+					continue
+				}
+				w := float64(1)
+				if ww, ok := weights[p]; ok && ww > 0 {
+					w = float64(ww)
+				}
+				wf[p] = w
+			}
 		}
 		fleet.Auditor.OnRound(agg, wf, res.Changed)
-		fleet.Tracer.Emit(fleetobs.Event{Kind: fleetobs.KindPlan, Epoch: epoch,
+		fleet.Tracer.Emit(fleetobs.Event{Kind: fleetobs.KindPlan, Epoch: epoch, Term: term,
 			Note: fmt.Sprintf("rms=%.3f shards=%d", res.GlobalRMS, len(loads))})
 		if res.Changed {
-			fleet.Tracer.Emit(fleetobs.Event{Kind: fleetobs.KindCommit, Epoch: epoch})
+			fleet.Tracer.Emit(fleetobs.Event{Kind: fleetobs.KindCommit, Epoch: epoch, Term: term})
 			fleet.Auditor.OnCommit(epoch, now)
 		}
 	}
@@ -430,6 +559,7 @@ func (s *Server) Rebalance(now time.Time) {
 func (s *Server) persistedLocked() persistedState {
 	st := persistedState{
 		Epoch:    s.epoch,
+		Term:     s.term,
 		Weights:  make(map[int64]int64, len(s.weights)),
 		Assigned: make(map[string]map[int64]int64, len(s.assigned)),
 	}
@@ -449,7 +579,7 @@ func (s *Server) persistedLocked() persistedState {
 // assignmentLocked builds the wire Assignment for one shard at the
 // current epoch.
 func (s *Server) assignmentLocked(name string) Assignment {
-	a := Assignment{Epoch: s.epoch}
+	a := Assignment{Epoch: s.epoch, Term: s.term}
 	if s.cfg.Quantum > 0 {
 		a.Quantum = s.cfg.Quantum.String()
 	}
@@ -481,8 +611,16 @@ func (s *Server) Register(req RegisterRequest) (RegisterResponse, error) {
 			return RegisterResponse{}, fmt.Errorf("coord: register: share %d for task %d is not positive", t.Share, t.ID)
 		}
 	}
+	if req.Capacity < 0 {
+		return RegisterResponse{}, fmt.Errorf("coord: register: capacity %g is negative", req.Capacity)
+	}
 	now := s.now()
 	s.mu.Lock()
+	if !s.isLeader {
+		s.mu.Unlock()
+		s.notLeaderRejects.inc()
+		return RegisterResponse{}, errNotLeader
+	}
 	for _, t := range req.Tasks {
 		if _, ok := s.weights[t.ID]; !ok {
 			s.weights[t.ID] = t.Share
@@ -512,6 +650,7 @@ func (s *Server) Register(req RegisterRequest) (RegisterResponse, error) {
 		lastCum:   make(map[int64]float64),
 		window:    make(map[int64]float64),
 		lastDumps: -1,
+		capacity:  req.Capacity,
 	}
 	if fleet := s.cfg.Fleet; fleet != nil {
 		rec.audit = fleet.Auditor.Shard(req.Shard)
@@ -548,9 +687,10 @@ func (s *Server) stampPublish(a *Assignment, peer string) {
 		Epoch:       a.Epoch,
 		Incarnation: fleet.Tracer.Incarnation(),
 		Span:        span,
+		Term:        a.Term,
 	}
 	fleet.Tracer.Emit(fleetobs.Event{
-		Kind: fleetobs.KindPublish, Epoch: a.Epoch, Peer: peer, Span: span,
+		Kind: fleetobs.KindPublish, Epoch: a.Epoch, Term: a.Term, Peer: peer, Span: span,
 	})
 }
 
@@ -568,11 +708,25 @@ func (s *Server) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
 	now := s.now()
 	fleet := s.cfg.Fleet
 	s.mu.Lock()
+	if !s.isLeader {
+		s.mu.Unlock()
+		s.notLeaderRejects.inc()
+		return HeartbeatResponse{}, errNotLeader
+	}
 	rec := s.shards[req.Shard]
 	if rec == nil || rec.lease != req.Lease {
 		s.mu.Unlock()
 		s.rejectedStaleLeases.inc()
 		return HeartbeatResponse{}, errUnknownLease
+	}
+	if req.Term > s.term {
+		// The shard has applied an assignment from a higher-term leader:
+		// this replica was deposed while it thought it still led. Step
+		// down and bounce the shard toward the real leader.
+		s.mu.Unlock()
+		s.stepDown(now, req.Term, "shard "+req.Shard)
+		s.notLeaderRejects.inc()
+		return HeartbeatResponse{}, errNotLeader
 	}
 	rec.expires = now.Add(s.cfg.TTL)
 	prevAck := rec.ackEpoch
@@ -683,12 +837,25 @@ type ShardStatus struct {
 	Shares   []TaskShare `json:"shares"`
 }
 
+// ReplicaStatus is one peer replica's row in the coordinator status.
+type ReplicaStatus struct {
+	URL    string  `json:"url"`
+	Term   uint64  `json:"term"`
+	Epoch  uint64  `json:"epoch"`
+	AgeSec float64 `json:"age_sec"`
+}
+
 // FleetStatus is the /coord/v1/status document.
 type FleetStatus struct {
 	Epoch     uint64          `json:"epoch"`
 	GlobalRMS float64         `json:"global_rms_share_error"`
 	Weights   map[int64]int64 `json:"weights"`
 	Shards    []ShardStatus   `json:"shards"`
+	// Replication view ("standalone" role when replication is off).
+	Role     string          `json:"role"`
+	Term     uint64          `json:"term,omitempty"`
+	Leader   string          `json:"leader,omitempty"`
+	Replicas []ReplicaStatus `json:"replicas,omitempty"`
 }
 
 // Status snapshots the fleet for operators.
@@ -700,6 +867,23 @@ func (s *Server) Status() FleetStatus {
 	for p, w := range s.weights {
 		st.Weights[p] = w
 	}
+	st.Term = s.term
+	switch {
+	case !s.replicated():
+		st.Role = "standalone"
+	case s.isLeader:
+		st.Role = "leader"
+		st.Leader = s.cfg.Self
+	default:
+		st.Role = "follower"
+		st.Leader = s.leaderHintLocked(now)
+	}
+	for url, v := range s.peerView {
+		st.Replicas = append(st.Replicas, ReplicaStatus{
+			URL: url, Term: v.term, Epoch: v.epoch, AgeSec: now.Sub(v.at).Seconds(),
+		})
+	}
+	sort.Slice(st.Replicas, func(i, j int) bool { return st.Replicas[i].URL < st.Replicas[j].URL })
 	names := make([]string, 0, len(s.shards))
 	for name := range s.shards {
 		names = append(names, name)
@@ -730,6 +914,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := s.Register(req)
+	if errors.Is(err, errNotLeader) {
+		s.writeNotLeader(w)
+		return
+	}
 	if err != nil {
 		writeJSONError(w, http.StatusBadRequest, err)
 		return
@@ -743,6 +931,10 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := s.Heartbeat(req)
+	if errors.Is(err, errNotLeader) {
+		s.writeNotLeader(w)
+		return
+	}
 	if errors.Is(err, errUnknownLease) {
 		writeJSONError(w, http.StatusNotFound, err)
 		return

@@ -35,6 +35,12 @@ type AuditorConfig struct {
 	RMSWindow int
 	// StableStreak is the convergence streak (DefaultStableStreak when 0).
 	StableStreak int
+	// LeaseTTL, when nonzero, marks a shard's gauges stale once its last
+	// heartbeat is older than the TTL, even if no explicit lease expiry
+	// was reported. Stale rows are excluded from the live/degraded counts
+	// and flagged in healthz — a dead shard's last-known gauges must not
+	// keep shaping the fleet picture forever.
+	LeaseTTL time.Duration
 }
 
 // Flag bits in a ShardAudit's packed state word.
@@ -122,15 +128,19 @@ type FleetAuditor struct {
 	propCount atomic.Int64
 	propMax   atomicFloat
 
-	mu      sync.Mutex
-	shards  map[string]*ShardAudit
-	commits []commitRec
-	rounds  []roundRec
-	weights map[int64]float64
-	rms     float64
-	conv    convergence
-	hist    *obs.Histogram
-	reg     *obs.Registry
+	mu       sync.Mutex
+	shards   map[string]*ShardAudit
+	commits  []commitRec
+	rounds   []roundRec
+	weights  map[int64]float64
+	rms      float64
+	conv     convergence
+	hist     *obs.Histogram
+	reg      *obs.Registry
+	leader   string
+	term     uint64
+	isLeader bool
+	replicas map[string]replicaRec
 }
 
 // convergence is the round-level state machine: a round that moved
@@ -308,6 +318,46 @@ func (f *FleetAuditor) globalRMSLocked() float64 {
 	return math.Sqrt(sq / float64(n))
 }
 
+// stale reports whether a row's gauges are stale: its last beat is
+// older than the configured lease TTL (and it never detached cleanly —
+// detached rows are already excluded).
+func (f *FleetAuditor) stale(lastBeat time.Time, now time.Time) bool {
+	if f.cfg.LeaseTTL <= 0 || lastBeat.IsZero() {
+		return false
+	}
+	return now.Sub(lastBeat) > f.cfg.LeaseTTL
+}
+
+// OnLeadership records the replication view: who leads, at what term,
+// and whether this node is the leader. Surfaced in /fleet/healthz and
+// the alps_fleet_term / alps_fleet_is_leader gauges.
+func (f *FleetAuditor) OnLeadership(leader string, term uint64, isLeader bool) {
+	f.mu.Lock()
+	f.leader = leader
+	f.term = term
+	f.isLeader = isLeader
+	f.mu.Unlock()
+}
+
+// OnReplicaState records one peer replica's last observed term and epoch
+// (from a leader probe or follower pull), for the replica-lag rows in
+// /fleet/healthz.
+func (f *FleetAuditor) OnReplicaState(url string, term, epoch uint64, at time.Time) {
+	f.mu.Lock()
+	if f.replicas == nil {
+		f.replicas = make(map[string]replicaRec)
+	}
+	f.replicas[url] = replicaRec{term: term, epoch: epoch, at: at}
+	f.mu.Unlock()
+}
+
+// replicaRec is one peer replica's last observed replication state.
+type replicaRec struct {
+	term  uint64
+	epoch uint64
+	at    time.Time
+}
+
 // OnLeaseExpire marks a shard detached.
 func (f *FleetAuditor) OnLeaseExpire(shard string) {
 	f.leaseExpiries.Add(1)
@@ -343,18 +393,40 @@ func (f *FleetAuditor) Register(reg *obs.Registry) {
 
 	reg.GaugeFunc("alps_fleet_shards",
 		"Shards currently attached (live lease).", func() float64 {
-			live, _, _ := f.countShards()
+			live, _, _, _ := f.countShards()
 			return float64(live)
 		})
 	reg.GaugeFunc("alps_fleet_shards_degraded",
 		"Attached shards reporting degraded local scheduling.", func() float64 {
-			_, degraded, _ := f.countShards()
+			_, degraded, _, _ := f.countShards()
 			return float64(degraded)
 		})
 	reg.GaugeFunc("alps_fleet_shards_detached",
 		"Shards whose lease expired and have not re-registered.", func() float64 {
-			_, _, detached := f.countShards()
+			_, _, detached, _ := f.countShards()
 			return float64(detached)
+		})
+	reg.GaugeFunc("alps_fleet_shards_stale",
+		"Shards silent past the lease TTL without a clean expiry; their gauges are excluded.",
+		func() float64 {
+			_, _, _, stale := f.countShards()
+			return float64(stale)
+		})
+	reg.GaugeFunc("alps_fleet_term",
+		"Leadership term of the coordinator replica set (0: replication off).",
+		func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(f.term)
+		})
+	reg.GaugeFunc("alps_fleet_is_leader",
+		"1 when this coordinator replica currently leads.", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			if f.isLeader {
+				return 1
+			}
+			return 0
 		})
 	reg.GaugeFunc("alps_fleet_global_rms_share_error",
 		"Fleet-wide RMS share error vs the global weight table (windowed).",
@@ -383,7 +455,8 @@ func (f *FleetAuditor) Register(reg *obs.Registry) {
 		"Shard registrations observed by the auditor.", f.registrations.Load)
 }
 
-func (f *FleetAuditor) countShards() (live, degraded, detached int) {
+func (f *FleetAuditor) countShards() (live, degraded, detached, stale int) {
+	now := f.now()
 	f.mu.Lock()
 	rows := make([]*ShardAudit, 0, len(f.shards))
 	for _, row := range f.shards {
@@ -391,9 +464,15 @@ func (f *FleetAuditor) countShards() (live, degraded, detached int) {
 	}
 	f.mu.Unlock()
 	for _, row := range rows {
-		_, _, _, deg, det := row.snapshot()
+		last, _, _, deg, det := row.snapshot()
 		if det {
 			detached++
+			continue
+		}
+		if f.stale(last, now) {
+			// Dead without a clean lease expiry: its last-known gauges
+			// are history, not fleet state.
+			stale++
 			continue
 		}
 		live++
@@ -412,6 +491,18 @@ type ShardHealth struct {
 	RMS         float64 `json:"rms_share_error"`
 	Degraded    bool    `json:"degraded"`
 	Detached    bool    `json:"detached"`
+	// Stale: silent past the lease TTL without a clean expiry; the row's
+	// gauges are excluded from the live/degraded counts.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// ReplicaHealth is one peer coordinator replica's row in the healthz
+// document: its last observed term/epoch and how long ago it was seen.
+type ReplicaHealth struct {
+	URL    string  `json:"url"`
+	Term   uint64  `json:"term"`
+	Epoch  uint64  `json:"epoch"`
+	AgeSec float64 `json:"age_sec"`
 }
 
 // FleetHealth is the /fleet/healthz document.
@@ -424,6 +515,11 @@ type FleetHealth struct {
 	PropagationMaxSec  float64       `json:"epoch_propagation_max_sec"`
 	CounterRegressions int64         `json:"counter_regressions"`
 	LeaseExpiries      int64         `json:"lease_expiries"`
+	// Replication view (zero values when the coordinator runs standalone).
+	Leader   string          `json:"leader,omitempty"`
+	Term     uint64          `json:"term,omitempty"`
+	IsLeader bool            `json:"is_leader,omitempty"`
+	Replicas []ReplicaHealth `json:"replicas,omitempty"`
 }
 
 // Health snapshots the fleet view.
@@ -438,8 +534,21 @@ func (f *FleetAuditor) Health() FleetHealth {
 		GlobalRMS:         f.rms,
 		Converged:         f.conv.converged,
 		ConvergenceRounds: f.conv.last,
+		Leader:            f.leader,
+		Term:              f.term,
+		IsLeader:          f.isLeader,
+	}
+	for url, r := range f.replicas {
+		age := math.Inf(1)
+		if !r.at.IsZero() {
+			age = now.Sub(r.at).Seconds()
+		}
+		h.Replicas = append(h.Replicas, ReplicaHealth{
+			URL: url, Term: r.term, Epoch: r.epoch, AgeSec: age,
+		})
 	}
 	f.mu.Unlock()
+	sort.Slice(h.Replicas, func(i, j int) bool { return h.Replicas[i].URL < h.Replicas[j].URL })
 
 	for _, row := range rows {
 		last, ack, rms, deg, det := row.snapshot()
@@ -450,6 +559,7 @@ func (f *FleetAuditor) Health() FleetHealth {
 		h.Shards = append(h.Shards, ShardHealth{
 			Name: row.name, AckEpoch: ack, LeaseAgeSec: age,
 			RMS: rms, Degraded: deg, Detached: det,
+			Stale: !det && f.stale(last, now),
 		})
 	}
 	sort.Slice(h.Shards, func(i, j int) bool { return h.Shards[i].Name < h.Shards[j].Name })

@@ -283,3 +283,112 @@ func TestStackMount(t *testing.T) {
 		t.Errorf("fleet-trace before any collection should 404, got %d", rr.Code)
 	}
 }
+
+// TestAuditorStaleShards: with a LeaseTTL configured, a shard silent
+// past the TTL (without a clean lease expiry) is marked stale — flagged
+// in healthz and excluded from the live/degraded gauges — and comes
+// back the moment it heartbeats again.
+func TestAuditorStaleShards(t *testing.T) {
+	clk := newTestClock()
+	a := NewFleetAuditor(AuditorConfig{Now: clk.Now, LeaseTTL: time.Second})
+	reg := obs.NewRegistry()
+	a.Register(reg)
+
+	cases := []struct {
+		name     string
+		age      time.Duration
+		degraded bool
+		detach   bool
+	}{
+		{"fresh", 100 * time.Millisecond, false, false},
+		{"fresh-degraded", 900 * time.Millisecond, true, false},
+		{"silent-dead", 5 * time.Second, false, false},    // → stale
+		{"silent-degraded", 2 * time.Second, true, false}, // → stale, not degraded
+		{"detached", 5 * time.Second, false, true},        // clean expiry wins over stale
+	}
+	base := clk.Now()
+	for _, c := range cases {
+		a.Shard(c.name).OnHeartbeat(base.Add(-c.age), 1, 0.05, c.degraded)
+		if c.detach {
+			a.OnLeaseExpire(c.name)
+		}
+	}
+
+	live, degraded, detached, stale := a.countShards()
+	if live != 2 || degraded != 1 || detached != 1 || stale != 2 {
+		t.Fatalf("counts live=%d degraded=%d detached=%d stale=%d, want 2/1/1/2",
+			live, degraded, detached, stale)
+	}
+
+	h := a.Health()
+	byName := make(map[string]ShardHealth, len(h.Shards))
+	for _, row := range h.Shards {
+		byName[row.Name] = row
+	}
+	for name, wantStale := range map[string]bool{
+		"fresh": false, "fresh-degraded": false,
+		"silent-dead": true, "silent-degraded": true,
+		"detached": false, // detached, not stale: the expiry was explicit
+	} {
+		if byName[name].Stale != wantStale {
+			t.Errorf("%s: stale = %v, want %v", name, byName[name].Stale, wantStale)
+		}
+	}
+	if !byName["detached"].Detached {
+		t.Errorf("detached row lost its flag: %+v", byName["detached"])
+	}
+
+	// A heartbeat resurrects a stale row into the live count.
+	a.Shard("silent-dead").OnHeartbeat(clk.Now(), 2, 0.05, false)
+	live, _, _, stale = a.countShards()
+	if live != 3 || stale != 1 {
+		t.Fatalf("after resurrection live=%d stale=%d, want 3/1", live, stale)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if !strings.Contains(buf.String(), "alps_fleet_shards_stale 1") {
+		t.Errorf("metrics missing alps_fleet_shards_stale 1:\n%s", buf.String())
+	}
+}
+
+// TestAuditorReplicationView: leadership and peer-replica observations
+// surface in healthz and the alps_fleet_term / alps_fleet_is_leader
+// gauges.
+func TestAuditorReplicationView(t *testing.T) {
+	clk := newTestClock()
+	a := NewFleetAuditor(AuditorConfig{Now: clk.Now})
+	reg := obs.NewRegistry()
+	a.Register(reg)
+
+	a.OnLeadership("http://r1", 3, true)
+	a.OnReplicaState("http://r2", 3, 41, clk.Now())
+	clk.Advance(2 * time.Second)
+	a.OnReplicaState("http://r3", 2, 40, clk.Now())
+
+	h := a.Health()
+	if h.Leader != "http://r1" || h.Term != 3 || !h.IsLeader {
+		t.Fatalf("leadership view: %+v", h)
+	}
+	if len(h.Replicas) != 2 {
+		t.Fatalf("replicas: %+v", h.Replicas)
+	}
+	if h.Replicas[0].URL != "http://r2" || h.Replicas[0].Epoch != 41 || h.Replicas[0].AgeSec < 1.9 {
+		t.Fatalf("replica r2 row: %+v", h.Replicas[0])
+	}
+	if h.Replicas[1].URL != "http://r3" || h.Replicas[1].Term != 2 {
+		t.Fatalf("replica r3 row: %+v", h.Replicas[1])
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, want := range []string{"alps_fleet_term 3", "alps_fleet_is_leader 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

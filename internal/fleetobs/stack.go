@@ -23,6 +23,9 @@ type StackConfig struct {
 	Metrics *obs.Registry
 	// Now overrides time.Now.
 	Now func() time.Time
+	// LeaseTTL marks shard gauges stale past this silence bound (see
+	// AuditorConfig.LeaseTTL); 0 disables staleness.
+	LeaseTTL time.Duration
 	// Logf receives diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -49,7 +52,7 @@ func NewStack(cfg StackConfig) *Stack {
 		reg = obs.NewRegistry()
 	}
 	tracer := NewTracer(TracerConfig{Node: cfg.Node, Coordinator: true, Now: cfg.Now})
-	auditor := NewFleetAuditor(AuditorConfig{Now: cfg.Now})
+	auditor := NewFleetAuditor(AuditorConfig{Now: cfg.Now, LeaseTTL: cfg.LeaseTTL})
 	bundler := NewBundler(BundlerConfig{
 		Dir:      cfg.Dir,
 		Cooldown: cfg.Cooldown,
