@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench trace trace-fleet chaos chaos-fleet chaos-failover vulncheck
+.PHONY: check vet build test race short bench timeline trace trace-fleet chaos chaos-fleet chaos-failover vulncheck
 
 check: vet build race
 
@@ -42,6 +42,17 @@ bench:
 	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) obs
 	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) robustness
 	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) scale
+
+# Timeline smoke: retained-history closed-loop gates. A synthetic
+# duty-cycled workload aliases a deliberately mismatched audit window;
+# the run hard-fails unless the EWMA estimator cuts the raw gauge's
+# steady-state beat ratio >=5x, the FFT-free autocorrelation detector
+# finds the beat period in the retained series, and one history sample
+# over a production-shaped registry costs <=1% of a 10ms quantum.
+# Merges its section into BENCH_obs.json (obs keys preserved).
+# QUICK=1 trims cycles/iterations for CI.
+timeline:
+	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) timeline
 
 # Trace smoke: run the built-in demo scenario through the simulator and
 # emit TRACE_sim.json as Chrome trace-event JSON. alps-sim validates the
@@ -89,8 +100,11 @@ chaos-fleet:
 # reconfigured live, then killed so the fleet walks back onto the
 # deposed original — whose stale-term publishes must be fenced) plus the
 # replica-set and agent-failover unit scripts. Fully deterministic.
+# The scenario runs with convergence-fed adaptive damping on and writes
+# the surviving leader's /fleet/timeline capture (every reconvergence on
+# the virtual clock) to TIMELINE_failover.json for the CI artifact.
 chaos-failover:
-	$(GO) test -race -run 'TestChaosFailover|TestReplica|TestDeposed|TestWeightsUpdate|TestHeartbeatHigherTerm|TestAgent' -v ./internal/coord/
+	ALPS_TIMELINE_OUT=$(CURDIR)/TIMELINE_failover.json $(GO) test -race -run 'TestChaosFailover|TestReplica|TestDeposed|TestWeightsUpdate|TestHeartbeatHigherTerm|TestAgent' -v ./internal/coord/
 
 # Known-vulnerability scan, gated on the tool being installed (the CI
 # image may not ship it; we never install dependencies on the fly).

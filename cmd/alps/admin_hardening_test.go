@@ -41,7 +41,7 @@ func newAdminRunner(t *testing.T) (*alps.Runner, *osproc.FaultSys) {
 // documents with 400, and non-GET/POST methods with 405.
 func TestAdminConfigBodyLimits(t *testing.T) {
 	r, _ := newAdminRunner(t)
-	h := adminConfigHandler(r)
+	h := adminConfigHandler(r, nil)
 
 	oversized := `{"tasks":[` + strings.Repeat(`{"id":0,"share":1},`, maxConfigBytes/18) + `{"id":0,"share":1}]}`
 	cases := []struct {
@@ -103,7 +103,7 @@ func TestHardenedServerDropsStalledClient(t *testing.T) {
 	}
 	r, _ := newAdminRunner(t)
 	mux := http.NewServeMux()
-	mux.Handle("/admin/config", adminConfigHandler(r))
+	mux.Handle("/admin/config", adminConfigHandler(r, nil))
 	hs := hardenedServer(mux)
 	hs.ReadHeaderTimeout = 300 * time.Millisecond
 	hs.ReadTimeout = 600 * time.Millisecond

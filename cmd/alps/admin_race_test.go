@@ -60,7 +60,7 @@ func TestAdminReconfigureCheckpointRace(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Release()
-	h := adminConfigHandler(r)
+	h := adminConfigHandler(r, nil)
 
 	const writes = 200
 	stop := make(chan struct{})

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"alps"
+	"alps/internal/trace"
 )
 
 // Live reconfiguration: the same JSON document drives the -config file
@@ -26,15 +27,24 @@ import (
 //
 //	{
 //	  "quantum": "20ms",
+//	  "audit_window": 32,
+//	  "audit_drift": 0.1,
 //	  "tasks": [
 //	    {"id": 0, "share": 3},
 //	    {"id": 1, "share": 1, "pids": [4321, 4322]},
 //	    {"id": 2, "remove": true}
 //	  ]
 //	}
+//
+// audit_window and audit_drift retune the accuracy auditor live (the
+// -audit-window and -audit-drift flags set the startup values); zero or
+// absent leaves the running thresholds alone, so documents written for
+// older versions apply unchanged.
 type configDoc struct {
-	Quantum string       `json:"quantum,omitempty"`
-	Tasks   []configTask `json:"tasks,omitempty"`
+	Quantum     string       `json:"quantum,omitempty"`
+	AuditWindow int          `json:"audit_window,omitempty"`
+	AuditDrift  float64      `json:"audit_drift,omitempty"`
+	Tasks       []configTask `json:"tasks,omitempty"`
 }
 
 type configTask struct {
@@ -132,9 +142,31 @@ func emptyReconfig(rc alps.Reconfig) bool {
 		len(rc.Add) == 0 && len(rc.Remove) == 0
 }
 
+// auditReconfig validates the document's auditor thresholds against aud
+// and returns the deferred apply step. Validation is split from
+// application so a document that also carries a runner change keeps the
+// all-or-nothing contract: both halves are checked before either is
+// applied. Zero fields mean "leave unchanged".
+func (d configDoc) auditReconfig(aud *trace.Auditor) (apply func(), err error) {
+	if d.AuditWindow == 0 && d.AuditDrift == 0 {
+		return func() {}, nil
+	}
+	if aud == nil {
+		return nil, fmt.Errorf("audit_window/audit_drift given, but no accuracy auditor is running")
+	}
+	if d.AuditWindow < 0 {
+		return nil, fmt.Errorf("audit_window must be positive, got %d", d.AuditWindow)
+	}
+	if d.AuditDrift < 0 {
+		return nil, fmt.Errorf("audit_drift must be positive, got %v", d.AuditDrift)
+	}
+	return func() { aud.Reconfigure(d.AuditWindow, d.AuditDrift) }, nil
+}
+
 // applyConfigFile reads, diffs and applies path against r's current
-// state. An invalid document or rejected batch changes nothing.
-func applyConfigFile(r *alps.Runner, path string) error {
+// state and aud's thresholds (aud may be nil when no observability stack
+// is running). An invalid document or rejected batch changes nothing.
+func applyConfigFile(r *alps.Runner, aud *trace.Auditor, path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -147,16 +179,23 @@ func applyConfigFile(r *alps.Runner, path string) error {
 	if err != nil {
 		return err
 	}
-	if emptyReconfig(rc) {
-		return nil
+	applyAudit, err := doc.auditReconfig(aud)
+	if err != nil {
+		return err
 	}
-	return r.Reconfigure(rc)
+	if !emptyReconfig(rc) {
+		if err := r.Reconfigure(rc); err != nil {
+			return err
+		}
+	}
+	applyAudit()
+	return nil
 }
 
 // reloadOnSIGHUP re-applies the -config file whenever SIGHUP arrives.
 // A rejected reload is logged and the previous configuration stays in
 // force. Returns a stop func.
-func reloadOnSIGHUP(r *alps.Runner, path string) func() {
+func reloadOnSIGHUP(r *alps.Runner, aud *trace.Auditor, path string) func() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGHUP)
 	done := make(chan struct{})
@@ -164,7 +203,7 @@ func reloadOnSIGHUP(r *alps.Runner, path string) func() {
 		for {
 			select {
 			case <-ch:
-				if err := applyConfigFile(r, path); err != nil {
+				if err := applyConfigFile(r, aud, path); err != nil {
 					errlog.Error("config reload rejected", "path", path, "err", err)
 				} else {
 					errlog.Info("config reloaded", "path", path)
@@ -181,13 +220,14 @@ func reloadOnSIGHUP(r *alps.Runner, path string) func() {
 }
 
 // adminConfigHandler serves /admin/config: GET returns the current
-// configuration as a configDoc, POST applies one (400 with the
-// validation error on rejection, so a bad document changes nothing).
-func adminConfigHandler(r *alps.Runner) http.Handler {
+// configuration as a configDoc (including the auditor's live thresholds
+// when aud is non-nil), POST applies one (400 with the validation error
+// on rejection, so a bad document changes nothing).
+func adminConfigHandler(r *alps.Runner, aud *trace.Auditor) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		switch req.Method {
 		case http.MethodGet:
-			writeConfigDoc(w, r.State())
+			writeConfigDoc(w, r.State(), aud)
 		case http.MethodPost:
 			// MaxBytesReader (not a bare LimitReader) closes the
 			// connection on overrun, so an oversized or endless body
@@ -208,13 +248,19 @@ func adminConfigHandler(r *alps.Runner) http.Handler {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
+			applyAudit, err := doc.auditReconfig(aud)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
 			if !emptyReconfig(rc) {
 				if err := r.Reconfigure(rc); err != nil {
 					http.Error(w, err.Error(), http.StatusBadRequest)
 					return
 				}
 			}
-			writeConfigDoc(w, r.State())
+			applyAudit()
+			writeConfigDoc(w, r.State(), aud)
 		default:
 			w.Header().Set("Allow", "GET, POST")
 			http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
@@ -222,8 +268,11 @@ func adminConfigHandler(r *alps.Runner) http.Handler {
 	})
 }
 
-func writeConfigDoc(w http.ResponseWriter, st alps.RunnerState) {
+func writeConfigDoc(w http.ResponseWriter, st alps.RunnerState, aud *trace.Auditor) {
 	doc := configDoc{Quantum: st.BaseQuantum.String()}
+	if aud != nil {
+		doc.AuditWindow, doc.AuditDrift = aud.Thresholds()
+	}
 	for _, t := range st.Tasks {
 		ct := configTask{ID: int64(t.ID), Share: t.Share}
 		for _, p := range t.PIDs {

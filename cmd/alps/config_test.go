@@ -1,12 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
 	"alps"
 	"alps/internal/osproc"
+	"alps/internal/trace"
 )
 
 func twoTaskState() alps.RunnerState {
@@ -66,6 +70,97 @@ func TestConfigDocDiff(t *testing.T) {
 func TestConfigDocBadQuantum(t *testing.T) {
 	if _, err := (configDoc{Quantum: "fast"}).toReconfig(twoTaskState()); err == nil {
 		t.Error("unparseable quantum accepted")
+	}
+}
+
+// auditReconfig validates before it applies: bad thresholds and a
+// missing auditor are rejected without touching anything, zero fields
+// are a no-op, and valid fields land on the auditor only when the
+// returned apply step runs.
+func TestConfigDocAuditReconfig(t *testing.T) {
+	aud := trace.NewAuditor(trace.AuditorConfig{Window: 8, DriftThreshold: 0.5})
+
+	if apply, err := (configDoc{}).auditReconfig(aud); err != nil {
+		t.Fatalf("empty audit fields rejected: %v", err)
+	} else {
+		apply() // no-op must really be one
+	}
+	if w, d := aud.Thresholds(); w != 8 || d != 0.5 {
+		t.Fatalf("no-op apply moved thresholds to (%d, %v)", w, d)
+	}
+
+	for _, bad := range []configDoc{
+		{AuditWindow: -4},
+		{AuditDrift: -0.1},
+	} {
+		if _, err := bad.auditReconfig(aud); err == nil {
+			t.Errorf("%+v accepted", bad)
+		}
+	}
+	if _, err := (configDoc{AuditWindow: 16}).auditReconfig(nil); err == nil {
+		t.Error("audit fields without an auditor accepted")
+	}
+
+	apply, err := (configDoc{AuditWindow: 16, AuditDrift: 0.2}).auditReconfig(aud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, d := aud.Thresholds(); w != 8 || d != 0.5 {
+		t.Fatalf("validation already applied: (%d, %v)", w, d)
+	}
+	apply()
+	if w, d := aud.Thresholds(); w != 16 || d != 0.2 {
+		t.Fatalf("apply gave (%d, %v), want (16, 0.2)", w, d)
+	}
+}
+
+// /admin/config round-trips the auditor thresholds: GET reports them,
+// POST retunes them live alongside the runner document, and a rejected
+// document leaves both the runner and the auditor untouched.
+func TestAdminConfigAuditThresholds(t *testing.T) {
+	r, _ := newAdminRunner(t)
+	aud := trace.NewAuditor(trace.AuditorConfig{Window: 32, DriftThreshold: 0.10})
+	h := adminConfigHandler(r, aud)
+
+	do := func(method, body string) (int, configDoc) {
+		t.Helper()
+		req := httptest.NewRequest(method, "/admin/config", strings.NewReader(body))
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		var doc configDoc
+		if rw.Code == http.StatusOK {
+			if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil {
+				t.Fatalf("bad response document: %v", err)
+			}
+		}
+		return rw.Code, doc
+	}
+
+	if code, doc := do(http.MethodGet, ""); code != http.StatusOK ||
+		doc.AuditWindow != 32 || doc.AuditDrift != 0.10 {
+		t.Fatalf("GET = %d %+v, want 200 with audit_window 32, audit_drift 0.1", code, doc)
+	}
+
+	code, doc := do(http.MethodPost, `{"audit_window":16,"audit_drift":0.2,"tasks":[{"id":0,"share":5}]}`)
+	if code != http.StatusOK || doc.AuditWindow != 16 || doc.AuditDrift != 0.2 {
+		t.Fatalf("POST = %d %+v, want 200 with audit_window 16, audit_drift 0.2", code, doc)
+	}
+	if w, d := aud.Thresholds(); w != 16 || d != 0.2 {
+		t.Fatalf("auditor thresholds = (%d, %v), want (16, 0.2)", w, d)
+	}
+
+	// A document whose audit half is invalid must not apply its runner
+	// half either (validate-then-apply covers the whole document).
+	if code, _ := do(http.MethodPost, `{"audit_window":-1,"tasks":[{"id":0,"share":7}]}`); code != http.StatusBadRequest {
+		t.Fatalf("invalid audit_window = %d, want 400", code)
+	}
+	for _, tk := range r.State().Tasks {
+		if tk.ID == 0 && tk.Share != 5 {
+			t.Errorf("rejected document changed task 0 share to %d", tk.Share)
+		}
+	}
+	if w, d := aud.Thresholds(); w != 16 || d != 0.2 {
+		t.Errorf("rejected document moved thresholds to (%d, %v)", w, d)
 	}
 }
 

@@ -119,6 +119,8 @@ func cmdCoord(args []string) error {
 	quantum := fs.Duration("q", 0, "fleet-wide quantum pushed with every assignment (0: shards keep their own)")
 	gain := fs.Float64("gain", 0, "rebalance step clamp: one round moves a share by at most this factor (0: default 2)")
 	deadband := fs.Float64("deadband", 0, "global RMS share error below which no rebalance is committed (0: default 0.02)")
+	adaptive := fs.Bool("adaptive", true, "let the fleet auditor's convergence view retune rebalance damping and deadband each round (convergence-fed damping)")
+	timelineEvery := fs.Duration("timeline-every", time.Second, "retained-history sampling cadence for /fleet/timeline (0 disables the fleet timeline)")
 	traceDir := fs.String("trace-dir", "", "directory for correlated fleet trace bundles (empty: in-memory only, still served at /debug/fleet-trace)")
 	self := fs.String("self", "", "this replica's own base URL as peers and shards reach it (enables replication)")
 	peers := fs.String("peers", "", "comma-separated base URLs of the other coordinator replicas")
@@ -128,6 +130,9 @@ func cmdCoord(args []string) error {
 	}
 	if *httpAddr == "" {
 		return fmt.Errorf("-http is required (the coordinator is an HTTP server)")
+	}
+	if *timelineEvery < 0 {
+		return fmt.Errorf("-timeline-every must be zero (timeline off) or positive, got %v", *timelineEvery)
 	}
 	var peerList []string
 	for _, p := range strings.Split(*peers, ",") {
@@ -156,26 +161,34 @@ func cmdCoord(args []string) error {
 	}
 
 	reg := obs.NewRegistry()
+	// StackConfig treats 0 as "default cadence" and negative as
+	// "disabled"; the flag's 0 means disabled, so translate.
+	histEvery := *timelineEvery
+	if histEvery == 0 {
+		histEvery = -1
+	}
 	fleet := fleetobs.NewStack(fleetobs.StackConfig{
-		Dir:      *traceDir,
-		Metrics:  reg,
-		LeaseTTL: *ttl,
+		Dir:          *traceDir,
+		Metrics:      reg,
+		LeaseTTL:     *ttl,
+		HistoryEvery: histEvery,
 		Logf: func(format string, args ...any) {
 			errlog.Info(fmt.Sprintf(format, args...))
 		},
 	})
 	srv, err := coord.NewServer(coord.ServerConfig{
-		TTL:            *ttl,
-		RebalanceEvery: *rebalance,
-		Quantum:        *quantum,
-		Weights:        weights,
-		StatePath:      *state,
-		Self:           *self,
-		Peers:          peerList,
-		LeaderTTL:      *leaderTTL,
-		Planner:        coord.PlannerConfig{Gain: *gain, Deadband: *deadband},
-		Metrics:        reg,
-		Fleet:          fleet,
+		TTL:             *ttl,
+		RebalanceEvery:  *rebalance,
+		Quantum:         *quantum,
+		Weights:         weights,
+		StatePath:       *state,
+		Self:            *self,
+		Peers:           peerList,
+		LeaderTTL:       *leaderTTL,
+		Planner:         coord.PlannerConfig{Gain: *gain, Deadband: *deadband},
+		AdaptiveDamping: *adaptive,
+		Metrics:         reg,
+		Fleet:           fleet,
 		Logf: func(format string, args ...any) {
 			errlog.Info(fmt.Sprintf(format, args...))
 		},

@@ -62,7 +62,7 @@ func TestEndToEndHTTP(t *testing.T) {
 
 	traceDir := filepath.Join(t.TempDir(), "traces")
 	cmd := exec.Command(bin, "spawn", "-q", "20ms", "-http", "127.0.0.1:0",
-		"-trace-dir", traceDir,
+		"-trace-dir", traceDir, "-timeline-every", "250ms",
 		"-shares", "1,3", "--", "/bin/sh", "-c", "while :; do :; done")
 	var outBuf bytes.Buffer
 	errBuf := &syncBuffer{}
@@ -128,6 +128,8 @@ func TestEndToEndHTTP(t *testing.T) {
 		`alps_share_error_ratio_count{task="0"}`,
 		`alps_share_error_ratio_count{task="1"}`,
 		"alps_audit_rms_share_error",
+		"alps_audit_rms_share_error_ewma",
+		"alps_audit_window_beat_ratio",
 		"alps_audit_convergence_cycles",
 		"alps_audit_sampling_reduction_ratio",
 		"alps_trace_events_total",
@@ -222,6 +224,40 @@ func TestEndToEndHTTP(t *testing.T) {
 	}
 	if err := trace.Validate([]byte(body)); err != nil {
 		t.Errorf("/debug/trace is not a valid Chrome trace: %v", err)
+	}
+
+	// /debug/timeline: the retained-history document, sampling on the
+	// -timeline-every cadence, with the audit EWMA series present; the
+	// CSV rendering carries the header row.
+	code, body = get("/debug/timeline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/timeline status %d", code)
+	}
+	var timeline struct {
+		Samples int64 `json:"samples"`
+		Series  []struct {
+			Name   string            `json:"name"`
+			Points []json.RawMessage `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &timeline); err != nil {
+		t.Fatalf("/debug/timeline is not JSON: %v\n%s", err, body)
+	}
+	if timeline.Samples < 2 {
+		t.Errorf("/debug/timeline samples = %d, want >= 2 after 2s at 250ms cadence", timeline.Samples)
+	}
+	foundEWMA := false
+	for _, s := range timeline.Series {
+		if s.Name == "alps_audit_rms_share_error_ewma" && len(s.Points) > 0 {
+			foundEWMA = true
+		}
+	}
+	if !foundEWMA {
+		t.Error("/debug/timeline has no alps_audit_rms_share_error_ewma series")
+	}
+	code, body = get("/debug/timeline?format=csv")
+	if code != http.StatusOK || !strings.HasPrefix(body, "name,labels,unix_nano,value") {
+		t.Errorf("/debug/timeline?format=csv = %d %q...", code, body[:min(len(body), 40)])
 	}
 
 	// /debug/pprof/ index.

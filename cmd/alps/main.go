@@ -84,13 +84,15 @@ func usage() {
   alps user   [common flags] [-refresh 1s] name:share ...
   alps coord  -http :7070 [-ttl 5s] [-rebalance 2s] [-state FILE]
               [-self URL -peers URL,URL] [-leader-ttl 2s]
+              [-adaptive=false] [-timeline-every 1s]
               [-trace-dir D] [id:weight ...]
 
 common flags:
   -q 20ms       ALPS quantum
   -log          print per-cycle consumption
   -http addr    serve /metrics, /healthz, /debug/journal, /debug/trace,
-                /debug/pprof/ and /admin/config on this address (e.g. :9090)
+                /debug/timeline, /debug/pprof/ and /admin/config on this
+                address (e.g. :9090)
   -state FILE   checkpoint scheduler state each cycle; resume from it on
                 restart (not with spawn: its children die with alps)
   -config FILE  JSON reconfiguration document, applied at startup and on
@@ -112,6 +114,25 @@ common flags:
   -capacity W   relative capacity weight sent with lease registration;
                 the rebalancer steers bigger hosts harder (0: 1.0)
 
+audit and timeline flags:
+  -audit-window N   accuracy auditor sliding window, in allocation cycles
+                    (default 32); retunable live via /admin/config
+                    (audit_window) without restarting
+  -audit-drift F    windowed RMS share error above which the drift trigger
+                    fires the flight recorder (default 0.10); retunable
+                    live via /admin/config (audit_drift)
+  -audit-ewma A     EWMA-over-windows weight for the smoothed share-error
+                    gauge alps_audit_rms_share_error_ewma (default 0.1;
+                    0 mirrors the raw windowed RMS)
+  -audit-lock       lock the audit window to a whole multiple of the
+                    measured duty-cycle period, so the RMS gauge stops
+                    beating against periodic workloads
+  -timeline-every D retained-history sampling cadence: every D, one point
+                    per metric series is kept in a bounded ring served at
+                    /debug/timeline as JSON (?format=csv for CSV); 0
+                    disables (default 1s). On "alps coord" the same flag
+                    drives the federated /fleet/timeline
+
 Replication: -self and -peers on "alps coord" run a replica set. Standbys
 pull committed state from the leader; leadership is a term-fenced TTL
 lease, so a deposed leader's publishes are rejected by shards and
@@ -119,10 +140,14 @@ replicas alike. POST /coord/v1/weights on the leader reconfigures the
 global weight table live (followers answer 409 with a leader hint).
 
 The coordinator additionally serves federated fleet metrics on
-/fleet/metrics, the fleet health document on /fleet/healthz, and the
-latest correlated fleet trace bundle (Perfetto-loadable, merged across
-the coordinator and every uploading shard) on /debug/fleet-trace;
--trace-dir on coord persists those bundles as fleet-<reason>-<epoch>/.
+/fleet/metrics (with per-shard staleness stamps), the fleet health
+document on /fleet/healthz, the retained fleet timeline on
+/fleet/timeline, and the latest correlated fleet trace bundle
+(Perfetto-loadable, merged across the coordinator and every uploading
+shard) on /debug/fleet-trace; -trace-dir on coord persists those bundles
+as fleet-<reason>-<epoch>/. With -adaptive (on by default) the
+rebalancer's damping and deadband follow the fleet auditor's convergence
+view instead of staying fixed; -adaptive=false pins the static tuning.
 
 SIGUSR1 dumps the cycle journal to stderr. SIGUSR2 dumps a flight-recorder
 trace. SIGHUP reloads -config.
@@ -144,14 +169,23 @@ type commonOpts struct {
 	coordURL  *string
 	shard     *string
 	capacity  *float64
-	fs        *flag.FlagSet // nil when constructed directly (tests)
+
+	// Observability tuning: the accuracy auditor's window and estimator
+	// knobs, and the retained-history sampling cadence.
+	auditWindow   *int
+	auditDrift    *float64
+	auditEWMA     *float64
+	auditLock     *bool
+	timelineEvery *time.Duration
+
+	fs *flag.FlagSet // nil when constructed directly (tests)
 }
 
 func commonFlags(fs *flag.FlagSet) commonOpts {
 	return commonOpts{
 		q:         fs.Duration("q", 20*time.Millisecond, "ALPS quantum"),
 		logCycles: fs.Bool("log", false, "print per-cycle consumption"),
-		httpAddr:  fs.String("http", "", "serve /metrics, /healthz, /debug/journal, /debug/trace, /debug/pprof/ and /admin/config on this address (e.g. :9090)"),
+		httpAddr:  fs.String("http", "", "serve /metrics, /healthz, /debug/journal, /debug/trace, /debug/timeline, /debug/pprof/ and /admin/config on this address (e.g. :9090)"),
 		state:     fs.String("state", "", "checkpoint file: written each cycle, resumed from on restart"),
 		conf:      fs.String("config", "", "JSON reconfiguration document, applied at startup and on SIGHUP"),
 		maxq:      fs.Duration("maxq", 40*time.Millisecond, "overload guard quantum bound (0 disables the guard; default scales to 2q when -q exceeds it)"),
@@ -160,7 +194,14 @@ func commonFlags(fs *flag.FlagSet) commonOpts {
 		coordURL:  fs.String("coord", "", "fleet coordinator base URL, or a comma-separated replica list; attach this instance as a shard"),
 		shard:     fs.String("shard", "", "fleet-unique shard name for -coord (default hostname-pid)"),
 		capacity:  fs.Float64("capacity", 0, "relative capacity weight sent with -coord lease registration; the rebalancer steers bigger hosts harder (0: 1.0)"),
-		fs:        fs,
+
+		auditWindow:   fs.Int("audit-window", 32, "accuracy auditor sliding-window length, in allocation cycles; also settable live via /admin/config"),
+		auditDrift:    fs.Float64("audit-drift", 0.10, "windowed RMS share error above which the drift trigger fires the flight recorder"),
+		auditEWMA:     fs.Float64("audit-ewma", 0.1, "EWMA-over-windows weight for the smoothed share-error gauge (0 mirrors the raw windowed RMS)"),
+		auditLock:     fs.Bool("audit-lock", false, "lock the audit window to a whole multiple of the measured duty-cycle period, suppressing window/duty-cycle aliasing"),
+		timelineEvery: fs.Duration("timeline-every", time.Second, "retained-history sampling cadence for /debug/timeline (0 disables the timeline)"),
+
+		fs: fs,
 	}
 }
 
@@ -205,6 +246,18 @@ func (o commonOpts) validate() error {
 			return fmt.Errorf("-capacity %v given without -coord; capacity only means something to a coordinator", *o.capacity)
 		}
 	}
+	if o.auditWindow != nil && *o.auditWindow < 1 {
+		return fmt.Errorf("-audit-window must be at least 1 cycle, got %d", *o.auditWindow)
+	}
+	if o.auditDrift != nil && *o.auditDrift <= 0 {
+		return fmt.Errorf("-audit-drift must be positive, got %v", *o.auditDrift)
+	}
+	if o.auditEWMA != nil && (*o.auditEWMA < 0 || *o.auditEWMA >= 1) {
+		return fmt.Errorf("-audit-ewma must be in [0, 1), got %v (1 would track only the newest window; use a raw gauge for that)", *o.auditEWMA)
+	}
+	if o.timelineEvery != nil && *o.timelineEvery < 0 {
+		return fmt.Errorf("-timeline-every must be zero (timeline off) or positive, got %v", *o.timelineEvery)
+	}
 	return nil
 }
 
@@ -226,6 +279,33 @@ func (o commonOpts) capacityOpt() float64 {
 		return 0
 	}
 	return *o.capacity
+}
+
+// obsOptions collects the observability tuning for newObsStack,
+// tolerating directly-constructed opts (tests) that never set the
+// pointers: zero values fall through to the trace.Auditor defaults, and
+// a nil timelineEvery disables the retained history.
+func (o commonOpts) obsOptions() obsOptions {
+	var op obsOptions
+	if o.httpAddr != nil {
+		op.addr = *o.httpAddr
+	}
+	if o.auditWindow != nil {
+		op.auditWindow = *o.auditWindow
+	}
+	if o.auditDrift != nil {
+		op.auditDrift = *o.auditDrift
+	}
+	if o.auditEWMA != nil {
+		op.auditEWMA = *o.auditEWMA
+	}
+	if o.auditLock != nil {
+		op.auditLock = *o.auditLock
+	}
+	if o.timelineEvery != nil {
+		op.timelineEvery = *o.timelineEvery
+	}
+	return op
 }
 
 // samplerCount is the -samplers value, defaulting to GOMAXPROCS when the
@@ -302,12 +382,12 @@ func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack
 		return err
 	}
 	if ro.confPath != "" {
-		defer reloadOnSIGHUP(r, ro.confPath)()
+		defer reloadOnSIGHUP(r, st.auditor(), ro.confPath)()
 		// Initial apply: a missing file is fine (it may be written later
 		// and SIGHUPped in), but an invalid one fails the start — with
 		// the workload resumed by Release on the way out.
 		if _, serr := os.Stat(ro.confPath); serr == nil {
-			if cerr := applyConfigFile(r, ro.confPath); cerr != nil {
+			if cerr := applyConfigFile(r, st.auditor(), ro.confPath); cerr != nil {
 				r.Release()
 				return fmt.Errorf("initial -config %s: %w", ro.confPath, cerr)
 			}
@@ -326,7 +406,7 @@ func runUntilSignal(cfg alps.RunnerConfig, tasks []alps.RunnerTask, st *obsStack
 	}
 	if st != nil {
 		st.lateness = func() time.Duration { return r.Health().LastLateness }
-		st.admin = adminConfigHandler(r)
+		st.admin = adminConfigHandler(r, st.aud)
 		shutdown, serr := st.serve(func() any {
 			h := r.Health()
 			resp := struct {
@@ -448,7 +528,7 @@ func cmdAttach(args []string) error {
 		return err
 	}
 	cfg := opts.config()
-	st := newObsStack(*opts.httpAddr)
+	st := newObsStack(opts.obsOptions())
 	st.wire(&cfg, cycleLogger(*opts.logCycles))
 	url, shard := opts.coordOpt()
 	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir, coordURL: url, shard: shard, capacity: opts.capacityOpt()})
@@ -512,7 +592,7 @@ func cmdSpawn(args []string) error {
 		}
 	}()
 	cfg := opts.config()
-	st := newObsStack(*opts.httpAddr)
+	st := newObsStack(opts.obsOptions())
 	st.wire(&cfg, cycleLogger(*opts.logCycles))
 	if *children {
 		// Each spawned command is a resource principal covering its
@@ -612,7 +692,7 @@ func cmdUser(args []string) error {
 	cfg := opts.config()
 	cfg.RefreshEvery = *refresh
 	cfg.Refresh = membership
-	st := newObsStack(*opts.httpAddr)
+	st := newObsStack(opts.obsOptions())
 	st.wire(&cfg, cycleLogger(*opts.logCycles))
 	url, shard := opts.coordOpt()
 	return runUntilSignal(cfg, tasks, st, runOpts{statePath: *opts.state, confPath: *opts.conf, traceDir: *opts.traceDir, coordURL: url, shard: shard, capacity: opts.capacityOpt()})

@@ -101,6 +101,80 @@ func TestMaxqDefaultScalesWithQuantum(t *testing.T) {
 	}
 }
 
+// The audit/timeline flags are validated up front like every other
+// operator input: impossible windows, non-positive drift thresholds,
+// out-of-range EWMA weights and negative cadences fail fast.
+func TestAuditFlagValidation(t *testing.T) {
+	parse := func(args ...string) commonOpts {
+		t.Helper()
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		opts := commonFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return opts
+	}
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+	}{
+		{"defaults", nil, true},
+		{"explicit values", []string{"-audit-window", "64", "-audit-drift", "0.2", "-audit-ewma", "0.3", "-audit-lock", "-timeline-every", "500ms"}, true},
+		{"one-cycle window", []string{"-audit-window", "1"}, true},
+		{"zero window", []string{"-audit-window", "0"}, false},
+		{"negative window", []string{"-audit-window", "-8"}, false},
+		{"zero drift", []string{"-audit-drift", "0"}, false},
+		{"negative drift", []string{"-audit-drift", "-0.1"}, false},
+		{"ewma off", []string{"-audit-ewma", "0"}, true},
+		{"ewma at one", []string{"-audit-ewma", "1"}, false},
+		{"negative ewma", []string{"-audit-ewma", "-0.5"}, false},
+		{"timeline off", []string{"-timeline-every", "0"}, true},
+		{"negative timeline cadence", []string{"-timeline-every", "-1s"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := parse(tc.args...).validate(); (err == nil) != tc.ok {
+				t.Errorf("validate(%v) = %v, want ok=%t", tc.args, err, tc.ok)
+			}
+		})
+	}
+}
+
+// The flag values must actually reach the stack: obsOptions carries them
+// into newObsStack, and directly-constructed opts (tests, library use)
+// degrade to the auditor defaults instead of dereferencing nil.
+func TestObsOptionsFromFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	opts := commonFlags(fs)
+	if err := fs.Parse([]string{"-http", ":0", "-audit-window", "7", "-audit-drift", "0.25",
+		"-audit-ewma", "0.4", "-audit-lock", "-timeline-every", "250ms"}); err != nil {
+		t.Fatal(err)
+	}
+	op := opts.obsOptions()
+	want := obsOptions{addr: ":0", auditWindow: 7, auditDrift: 0.25,
+		auditEWMA: 0.4, auditLock: true, timelineEvery: 250 * time.Millisecond}
+	if op != want {
+		t.Errorf("obsOptions = %+v, want %+v", op, want)
+	}
+
+	var zero commonOpts
+	if got := zero.obsOptions(); got != (obsOptions{}) {
+		t.Errorf("zero opts obsOptions = %+v, want zero value", got)
+	}
+
+	st := newObsStack(op)
+	if w, d := st.aud.Thresholds(); w != 7 || d != 0.25 {
+		t.Errorf("auditor thresholds = (%d, %v), want (7, 0.25)", w, d)
+	}
+	if st.hist == nil {
+		t.Error("timeline-every 250ms should build a history store")
+	}
+	if off := newObsStack(obsOptions{}); off.hist != nil {
+		t.Error("zero timelineEvery should disable the history store")
+	}
+}
+
 func TestCycleLoggerNilWhenDisabled(t *testing.T) {
 	if cycleLogger(false) != nil {
 		t.Error("disabled logger should be nil")

@@ -18,6 +18,7 @@ import (
 	"alps/internal/metrics"
 	"alps/internal/obs"
 	"alps/internal/trace"
+	"alps/internal/tshist"
 )
 
 // errlog is the structured logger for operational messages (stderr).
@@ -43,6 +44,7 @@ type obsStack struct {
 	journal *obs.Journal
 	rec     *trace.Recorder
 	aud     *trace.Auditor
+	hist    *tshist.Store     // nil unless -timeline-every > 0
 	dumper  *trace.FileDumper // nil unless -trace-dir was given
 	addr    string
 	quantum time.Duration // set by wire; scales the lateness trigger
@@ -64,11 +66,25 @@ type obsStack struct {
 	started time.Time
 }
 
-func newObsStack(addr string) *obsStack {
+// obsOptions parameterizes an obsStack: the -http listen address, the
+// accuracy auditor's window/estimator knobs (-audit-window, -audit-drift,
+// -audit-ewma, -audit-lock) and the retained-history sampling cadence
+// (-timeline-every; 0 disables /debug/timeline). Zero audit values fall
+// through to the trace.Auditor defaults.
+type obsOptions struct {
+	addr          string
+	auditWindow   int
+	auditDrift    float64
+	auditEWMA     float64
+	auditLock     bool
+	timelineEvery time.Duration
+}
+
+func newObsStack(opt obsOptions) *obsStack {
 	st := &obsStack{
 		reg:           obs.NewRegistry(),
 		journal:       obs.NewJournal(obs.DefaultJournalSize),
-		addr:          addr,
+		addr:          opt.addr,
 		fleetConsumed: make(map[int64]float64),
 		started:       time.Now(),
 	}
@@ -82,6 +98,10 @@ func newObsStack(addr string) *obsStack {
 		},
 	})
 	st.aud = trace.NewAuditor(trace.AuditorConfig{
+		Window:         opt.auditWindow,
+		DriftThreshold: opt.auditDrift,
+		EWMAAlpha:      opt.auditEWMA,
+		WindowLock:     opt.auditLock,
 		OnDrift: func(rms float64) {
 			if st.rec.Trigger("share_drift") {
 				errlog.Warn("share-error drift", "rms", fmt.Sprintf("%.3f", rms))
@@ -90,7 +110,19 @@ func newObsStack(addr string) *obsStack {
 	})
 	st.rec.Register(st.reg)
 	st.aud.Register(st.reg)
+	if opt.timelineEvery > 0 {
+		st.hist = tshist.New(tshist.Config{Source: st.reg, Every: opt.timelineEvery})
+	}
 	return st
+}
+
+// auditor is the stack's accuracy auditor, nil-tolerant so config paths
+// that run without an observability stack can still share code.
+func (st *obsStack) auditor() *trace.Auditor {
+	if st == nil {
+		return nil
+	}
+	return st.aud
 }
 
 // setTraceDir routes flight-recorder dumps to Chrome trace files in dir
@@ -278,13 +310,23 @@ func (st *obsStack) serve(health func() any) (shutdown func(), err error) {
 	}
 	mux := obs.NewMux(st.reg, health, st.journal)
 	mux.Handle("/debug/trace", st.rec)
+	if st.hist != nil {
+		mux.Handle("/debug/timeline", st.hist.Handler())
+	}
 	if st.admin != nil {
 		mux.Handle("/admin/config", st.admin)
 	}
 	srv := hardenedServer(mux)
 	go func() { _ = srv.Serve(ln) }()
+	// The history sampler only runs while the endpoint that serves it is
+	// up: without -http the timeline would be retained but unreadable.
+	histStop := make(chan struct{})
+	if st.hist != nil {
+		go st.hist.Run(histStop)
+	}
 	errlog.Info("observability listening", "addr", ln.Addr().String())
 	return func() {
+		close(histStop)
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)

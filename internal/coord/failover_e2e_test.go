@@ -15,7 +15,9 @@ package coord_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -77,28 +79,30 @@ func newReplicatedFleet(t *testing.T) *rfleet {
 			}
 		}
 		stack := fleetobs.NewStack(fleetobs.StackConfig{
-			Node:     n,
-			Now:      clk.Now,
-			Cooldown: time.Second,
-			LeaseTTL: chaosTTL,
-			Logf:     t.Logf,
+			Node:         n,
+			Now:          clk.Now,
+			Cooldown:     time.Second,
+			LeaseTTL:     chaosTTL,
+			HistoryEvery: chaosRebalance, // one timeline point per rebalance round
+			Logf:         t.Logf,
 		})
 		reg := obs.NewRegistry()
 		srv, err := coord.NewServer(coord.ServerConfig{
-			TTL:            chaosTTL,
-			RebalanceEvery: chaosRebalance,
-			Weights:        map[int64]int64{1: 4, 2: 3, 3: 2, 4: 1},
-			StatePath:      filepath.Join(dir, n+".ckpt"),
-			Self:           replicaSetURL(n),
-			Peers:          peers,
-			LeaderTTL:      foLeaderTTL,
-			FollowEvery:    foFollowEvery,
-			Planner:        coord.PlannerConfig{ScaleTotal: 64},
-			Clock:          clk.Now,
-			Transport:      f.net.Transport(n),
-			Metrics:        reg,
-			Fleet:          stack,
-			Logf:           t.Logf,
+			TTL:             chaosTTL,
+			RebalanceEvery:  chaosRebalance,
+			Weights:         map[int64]int64{1: 4, 2: 3, 3: 2, 4: 1},
+			StatePath:       filepath.Join(dir, n+".ckpt"),
+			Self:            replicaSetURL(n),
+			Peers:           peers,
+			LeaderTTL:       foLeaderTTL,
+			FollowEvery:     foFollowEvery,
+			Planner:         coord.PlannerConfig{ScaleTotal: 64},
+			AdaptiveDamping: true, // convergence-fed tuning must not regress failover reconvergence
+			Clock:           clk.Now,
+			Transport:       f.net.Transport(n),
+			Metrics:         reg,
+			Fleet:           stack,
+			Logf:            t.Logf,
 		})
 		if err != nil {
 			t.Fatalf("NewServer(%s): %v", n, err)
@@ -411,4 +415,37 @@ func TestChaosFailover(t *testing.T) {
 	}
 	t.Logf("final: leader=%s term=%d epoch=%d rounds-to-deadband=%d rms=%.3f fenced=%d",
 		lead, f.srvs[lead].Status().Term, f.srvs[lead].Epoch(), rounds, rms, fenced)
+
+	// The leader's Tick drove its retained history on the virtual clock:
+	// the convergence-fed damping gauges must be in the timeline, and —
+	// when the chaos-failover CI job asks via ALPS_TIMELINE_OUT — the
+	// whole /fleet/timeline document is written out as the run artifact.
+	ft := f.stacks[lead].Timeline()
+	if ft.Timeline.Samples == 0 {
+		t.Fatal("final: leader retained no timeline samples")
+	}
+	series := make(map[string]int)
+	for _, sr := range ft.Timeline.Series {
+		series[sr.Name] = len(sr.Points)
+	}
+	for _, name := range []string{
+		"alps_fleet_global_rms_share_error_round",
+		"alps_fleet_global_rms_share_error_ewma",
+		"alps_fleet_rms_beat_ratio",
+	} {
+		if series[name] == 0 {
+			t.Errorf("final: timeline missing series %s (have %v)", name, series)
+		}
+	}
+	if out := os.Getenv("ALPS_TIMELINE_OUT"); out != "" {
+		data, err := json.MarshalIndent(ft, "", " ")
+		if err != nil {
+			t.Fatalf("marshal timeline capture: %v", err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write timeline capture: %v", err)
+		}
+		t.Logf("final: wrote /fleet/timeline capture to %s (%d series, %d samples)",
+			out, len(ft.Timeline.Series), ft.Timeline.Samples)
+	}
 }

@@ -3,6 +3,8 @@ package coord
 import (
 	"math"
 	"sort"
+
+	"alps/internal/fleetobs"
 )
 
 // The rebalance planner. The coordinator's only lever is each shard's
@@ -54,6 +56,42 @@ func (c PlannerConfig) withDefaults() PlannerConfig {
 		c.Deadband = 0.02
 	}
 	return c
+}
+
+// AdaptPlanner closes the observability loop: it derives one round's
+// effective planner tuning from the fleet auditor's convergence view.
+// The rules are deliberately coarse — this is hysteresis, not a second
+// controller:
+//
+//	converged, EWMA inside the deadband  → widen the deadband 2× and
+//	  halve the damping exponent: the fleet is where it should be, so
+//	  freeze epoch churn and make any step that does fire gentle;
+//	cv.EWMA above 2× the deadband and rising → undamp (exponent ×1.5,
+//	  capped at the full Newton step): the error is real and growing,
+//	  wobble-safety is the wrong trade;
+//	anything else (or no signal yet)     → the static tuning.
+//
+// The EWMA estimator, not the raw per-round RMS, feeds both rules: the
+// raw gauge beats against shard duty cycles (see internal/fleetobs),
+// and damping decisions keyed to an aliased signal would breathe with
+// the beat.
+func AdaptPlanner(base PlannerConfig, cv fleetobs.ConvergenceView) PlannerConfig {
+	base = base.withDefaults()
+	if !cv.Valid {
+		return base
+	}
+	switch {
+	case cv.Converged && cv.EWMA < base.Deadband:
+		base.Deadband *= 2
+		base.Damping /= 2
+	case cv.EWMA > 2*base.Deadband && cv.Rising:
+		if d := base.Damping * 1.5; d < 1 {
+			base.Damping = d
+		} else {
+			base.Damping = 1
+		}
+	}
+	return base
 }
 
 // ShardLoad is one live shard's input to a rebalance round.

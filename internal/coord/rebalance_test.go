@@ -3,6 +3,8 @@ package coord
 import (
 	"math"
 	"testing"
+
+	"alps/internal/fleetobs"
 )
 
 // simulateWindow models what a fleet of 1-CPU shards would consume in
@@ -217,5 +219,52 @@ func TestScaleSharesDeterministic(t *testing.T) {
 	}
 	if tot < 4090 || tot > 4102 {
 		t.Fatalf("renormalized total %d far from 4096: %v", tot, first)
+	}
+}
+
+// TestAdaptPlanner pins the convergence-fed tuning rules: converged
+// fleets freeze churn (wider deadband, gentler exponent), a rising
+// smoothed error undamps toward the full Newton step (capped at 1),
+// and an invalid or in-between view leaves the static tuning alone.
+func TestAdaptPlanner(t *testing.T) {
+	base := PlannerConfig{Gain: 2, Damping: 0.5, ScaleTotal: 64, Deadband: 0.02}
+
+	cases := []struct {
+		name         string
+		cv           fleetobs.ConvergenceView
+		wantDamping  float64
+		wantDeadband float64
+	}{
+		{"no signal", fleetobs.ConvergenceView{}, 0.5, 0.02},
+		{"converged and quiet", fleetobs.ConvergenceView{Valid: true, Converged: true, EWMA: 0.01}, 0.25, 0.04},
+		{"converged but error above deadband", fleetobs.ConvergenceView{Valid: true, Converged: true, EWMA: 0.03}, 0.5, 0.02},
+		{"diverging", fleetobs.ConvergenceView{Valid: true, EWMA: 0.05, Rising: true}, 0.75, 0.02},
+		{"large error but not rising (wobble)", fleetobs.ConvergenceView{Valid: true, EWMA: 0.05}, 0.5, 0.02},
+		{"settling disturbance, mid error", fleetobs.ConvergenceView{Valid: true, EWMA: 0.03}, 0.5, 0.02},
+	}
+	for _, tc := range cases {
+		got := AdaptPlanner(base, tc.cv)
+		if got.Damping != tc.wantDamping || got.Deadband != tc.wantDeadband {
+			t.Errorf("%s: AdaptPlanner -> damping %v deadband %v, want %v %v",
+				tc.name, got.Damping, got.Deadband, tc.wantDamping, tc.wantDeadband)
+		}
+		if got.Gain != 2 || got.ScaleTotal != 64 {
+			t.Errorf("%s: untouched knobs moved: %+v", tc.name, got)
+		}
+	}
+
+	// The undamp path saturates at the full step.
+	hot := base
+	hot.Damping = 0.8
+	got := AdaptPlanner(hot, fleetobs.ConvergenceView{Valid: true, EWMA: 1, Rising: true})
+	if got.Damping != 1 {
+		t.Errorf("undamp should cap at 1, got %v", got.Damping)
+	}
+
+	// Zero-value base picks up defaults before adapting, so the rules
+	// scale off the real effective tuning.
+	got = AdaptPlanner(PlannerConfig{}, fleetobs.ConvergenceView{Valid: true, Converged: true, EWMA: 0.001})
+	if got.Damping != 0.25 || got.Deadband != 0.04 {
+		t.Errorf("defaults not applied before adapting: %+v", got)
 	}
 }

@@ -56,6 +56,13 @@ type ServerConfig struct {
 	Transport http.RoundTripper
 	// Planner tunes the rebalance step.
 	Planner PlannerConfig
+	// AdaptiveDamping closes the observability loop (requires Fleet):
+	// each round's damping exponent and deadband are derived from the
+	// fleet auditor's convergence view via AdaptPlanner — converged
+	// fleets get a wider deadband and gentler steps (epoch churn
+	// freezes), a rising smoothed error undamps. Off, the static Planner
+	// tuning is used verbatim.
+	AdaptiveDamping bool
 	// Clock overrides time.Now (tests run on a virtual clock).
 	Clock func() time.Time
 	// Metrics, if non-nil, receives the alps_coord_* families.
@@ -113,6 +120,10 @@ type Server struct {
 	leaseSeq uint64
 	nextReb  time.Time
 	lastRMS  float64 // last measured global RMS (-1: no signal yet)
+	// Effective planner tuning of the last rebalance round (equal to the
+	// static config unless AdaptiveDamping moved them).
+	adaptDamping  float64
+	adaptDeadband float64
 
 	// Replication state (quiescent when cfg.Self is empty: isLeader is
 	// pinned true and term stays at whatever the checkpoint held).
@@ -322,6 +333,12 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 		"Replica-state pulls from a deposed (lower-term) leader, ignored.", s.fencedPulls.get)
 	reg.CounterFunc("alps_coord_weight_updates_total",
 		"Live weight-table reconfigurations committed.", s.weightUpdates.get)
+	reg.GaugeFunc("alps_coord_adaptive_damping",
+		"Damping exponent the last rebalance round actually used (static config unless adaptive damping moved it).",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return s.adaptDamping })
+	reg.GaugeFunc("alps_coord_adaptive_deadband",
+		"Deadband the last rebalance round actually used (static config unless adaptive damping moved it).",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return s.adaptDeadband })
 }
 
 // ServeHTTP serves the /coord/v1/* control-plane endpoints.
@@ -332,6 +349,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // periodically, deterministic tests call it directly. Followers do no
 // fleet work — they replicate and wait.
 func (s *Server) Tick(now time.Time) {
+	if f := s.cfg.Fleet; f != nil && f.History != nil {
+		// Followers sample too: their fleet registries retain their own
+		// view, and a post-failover timeline needs the pre-failover
+		// leader's history intact.
+		f.History.Tick(now)
+	}
 	if s.replicated() {
 		s.replicaTick(now)
 	}
@@ -482,9 +505,14 @@ func (s *Server) Rebalance(now time.Time) {
 		return
 	}
 
-	res := Plan(s.cfg.Planner, weights, loads)
+	planner := s.cfg.Planner.withDefaults()
+	if s.cfg.AdaptiveDamping && s.cfg.Fleet != nil {
+		planner = AdaptPlanner(planner, s.cfg.Fleet.Auditor.Convergence())
+	}
+	res := Plan(planner, weights, loads)
 
 	s.mu.Lock()
+	s.adaptDamping, s.adaptDeadband = planner.Damping, planner.Deadband
 	if res.GlobalRMS >= 0 {
 		s.lastRMS = res.GlobalRMS
 	}

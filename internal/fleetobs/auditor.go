@@ -26,6 +26,19 @@ const DefaultStableStreak = 2
 // that far behind is the degraded-shard gauge's problem, not latency's).
 const trackedCommits = 64
 
+// DefaultEWMAAlpha is the per-round EWMA weight when AuditorConfig
+// leaves EWMAAlpha zero. 0.1 attenuates the short window-vs-duty-cycle
+// beats (period 2-4 rounds) by an order of magnitude while still
+// tracking a real drift within ~10 rounds.
+const DefaultEWMAAlpha = 0.1
+
+// beatWindow bounds the ring of recent per-round RMS values behind the
+// alps_fleet_rms_beat_ratio gauge.
+const beatWindow = 32
+
+// ewmaTrail is how many recent EWMA values the Rising detector keeps.
+const ewmaTrail = 4
+
 // AuditorConfig parameterizes a FleetAuditor.
 type AuditorConfig struct {
 	// Now overrides time.Now.
@@ -41,6 +54,11 @@ type AuditorConfig struct {
 	// and flagged in healthz — a dead shard's last-known gauges must not
 	// keep shaping the fleet picture forever.
 	LeaseTTL time.Duration
+	// EWMAAlpha weights the per-round EWMA share-error estimator
+	// (DefaultEWMAAlpha when 0; negative disables, pinning the EWMA
+	// gauge to the raw windowed RMS). The raw windowed gauge is
+	// untouched either way — the EWMA is a second estimator beside it.
+	EWMAAlpha float64
 }
 
 // Flag bits in a ShardAudit's packed state word.
@@ -134,6 +152,12 @@ type FleetAuditor struct {
 	rounds   []roundRec
 	weights  map[int64]float64
 	rms      float64
+	roundRMS float64 // newest round only — the wobbly instantaneous view
+	ewma     float64
+	ewmaInit bool
+	trail    []float64 // recent EWMA values, for the Rising detector
+	beatRing []float64 // recent per-round RMS values, for the beat gauge
+	beatNext int
 	conv     convergence
 	hist     *obs.Histogram
 	reg      *obs.Registry
@@ -160,6 +184,9 @@ func NewFleetAuditor(cfg AuditorConfig) *FleetAuditor {
 	}
 	if cfg.StableStreak <= 0 {
 		cfg.StableStreak = DefaultStableStreak
+	}
+	if cfg.EWMAAlpha == 0 {
+		cfg.EWMAAlpha = DefaultEWMAAlpha
 	}
 	now := time.Now
 	if cfg.Now != nil {
@@ -191,8 +218,13 @@ func (f *FleetAuditor) Shard(name string) *ShardAudit {
 	return row
 }
 
-// registerLeaseAgeLocked exports one shard's lease-age gauge. Caller
+// registerLeaseAgeLocked exports one shard's federated gauges. Caller
 // holds f.mu; GaugeFunc re-registration replaces, so re-attach is safe.
+//
+// Every shard-sourced value (its RMS, its ack epoch) is stamped with a
+// last_heartbeat_age_seconds gauge beside it: a federated gauge is only
+// as fresh as its last heartbeat, and without the stamp a dead shard's
+// frozen values scrape exactly like live ones.
 func (f *FleetAuditor) registerLeaseAgeLocked(row *ShardAudit) {
 	f.reg.GaugeFunc(
 		fmt.Sprintf("alps_fleet_lease_age_seconds{shard=%q}", row.name),
@@ -203,6 +235,40 @@ func (f *FleetAuditor) registerLeaseAgeLocked(row *ShardAudit) {
 				return math.Inf(1)
 			}
 			return f.now().Sub(last).Seconds()
+		})
+	f.reg.GaugeFunc(
+		fmt.Sprintf("alps_fleet_last_heartbeat_age_seconds{shard=%q}", row.name),
+		"Seconds since the shard's last heartbeat, detached or not — the staleness stamp for every federated per-shard gauge.",
+		func() float64 {
+			last, _, _, _, _ := row.snapshot()
+			if last.IsZero() {
+				return math.Inf(1)
+			}
+			return f.now().Sub(last).Seconds()
+		})
+	f.reg.GaugeFunc(
+		fmt.Sprintf("alps_fleet_shard_rms_share_error{shard=%q}", row.name),
+		"The shard's last reported local RMS share error (check the heartbeat-age stamp for freshness).",
+		func() float64 {
+			_, _, rms, _, _ := row.snapshot()
+			return rms
+		})
+	f.reg.GaugeFunc(
+		fmt.Sprintf("alps_fleet_shard_ack_epoch{shard=%q}", row.name),
+		"Last weight-table epoch the shard acknowledged.",
+		func() float64 {
+			_, ack, _, _, _ := row.snapshot()
+			return float64(ack)
+		})
+	f.reg.GaugeFunc(
+		fmt.Sprintf("alps_fleet_shard_stale{shard=%q}", row.name),
+		"1 when the shard is silent past the lease TTL (or detached): its federated gauges are history, not fleet state.",
+		func() float64 {
+			last, _, _, _, detached := row.snapshot()
+			if detached || f.stale(last, f.now()) {
+				return 1
+			}
+			return 0
 		})
 }
 
@@ -254,6 +320,30 @@ func (f *FleetAuditor) OnRound(consumed map[int64]float64, weights map[int64]flo
 	}
 	f.rms = f.globalRMSLocked()
 
+	// The per-round estimators: an instantaneous RMS over just this
+	// round (which beats against shard duty cycles), the EWMA that
+	// smooths that beat away, and the ring behind the beat-ratio gauge.
+	f.roundRMS = f.rmsOfLocked(consumed)
+	if a := f.cfg.EWMAAlpha; a > 0 {
+		if !f.ewmaInit {
+			f.ewma, f.ewmaInit = f.roundRMS, true
+		} else {
+			f.ewma = a*f.roundRMS + (1-a)*f.ewma
+		}
+	} else {
+		f.ewma, f.ewmaInit = f.rms, true
+	}
+	f.trail = append(f.trail, f.ewma)
+	if len(f.trail) > ewmaTrail {
+		f.trail = f.trail[len(f.trail)-ewmaTrail:]
+	}
+	if len(f.beatRing) < beatWindow {
+		f.beatRing = append(f.beatRing, f.roundRMS)
+	} else {
+		f.beatRing[f.beatNext] = f.roundRMS
+		f.beatNext = (f.beatNext + 1) % beatWindow
+	}
+
 	c := &f.conv
 	if changed {
 		if c.converged {
@@ -277,16 +367,27 @@ func (f *FleetAuditor) OnRound(consumed map[int64]float64, weights map[int64]flo
 // fraction of total weight, error normalized by the target. Principals
 // with zero weight or no consumption window are skipped.
 func (f *FleetAuditor) globalRMSLocked() float64 {
-	if len(f.weights) == 0 || len(f.rounds) == 0 {
+	if len(f.rounds) == 0 {
 		return 0
 	}
 	sum := make(map[int64]float64)
-	var total float64
 	for _, r := range f.rounds {
 		for p, v := range r.consumed {
 			sum[p] += v
-			total += v
 		}
+	}
+	return f.rmsOfLocked(sum)
+}
+
+// rmsOfLocked computes the fleet RMS share error of one consumption
+// aggregate against the current weight table. Caller holds f.mu.
+func (f *FleetAuditor) rmsOfLocked(sum map[int64]float64) float64 {
+	if len(f.weights) == 0 {
+		return 0
+	}
+	var total float64
+	for _, v := range sum {
+		total += v
 	}
 	if total <= 0 {
 		return 0
@@ -379,6 +480,89 @@ func (f *FleetAuditor) GlobalRMSShareError() float64 {
 	return f.rms
 }
 
+// RoundRMSShareError returns the newest round's instantaneous fleet RMS
+// — the raw view that beats against shard duty cycles.
+func (f *FleetAuditor) RoundRMSShareError() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.roundRMS
+}
+
+// EWMAShareError returns the EWMA-smoothed per-round fleet RMS.
+func (f *FleetAuditor) EWMAShareError() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ewma
+}
+
+// RMSBeatRatio returns (max-min)/mean over the recent per-round RMS
+// values — the aliasing-beat diagnostic at fleet level.
+func (f *FleetAuditor) RMSBeatRatio() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.beatRing) < 2 {
+		return 0
+	}
+	min, max, sum := f.beatRing[0], f.beatRing[0], 0.0
+	for _, v := range f.beatRing {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(f.beatRing))
+	if mean <= 0 {
+		return 0
+	}
+	return (max - min) / mean
+}
+
+// ConvergenceView is the compact control signal the rebalancer's
+// adaptive damping consumes: the convergence state machine plus the
+// smoothed error estimators, read in one lock acquisition.
+type ConvergenceView struct {
+	// Valid is false until at least one rebalance round has been folded
+	// in — an adaptive consumer must fall back to its static tuning.
+	Valid bool
+	// Converged mirrors the alps_fleet_converged gauge.
+	Converged bool
+	// EWMA is the smoothed per-round fleet RMS share error.
+	EWMA float64
+	// Round is the newest round's raw instantaneous RMS.
+	Round float64
+	// Rising is true when the EWMA has been climbing across the recent
+	// trail — the fleet is diverging, not just wobbling.
+	Rising bool
+}
+
+// Convergence snapshots the view.
+func (f *FleetAuditor) Convergence() ConvergenceView {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v := ConvergenceView{
+		Valid:     len(f.rounds) > 0,
+		Converged: f.conv.converged,
+		EWMA:      f.ewma,
+		Round:     f.roundRMS,
+	}
+	if n := len(f.trail); n == ewmaTrail {
+		// Monotone climb with real head-to-tail magnitude — a steady
+		// wobble (alternating up/down around a settled mean) must not
+		// read as divergence.
+		rising := f.trail[n-1] > f.trail[0]*1.05 && f.trail[n-1]-f.trail[0] > 1e-9
+		for i := 1; i < n && rising; i++ {
+			if f.trail[i] < f.trail[i-1] {
+				rising = false
+			}
+		}
+		v.Rising = rising
+	}
+	return v
+}
+
 // Register exports the fleet gauges on a registry (typically the
 // coordinator's dedicated fleet registry behind /fleet/metrics).
 func (f *FleetAuditor) Register(reg *obs.Registry) {
@@ -431,6 +615,15 @@ func (f *FleetAuditor) Register(reg *obs.Registry) {
 	reg.GaugeFunc("alps_fleet_global_rms_share_error",
 		"Fleet-wide RMS share error vs the global weight table (windowed).",
 		f.GlobalRMSShareError)
+	reg.GaugeFunc("alps_fleet_global_rms_share_error_round",
+		"Newest round's instantaneous fleet RMS share error (beats against shard duty cycles).",
+		f.RoundRMSShareError)
+	reg.GaugeFunc("alps_fleet_global_rms_share_error_ewma",
+		"EWMA-smoothed per-round fleet RMS share error — the aliasing-free estimator.",
+		f.EWMAShareError)
+	reg.GaugeFunc("alps_fleet_rms_beat_ratio",
+		"(max-min)/mean of recent per-round fleet RMS values; near 0 when steady.",
+		f.RMSBeatRatio)
 	reg.GaugeFunc("alps_fleet_convergence_rounds",
 		"Rebalance rounds the last disturbance took to settle.", func() float64 {
 			f.mu.Lock()

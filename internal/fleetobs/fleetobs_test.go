@@ -2,6 +2,8 @@ package fleetobs
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -390,5 +392,205 @@ func TestAuditorReplicationView(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+}
+
+// TestAuditorRoundEstimators: the per-round raw RMS wobbles on an
+// alternating consumption pattern while the EWMA smooths it, the beat
+// gauge reports the wobble, and the convergence view carries all of it.
+func TestAuditorRoundEstimators(t *testing.T) {
+	a := NewFleetAuditor(AuditorConfig{RMSWindow: 2, EWMAAlpha: 0.1})
+	w := map[int64]float64{1: 1, 2: 1}
+	if v := a.Convergence(); v.Valid {
+		t.Fatal("view valid before any round")
+	}
+	// A period-2 beat: rounds alternate which principal over-consumes,
+	// so each round's instantaneous RMS is 0.5 while any aligned 2-round
+	// aggregate is perfect.
+	var rounds, ewmas []float64
+	for i := 0; i < 40; i++ {
+		c := map[int64]float64{1: 0.75, 2: 0.25}
+		if i%2 == 1 {
+			c = map[int64]float64{1: 0.25, 2: 0.75}
+		}
+		a.OnRound(c, w, false)
+		rounds = append(rounds, a.RoundRMSShareError())
+		ewmas = append(ewmas, a.EWMAShareError())
+	}
+	if r := a.RoundRMSShareError(); math.Abs(r-0.5) > 1e-9 {
+		t.Errorf("instantaneous round RMS = %v, want 0.5", r)
+	}
+	// The EWMA settles to the mean (0.5 every round here, so equal),
+	// but its excursion across the tail must be far below the raw
+	// swing... use a pattern where raw actually swings:
+	b := NewFleetAuditor(AuditorConfig{RMSWindow: 2, EWMAAlpha: 0.1})
+	var rawTail, ewmaTailVals []float64
+	for i := 0; i < 60; i++ {
+		c := map[int64]float64{1: 0.5, 2: 0.5} // perfect: RMS 0
+		if i%2 == 1 {
+			c = map[int64]float64{1: 0.75, 2: 0.25} // skewed: RMS 0.5
+		}
+		b.OnRound(c, w, false)
+		if i >= 40 {
+			rawTail = append(rawTail, b.RoundRMSShareError())
+			ewmaTailVals = append(ewmaTailVals, b.EWMAShareError())
+		}
+	}
+	rawSwing := maxOf(rawTail) - minOf(rawTail)
+	ewmaSwing := maxOf(ewmaTailVals) - minOf(ewmaTailVals)
+	if rawSwing < 0.4 {
+		t.Fatalf("raw per-round RMS shows no beat: swing %v", rawSwing)
+	}
+	if ewmaSwing > rawSwing/5 {
+		t.Errorf("EWMA swing %v not >=5x below raw swing %v", ewmaSwing, rawSwing)
+	}
+	if br := b.RMSBeatRatio(); br < 1 {
+		t.Errorf("beat ratio %v implausibly small for a 0<->0.5 square wave", br)
+	}
+	v := b.Convergence()
+	if !v.Valid || !v.Converged {
+		t.Errorf("view = %+v, want valid and converged (no round moved shares)", v)
+	}
+	if v.Rising {
+		t.Error("steady wobble must not read as divergence")
+	}
+
+	// A genuinely diverging error trend flips Rising.
+	d := NewFleetAuditor(AuditorConfig{RMSWindow: 2, EWMAAlpha: 0.5})
+	for i := 0; i < 10; i++ {
+		skew := 0.5 + 0.04*float64(i) // drifts further off the 1:1 target
+		d.OnRound(map[int64]float64{1: skew, 2: 1 - skew}, w, false)
+	}
+	if v := d.Convergence(); !v.Rising {
+		t.Errorf("steadily growing error not flagged Rising: %+v", v)
+	}
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// TestFederatedShardStaleness is the satellite's table test: every
+// federated per-shard gauge comes with a last_heartbeat_age_seconds
+// stamp, and an isolated (silent) shard's frozen values are marked
+// stale while a live shard's are not.
+func TestFederatedShardStaleness(t *testing.T) {
+	clk := newTestClock()
+	a := NewFleetAuditor(AuditorConfig{Now: clk.Now, LeaseTTL: time.Second})
+	reg := obs.NewRegistry()
+	a.Register(reg)
+
+	live := a.Shard("live")
+	isolated := a.Shard("isolated")
+	isolated.OnHeartbeat(clk.Now(), 7, 0.25, false)
+	// The isolated shard goes silent for 3 TTLs; the live one keeps
+	// beating.
+	for i := 0; i < 3; i++ {
+		clk.Advance(time.Second)
+		live.OnHeartbeat(clk.Now(), 9, 0.01, false)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, tc := range []struct {
+		metric string
+		want   string
+	}{
+		// The staleness stamp: fresh beside the live shard's gauges,
+		// three TTLs old beside the isolated shard's.
+		{`alps_fleet_last_heartbeat_age_seconds{shard="live"}`, "0"},
+		{`alps_fleet_last_heartbeat_age_seconds{shard="isolated"}`, "3"},
+		// The federated values themselves survive isolation (frozen)...
+		{`alps_fleet_shard_rms_share_error{shard="isolated"}`, "0.25"},
+		{`alps_fleet_shard_ack_epoch{shard="isolated"}`, "7"},
+		{`alps_fleet_shard_rms_share_error{shard="live"}`, "0.01"},
+		{`alps_fleet_shard_ack_epoch{shard="live"}`, "9"},
+		// ...but the stale flag distinguishes them.
+		{`alps_fleet_shard_stale{shard="isolated"}`, "1"},
+		{`alps_fleet_shard_stale{shard="live"}`, "0"},
+	} {
+		line := tc.metric + " " + tc.want
+		if !strings.Contains(out, line) {
+			t.Errorf("metrics missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestStackTimeline: the stack retains gauge history on its own
+// registry and serves it (with per-shard staleness stamps) at
+// /fleet/timeline, JSON and CSV.
+func TestStackTimeline(t *testing.T) {
+	clk := newTestClock()
+	s := NewStack(StackConfig{Node: "coord", Now: clk.Now, LeaseTTL: time.Second, HistoryEvery: time.Second})
+	s.Auditor.Shard("s1").OnHeartbeat(clk.Now(), 1, 0.1, false)
+	for i := 0; i < 3; i++ {
+		s.Auditor.OnRound(map[int64]float64{1: 1}, map[int64]float64{1: 1}, false)
+		s.History.Sample(clk.Now())
+		clk.Advance(time.Second)
+	}
+	mux := http.NewServeMux()
+	s.Mount(mux)
+
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/fleet/timeline", nil))
+	var ft FleetTimeline
+	if err := json.Unmarshal(rr.Body.Bytes(), &ft); err != nil {
+		t.Fatalf("unmarshal /fleet/timeline: %v", err)
+	}
+	if len(ft.Shards) != 1 || ft.Shards[0].Name != "s1" {
+		t.Fatalf("timeline shard stamps: %+v", ft.Shards)
+	}
+	if ft.Timeline.Samples != 3 {
+		t.Fatalf("timeline samples = %d, want 3", ft.Timeline.Samples)
+	}
+	found := false
+	for _, sr := range ft.Timeline.Series {
+		if sr.Name == "alps_fleet_global_rms_share_error_ewma" {
+			found = true
+			if len(sr.Points) != 3 {
+				t.Fatalf("ewma series has %d points, want 3", len(sr.Points))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("ewma gauge missing from retained timeline")
+	}
+
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/fleet/timeline?format=csv", nil))
+	if !strings.HasPrefix(rr.Body.String(), "name,labels,unix_nano,value\n") {
+		t.Fatalf("CSV timeline missing header: %q", rr.Body.String()[:40])
+	}
+
+	// History disabled: the endpoint still serves the shard stamps.
+	off := NewStack(StackConfig{Node: "coord", Now: clk.Now, HistoryEvery: -1})
+	if off.History != nil {
+		t.Fatal("negative HistoryEvery should disable the store")
+	}
+	mux2 := http.NewServeMux()
+	off.Mount(mux2)
+	rr = httptest.NewRecorder()
+	mux2.ServeHTTP(rr, httptest.NewRequest("GET", "/fleet/timeline", nil))
+	if rr.Code != 200 {
+		t.Fatalf("disabled-history timeline: HTTP %d", rr.Code)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"alps/internal/obs"
 	"alps/internal/trace"
+	"alps/internal/tshist"
 )
 
 // StackConfig parameterizes the coordinator-side fleet observability
@@ -28,6 +29,12 @@ type StackConfig struct {
 	LeaseTTL time.Duration
 	// Logf receives diagnostics.
 	Logf func(format string, args ...any)
+	// HistoryEvery is the retained-history sampling cadence
+	// (tshist.DefaultEvery when 0; negative disables the store).
+	HistoryEvery time.Duration
+	// HistoryCap bounds each retained series (tshist.DefaultCapacity
+	// when 0).
+	HistoryCap int
 }
 
 // Stack bundles the coordinator's three fleet observability pieces: the
@@ -39,6 +46,10 @@ type Stack struct {
 	Auditor *FleetAuditor
 	Bundler *Bundler
 	Metrics *obs.Registry
+	// History retains a bounded timeline of every fleet gauge, served at
+	// /fleet/timeline. The coordinator's Tick drives its cadence, so in
+	// coordsim the samples land on the virtual clock. Nil when disabled.
+	History *tshist.Store
 }
 
 // NewStack wires a coordinator stack: the bundler's self source is the
@@ -64,7 +75,36 @@ func NewStack(cfg StackConfig) *Stack {
 	bundler.Register(reg)
 	reg.CounterFunc("alps_fleet_trace_events_total",
 		"Coordinator control-plane events traced.", tracer.Events)
-	return &Stack{Tracer: tracer, Auditor: auditor, Bundler: bundler, Metrics: reg}
+	var hist *tshist.Store
+	if cfg.HistoryEvery >= 0 {
+		hist = tshist.New(tshist.Config{
+			Source:   reg,
+			Every:    cfg.HistoryEvery,
+			Capacity: cfg.HistoryCap,
+			Now:      cfg.Now,
+		})
+	}
+	return &Stack{Tracer: tracer, Auditor: auditor, Bundler: bundler, Metrics: reg, History: hist}
+}
+
+// FleetTimeline is the /fleet/timeline document: the coordinator's
+// retained gauge history plus a staleness stamp per shard, so a reader
+// replaying federated series knows which shards were actually reporting
+// over the retained span.
+type FleetTimeline struct {
+	Shards   []ShardHealth   `json:"shards"`
+	Timeline tshist.Timeline `json:"timeline"`
+}
+
+// Timeline snapshots the federated timeline document (zero value when
+// history is disabled).
+func (s *Stack) Timeline() FleetTimeline {
+	var ft FleetTimeline
+	ft.Shards = s.Auditor.Health().Shards
+	if s.History != nil {
+		ft.Timeline = s.History.Snapshot()
+	}
+	return ft
 }
 
 // Mount exposes the fleet endpoints on a mux: federated metrics, the
@@ -78,4 +118,16 @@ func (s *Stack) Mount(mux *http.ServeMux) {
 		_ = enc.Encode(s.Auditor.Health())
 	})
 	mux.Handle("/debug/fleet-trace", s.Bundler)
+	mux.HandleFunc("/fleet/timeline", func(w http.ResponseWriter, r *http.Request) {
+		if s.History != nil && r.URL.Query().Get("format") == "csv" {
+			// CSV drops the shard stamps; it is the plotting format, and
+			// the stamps live one ?format switch away.
+			s.History.Handler().ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(s.Timeline())
+	})
 }

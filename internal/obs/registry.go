@@ -247,6 +247,72 @@ var RatioBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
 }
 
+// Sample is one metric child's scrape-time value, the unit of a registry
+// Snapshot. Labels is the raw inline label block (`{task="3"}`, possibly
+// empty) exactly as the metric was registered.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Snapshot enumerates every metric as flat (name, labels, value) samples
+// in deterministic order (families by name, children by label set).
+// Counters and gauges — including func-backed ones — yield one sample
+// each; a histogram yields its `_sum` and `_count` (per-bucket counts are
+// a scrape concern, not a time-series one). This is the feed the
+// retained-history store samples on its cadence.
+func (r *Registry) Snapshot() []Sample {
+	// Snapshot the structure under the lock, evaluate values after —
+	// func metrics take their owners' locks and must not nest under ours.
+	type child struct {
+		labels string
+		m      any
+	}
+	type fam struct {
+		name string
+		kids []child
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]fam, 0, len(names))
+	for _, n := range names {
+		f := r.fams[n]
+		kids := make([]child, 0, len(f.children))
+		for l, m := range f.children {
+			kids = append(kids, child{l, m})
+		}
+		sort.Slice(kids, func(i, j int) bool { return kids[i].labels < kids[j].labels })
+		fams = append(fams, fam{f.name, kids})
+	}
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(fams))
+	for _, f := range fams {
+		for _, k := range f.kids {
+			switch v := k.m.(type) {
+			case *Counter:
+				out = append(out, Sample{f.name, k.labels, float64(v.Value())})
+			case *Gauge:
+				out = append(out, Sample{f.name, k.labels, v.Value()})
+			case gaugeFunc:
+				out = append(out, Sample{f.name, k.labels, v()})
+			case counterFunc:
+				out = append(out, Sample{f.name, k.labels, float64(v())})
+			case *Histogram:
+				out = append(out,
+					Sample{f.name + "_sum", k.labels, v.Sum()},
+					Sample{f.name + "_count", k.labels, float64(v.Count())})
+			}
+		}
+	}
+	return out
+}
+
 // WritePrometheus renders every metric in Prometheus text exposition
 // format (families sorted by name, children by label set).
 func (r *Registry) WritePrometheus(w io.Writer) error {

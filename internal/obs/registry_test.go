@@ -187,3 +187,35 @@ func TestMetricsObserver(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshot: the flat sample enumeration the history store feeds on
+// — deterministic order, func metrics evaluated, histograms flattened
+// to _sum/_count.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("b_level", "").Set(2.5)
+	r.Counter(`a_total{k="y"}`, "").Add(3)
+	r.Counter(`a_total{k="x"}`, "").Add(1)
+	r.GaugeFunc("c_func", "", func() float64 { return 7 })
+	h := r.Histogram("d_latency", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	got := r.Snapshot()
+	want := []Sample{
+		{"a_total", `{k="x"}`, 1},
+		{"a_total", `{k="y"}`, 3},
+		{"b_level", "", 2.5},
+		{"c_func", "", 7},
+		{"d_latency_sum", "", 2.5},
+		{"d_latency_count", "", 2},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Snapshot returned %d samples, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

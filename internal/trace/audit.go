@@ -32,7 +32,27 @@ type AuditorConfig struct {
 	// DriftThreshold (with 20% hysteresis on the way back). It runs on
 	// the control loop; wire it to Recorder.Trigger.
 	OnDrift func(rms float64)
+	// WindowLock locks the effective RMS window to a whole multiple of
+	// the longest measured principal duty-cycle period, killing the beat
+	// a fixed window strikes against SIGSTOP duty cycling (the Gunther
+	// fair-share decay-window aliasing). The period is reconstructed
+	// online from stamped eligibility rising edges. Off (false), the raw
+	// fixed-window path is byte-identical to an auditor without the knob.
+	WindowLock bool
+	// EWMAAlpha enables the EWMA-over-windows estimator exported as
+	// alps_audit_rms_share_error_ewma: each completed cycle folds the
+	// windowed RMS in with weight alpha. 0 disables smoothing (the gauge
+	// then mirrors the raw windowed RMS exactly).
+	EWMAAlpha float64
 }
+
+// dutyEdgeAlpha smooths the per-task eligibility rising-edge intervals
+// that reconstruct each principal's duty-cycle period.
+const dutyEdgeAlpha = 0.3
+
+// beatWindow bounds the ring of recent windowed RMS values behind the
+// alps_audit_window_beat_ratio gauge.
+const beatWindow = 32
 
 // cycleSample is one completed cycle's contribution to the window.
 type cycleSample struct {
@@ -87,12 +107,28 @@ type Auditor struct {
 	workRing []time.Duration
 	workNext int
 
+	// Duty-cycle reconstruction (WindowLock): per-task last eligibility
+	// rising edge and smoothed inter-edge interval, plus a smoothed
+	// cycle length, give the duty period in cycles that the effective
+	// window locks to.
+	dutyLast     map[int64]time.Duration
+	dutyEwma     map[int64]float64 // seconds between rising edges
+	cycleLenEwma float64           // seconds per allocation cycle
+
 	// Windowed results, recomputed at each cycle completion.
-	rms      float64
-	perTask  map[int64]float64
-	winPot   int64
-	winMeas  int64
-	drifting bool
+	rms       float64
+	effWindow int // cycles the newest RMS actually covered
+	perTask   map[int64]float64
+	winPot    int64
+	winMeas   int64
+	drifting  bool
+
+	// EWMA-over-windows estimator and the beat-ratio diagnostic ring of
+	// recent windowed RMS values.
+	ewma     float64
+	ewmaInit bool
+	beatRing []float64
+	beatNext int
 
 	// Convergence tracking.
 	cycles          int64
@@ -126,6 +162,8 @@ func NewAuditor(cfg AuditorConfig) *Auditor {
 		eligible:        make(map[int64]bool),
 		perTask:         make(map[int64]float64),
 		phaseBegan:      make(map[int]time.Duration),
+		dutyLast:        make(map[int64]time.Duration),
+		dutyEwma:        make(map[int64]float64),
 		lastConvergence: -1,
 		registered:      make(map[int64]bool),
 	}
@@ -175,6 +213,9 @@ func (a *Auditor) Observe(e obs.Event) {
 		if e.Eligible && !a.eligible[e.Task] {
 			a.eligible[e.Task] = true
 			a.eligibleCount++
+			if a.cfg.WindowLock {
+				a.dutyEdgeLocked(e.Task, e.At)
+			}
 		} else if !e.Eligible && a.eligible[e.Task] {
 			delete(a.eligible, e.Task)
 			a.eligibleCount--
@@ -184,9 +225,58 @@ func (a *Auditor) Observe(e obs.Event) {
 			delete(a.eligible, e.Task)
 			a.eligibleCount--
 		}
+		delete(a.dutyLast, e.Task)
+		delete(a.dutyEwma, e.Task)
 	case obs.KindReconfig:
 		a.markDisturbanceLocked()
 	}
+}
+
+// dutyEdgeLocked folds one eligibility rising edge into the task's
+// smoothed duty-cycle period. Only stamped events count: the core
+// scheduler leaves At zero, and a zero-to-zero interval would collapse
+// every period to nothing.
+func (a *Auditor) dutyEdgeLocked(task int64, at time.Duration) {
+	if at <= 0 {
+		return
+	}
+	if last, ok := a.dutyLast[task]; ok && at > last {
+		iv := (at - last).Seconds()
+		if prev, ok := a.dutyEwma[task]; ok {
+			a.dutyEwma[task] = dutyEdgeAlpha*iv + (1-dutyEdgeAlpha)*prev
+		} else {
+			a.dutyEwma[task] = iv
+		}
+	}
+	a.dutyLast[task] = at
+}
+
+// dutyPeriodCyclesLocked converts the longest measured duty period into
+// allocation cycles, or 0 when nothing has been measured yet. The
+// longest period wins because the window must cover a whole number of
+// every principal's duty cycles, and shorter periods divide into
+// multiples of themselves anyway once the window rounds to the longest.
+func (a *Auditor) dutyPeriodCyclesLocked() int {
+	if a.cycleLenEwma <= 0 {
+		return 0
+	}
+	var longest float64
+	for _, iv := range a.dutyEwma {
+		if iv > longest {
+			longest = iv
+		}
+	}
+	if longest <= 0 {
+		return 0
+	}
+	p := int(math.Round(longest / a.cycleLenEwma))
+	if p < 1 {
+		p = 1
+	}
+	if p > len(a.ring) {
+		p = len(a.ring)
+	}
+	return p
 }
 
 // OnCycle feeds one completed allocation cycle. Chain it into the
@@ -219,8 +309,32 @@ func (a *Auditor) OnCycle(rec core.CycleRecord) {
 	a.winPot += s.potential
 	a.winMeas += s.measured
 
+	if a.cfg.WindowLock && rec.Length > 0 {
+		if a.cycleLenEwma <= 0 {
+			a.cycleLenEwma = rec.Length.Seconds()
+		} else {
+			a.cycleLenEwma = dutyEdgeAlpha*rec.Length.Seconds() + (1-dutyEdgeAlpha)*a.cycleLenEwma
+		}
+	}
+
 	a.cycles++
 	a.recomputeLocked(s)
+
+	// Diagnostics ride on every completed cycle: the beat ring feeds the
+	// wobble gauge and the EWMA estimator smooths the windowed RMS.
+	if len(a.beatRing) < beatWindow {
+		a.beatRing = append(a.beatRing, a.rms)
+	} else {
+		a.beatRing[a.beatNext] = a.rms
+		a.beatNext = (a.beatNext + 1) % beatWindow
+	}
+	if a.cfg.EWMAAlpha > 0 {
+		if !a.ewmaInit {
+			a.ewma, a.ewmaInit = a.rms, true
+		} else {
+			a.ewma = a.cfg.EWMAAlpha*a.rms + (1-a.cfg.EWMAAlpha)*a.ewma
+		}
+	}
 
 	var fire func(rms float64)
 	var rms float64
@@ -240,36 +354,7 @@ func (a *Auditor) OnCycle(rec core.CycleRecord) {
 // recomputeLocked refreshes the windowed share errors and the
 // convergence state machine after the newest sample was pushed.
 func (a *Auditor) recomputeLocked(newest cycleSample) {
-	// Windowed errors aggregate consumption over the window for the
-	// tasks in the newest cycle (membership changes mid-window drop out
-	// with their cycles).
-	current := make(map[int64]int, len(newest.ids))
-	for i, id := range newest.ids {
-		current[id] = i
-	}
-	consumed := make([]float64, len(newest.ids))
-	for i := 0; i < a.n; i++ {
-		s := a.ring[(a.next-1-i+len(a.ring)+len(a.ring))%len(a.ring)]
-		for j, id := range s.ids {
-			if k, ok := current[id]; ok {
-				consumed[k] += s.consumed[j]
-			}
-		}
-	}
-	for id := range a.perTask {
-		if _, ok := current[id]; !ok {
-			delete(a.perTask, id)
-		}
-	}
-	if errs, err := metrics.ShareErrors(consumed, newest.shares); err == nil {
-		sq := 0.0
-		for i, e := range errs {
-			a.perTask[newest.ids[i]] = e
-			a.registerTaskLocked(newest.ids[i])
-			sq += e * e
-		}
-		a.rms = math.Sqrt(sq / float64(len(errs)))
-	}
+	a.recomputeWindowLocked(newest)
 
 	// Convergence judges each cycle on its own: did THIS cycle deliver
 	// shares within the threshold?
@@ -295,6 +380,56 @@ func (a *Auditor) recomputeLocked(newest cycleSample) {
 		}
 	} else {
 		a.streak = 0
+	}
+}
+
+// recomputeWindowLocked refreshes the windowed share errors. With
+// WindowLock on, the aggregation truncates to the largest whole
+// multiple of the measured duty-cycle period that fits the filled ring
+// — a window covering whole duty cycles sees every principal's full
+// on/off pattern, so the RMS stops beating against SIGSTOP duty
+// cycling. With the knob off, limit == a.n and the arithmetic is the
+// raw fixed window, bit for bit.
+func (a *Auditor) recomputeWindowLocked(newest cycleSample) {
+	limit := a.n
+	if a.cfg.WindowLock {
+		if p := a.dutyPeriodCyclesLocked(); p > 0 {
+			if eff := (a.n / p) * p; eff > 0 {
+				limit = eff
+			}
+		}
+	}
+	a.effWindow = limit
+
+	// Windowed errors aggregate consumption over the window for the
+	// tasks in the newest cycle (membership changes mid-window drop out
+	// with their cycles).
+	current := make(map[int64]int, len(newest.ids))
+	for i, id := range newest.ids {
+		current[id] = i
+	}
+	consumed := make([]float64, len(newest.ids))
+	for i := 0; i < limit; i++ {
+		s := a.ring[(a.next-1-i+len(a.ring)+len(a.ring))%len(a.ring)]
+		for j, id := range s.ids {
+			if k, ok := current[id]; ok {
+				consumed[k] += s.consumed[j]
+			}
+		}
+	}
+	for id := range a.perTask {
+		if _, ok := current[id]; !ok {
+			delete(a.perTask, id)
+		}
+	}
+	if errs, err := metrics.ShareErrors(consumed, newest.shares); err == nil {
+		sq := 0.0
+		for i, e := range errs {
+			a.perTask[newest.ids[i]] = e
+			a.registerTaskLocked(newest.ids[i])
+			sq += e * e
+		}
+		a.rms = math.Sqrt(sq / float64(len(errs)))
 	}
 }
 
@@ -330,11 +465,116 @@ func (a *Auditor) markDisturbanceLocked() {
 	a.disturbances++
 }
 
+// Reconfigure adjusts the audit window length (cycles) and the drift
+// threshold at runtime — the /admin/config hooks. A non-positive
+// argument leaves that knob unchanged. Resizing keeps the newest
+// min(n, window) samples and recomputes the windowed results in place,
+// so the exported gauges never mix window lengths.
+func (a *Auditor) Reconfigure(window int, drift float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if drift > 0 {
+		a.cfg.DriftThreshold = drift
+	}
+	if window <= 0 || window == len(a.ring) {
+		return
+	}
+	keep := a.n
+	if keep > window {
+		keep = window
+	}
+	nr := make([]cycleSample, window)
+	for i := 0; i < keep; i++ { // i-th newest lands at nr[keep-1-i]
+		nr[keep-1-i] = a.ring[(a.next-1-i+2*len(a.ring))%len(a.ring)]
+	}
+	a.cfg.Window = window
+	a.ring = nr
+	a.n = keep
+	a.next = keep % window
+	a.winPot, a.winMeas = 0, 0
+	for i := 0; i < keep; i++ {
+		a.winPot += nr[i].potential
+		a.winMeas += nr[i].measured
+	}
+	if keep > 0 {
+		a.recomputeWindowLocked(nr[keep-1])
+	}
+}
+
+// Thresholds returns the current audit window length (cycles) and
+// drift threshold — the values /admin/config reports.
+func (a *Auditor) Thresholds() (window int, drift float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.ring), a.cfg.DriftThreshold
+}
+
 // RMSShareError returns the windowed RMS share error.
 func (a *Auditor) RMSShareError() float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.rms
+}
+
+// RMSShareErrorEWMA returns the EWMA-over-windows share-error
+// estimator, or the raw windowed RMS when EWMAAlpha is 0 — readers get
+// the best available estimate either way.
+func (a *Auditor) RMSShareErrorEWMA() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.EWMAAlpha <= 0 || !a.ewmaInit {
+		return a.rms
+	}
+	return a.ewma
+}
+
+// WindowBeatRatio returns (max-min)/mean of the recent windowed RMS
+// values — near 0 when the estimator is steady, rising toward 1 when
+// the window beats against a duty cycle.
+func (a *Auditor) WindowBeatRatio() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.beatRing) < 2 {
+		return 0
+	}
+	min, max, sum := a.beatRing[0], a.beatRing[0], 0.0
+	for _, v := range a.beatRing {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(a.beatRing))
+	if mean <= 0 {
+		return 0
+	}
+	return (max - min) / mean
+}
+
+// EffectiveWindowCycles returns the cycles the newest RMS actually
+// aggregated: the filled ring length, truncated to a whole number of
+// duty-cycle periods when WindowLock is on.
+func (a *Auditor) EffectiveWindowCycles() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.effWindow
+}
+
+// DutyPeriodSeconds returns the longest measured principal duty-cycle
+// period (0 until eligibility edges have been stamped twice).
+func (a *Auditor) DutyPeriodSeconds() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var longest float64
+	for _, iv := range a.dutyEwma {
+		if iv > longest {
+			longest = iv
+		}
+	}
+	return longest
 }
 
 // ConvergenceCycles returns the last measured convergence time in
@@ -442,9 +682,21 @@ func (a *Auditor) Register(reg *obs.Registry) {
 	reg.GaugeFunc("alps_audit_sampling_reduction_ratio",
 		"Fraction of potential per-quantum measurements avoided by §2.3 lazy sampling (§3.2).",
 		a.SamplingReductionRatio)
+	reg.GaugeFunc("alps_audit_rms_share_error_ewma",
+		"EWMA-over-windows RMS share error (raw windowed RMS when EWMAAlpha is 0).",
+		a.RMSShareErrorEWMA)
+	reg.GaugeFunc("alps_audit_window_beat_ratio",
+		"(max-min)/mean of recent windowed RMS values; near 0 when steady, near 1 when the window beats against a duty cycle.",
+		a.WindowBeatRatio)
 	reg.GaugeFunc("alps_audit_window_cycles",
 		"Cycles currently in the audit window.",
 		func() float64 { a.mu.Lock(); defer a.mu.Unlock(); return float64(a.n) })
+	reg.GaugeFunc("alps_audit_window_effective_cycles",
+		"Cycles the newest RMS aggregated (duty-locked multiple when WindowLock is on).",
+		func() float64 { return float64(a.EffectiveWindowCycles()) })
+	reg.GaugeFunc("alps_audit_duty_period_seconds",
+		"Longest measured principal duty-cycle period, from stamped eligibility edges.",
+		a.DutyPeriodSeconds)
 	reg.GaugeFunc("alps_audit_drifting",
 		"1 while the windowed RMS share error exceeds the drift threshold.",
 		func() float64 {

@@ -250,3 +250,209 @@ func TestAuditorDeadTaskDropsFromWindow(t *testing.T) {
 		t.Errorf("RMS with sole surviving task = %v, want 0 (it gets everything it asks)", rms)
 	}
 }
+
+// dutyRec builds a two-task CycleRecord with an explicit nominal cycle
+// length (the window-lock tests need Length to convert duty periods
+// into cycles).
+func dutyRec(index int, length time.Duration, c1, c2 time.Duration) core.CycleRecord {
+	return core.CycleRecord{
+		Index:  index,
+		Length: length,
+		Tasks: []core.CycleTask{
+			{ID: 1, Share: 1, Consumed: c1},
+			{ID: 2, Share: 1, Consumed: c2},
+		},
+	}
+}
+
+// feedDutyCycle drives one allocation cycle of the synthetic period-4
+// duty pattern into an auditor: task 1 bursts its whole 2s budget every
+// fourth cycle, task 2 spreads 2s evenly across the other three. Over
+// any aligned 4-cycle span the 1:1 shares are delivered exactly; over a
+// misaligned fixed window the measured RMS beats with period 4.
+func feedDutyCycle(a *Auditor, k int) {
+	at := time.Duration(k) * time.Second
+	switch k % 4 {
+	case 0: // burst cycle: task 1 wakes (rising edge)
+		a.Observe(obs.Event{Kind: obs.KindTransition, Task: 1, Eligible: true, At: at})
+	case 1:
+		a.Observe(obs.Event{Kind: obs.KindTransition, Task: 1, Eligible: false, At: at})
+	}
+	// Task 2 duty-cycles every cycle: falling then rising edge.
+	a.Observe(obs.Event{Kind: obs.KindTransition, Task: 2, Eligible: false, At: at})
+	a.Observe(obs.Event{Kind: obs.KindTransition, Task: 2, Eligible: true, At: at})
+	var c1, c2 time.Duration
+	if k%4 == 0 {
+		c1 = 2 * time.Second
+	} else {
+		c2 = 2 * time.Second / 3
+	}
+	a.OnCycle(dutyRec(k, time.Second, c1, c2))
+}
+
+// TestAuditorWindowLockKillsAliasing is the tentpole's unit-level
+// proof: the same period-4 duty pattern makes a raw 5-cycle window's
+// RMS oscillate (the Gunther decay-window beat) while the duty-locked
+// window, truncated to 4 cycles from the measured eligibility edges,
+// reads a constant 0. The raw auditor also pins the knobs-off contract:
+// the EWMA gauge mirrors the raw RMS exactly when EWMAAlpha is 0.
+func TestAuditorWindowLockKillsAliasing(t *testing.T) {
+	raw := NewAuditor(AuditorConfig{Window: 5})
+	locked := NewAuditor(AuditorConfig{Window: 5, WindowLock: true})
+
+	var rawVals, lockVals []float64
+	for k := 0; k < 40; k++ {
+		feedDutyCycle(raw, k)
+		feedDutyCycle(locked, k)
+		if got, want := raw.RMSShareErrorEWMA(), raw.RMSShareError(); got != want {
+			t.Fatalf("cycle %d: knobs-off EWMA gauge %v != raw RMS %v", k, got, want)
+		}
+		if k >= 12 { // past window fill and duty-period estimation
+			rawVals = append(rawVals, raw.RMSShareError())
+			lockVals = append(lockVals, locked.RMSShareError())
+		}
+	}
+
+	min, max := rawVals[0], rawVals[0]
+	for _, v := range rawVals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min < 0.1 {
+		t.Fatalf("raw window shows no beat: RMS range [%v, %v]", min, max)
+	}
+	for _, v := range lockVals {
+		if v > 1e-9 {
+			t.Fatalf("duty-locked window still beats: RMS %v, want 0", v)
+		}
+	}
+	if got := locked.EffectiveWindowCycles(); got != 4 {
+		t.Errorf("EffectiveWindowCycles = %d, want 4 (one duty period)", got)
+	}
+	if got := raw.EffectiveWindowCycles(); got != 5 {
+		t.Errorf("raw EffectiveWindowCycles = %d, want 5 (the full window)", got)
+	}
+	if got := locked.DutyPeriodSeconds(); math.Abs(got-4) > 0.01 {
+		t.Errorf("DutyPeriodSeconds = %v, want ~4", got)
+	}
+	if rb, lb := raw.WindowBeatRatio(), locked.WindowBeatRatio(); lb > rb/5 {
+		t.Errorf("beat ratio not reduced >=5x: raw %v, locked %v", rb, lb)
+	}
+}
+
+// TestAuditorEWMAEstimator checks the EWMA recursion against a manual
+// trace: first windowed RMS seeds it, later ones fold in with alpha.
+func TestAuditorEWMAEstimator(t *testing.T) {
+	const alpha = 0.25
+	a := NewAuditor(AuditorConfig{Window: 1, EWMAAlpha: alpha})
+	want := 0.0
+	for k := 0; k < 10; k++ {
+		// Alternate perfect and fully skewed cycles; window 1 makes the
+		// windowed RMS follow each cycle directly.
+		if k%2 == 0 {
+			a.OnCycle(cycleRec(k, 10*time.Millisecond, 10*time.Millisecond, 1, 1))
+		} else {
+			a.OnCycle(cycleRec(k, 20*time.Millisecond, 0, 1, 1))
+		}
+		rms := a.RMSShareError()
+		if k == 0 {
+			want = rms
+		} else {
+			want = alpha*rms + (1-alpha)*want
+		}
+		if got := a.RMSShareErrorEWMA(); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("cycle %d: EWMA = %v, want %v", k, got, want)
+		}
+	}
+	// The smoothed estimate must sit strictly between the alternating
+	// extremes the raw gauge bounces across.
+	ewma := a.RMSShareErrorEWMA()
+	if ewma <= 0.05 || ewma >= 0.95 {
+		t.Errorf("EWMA %v not strictly between the alternating extremes", ewma)
+	}
+}
+
+// TestAuditorReconfigure covers the /admin/config hooks: shrinking the
+// window keeps only the newest samples (the RMS recomputes in place),
+// growing it refills gradually, and the drift threshold updates.
+func TestAuditorReconfigure(t *testing.T) {
+	NewAuditor(AuditorConfig{Window: 4}).Reconfigure(2, 0.5) // empty: must not panic
+
+	a := NewAuditor(AuditorConfig{Window: 4})
+	// Two perfect cycles, then two fully skewed ones (shares 1:3 but
+	// equal consumption).
+	a.OnCycle(cycleRec(0, 10*time.Millisecond, 30*time.Millisecond, 1, 3))
+	a.OnCycle(cycleRec(1, 10*time.Millisecond, 30*time.Millisecond, 1, 3))
+	a.OnCycle(cycleRec(2, 20*time.Millisecond, 20*time.Millisecond, 1, 3))
+	a.OnCycle(cycleRec(3, 20*time.Millisecond, 20*time.Millisecond, 1, 3))
+	mixed := a.RMSShareError()
+
+	// Shrink to the newest two (the skewed ones): the RMS must jump to
+	// the pure-skew value immediately, without waiting for a cycle.
+	a.Reconfigure(2, 0.42)
+	skew := math.Sqrt((1.0*1.0 + (1.0/3)*(1.0/3)) / 2)
+	if got := a.RMSShareError(); math.Abs(got-skew) > 1e-9 {
+		t.Errorf("RMS after shrink = %v, want %v (newest two cycles)", got, skew)
+	}
+	if mixed >= skew {
+		t.Errorf("mixed-window RMS %v should be below pure-skew %v", mixed, skew)
+	}
+	if w, d := a.Thresholds(); w != 2 || d != 0.42 {
+		t.Errorf("Thresholds = (%d, %v), want (2, 0.42)", w, d)
+	}
+
+	// Grow back: kept samples survive, new cycles refill toward the new
+	// length.
+	a.Reconfigure(6, 0)
+	if w, d := a.Thresholds(); w != 6 || d != 0.42 {
+		t.Errorf("Thresholds after grow = (%d, %v), want (6, 0.42)", w, d)
+	}
+	a.OnCycle(cycleRec(4, 10*time.Millisecond, 30*time.Millisecond, 1, 3))
+	if got := a.EffectiveWindowCycles(); got != 3 {
+		t.Errorf("window after grow+1 cycle = %d cycles, want 3 (2 kept + 1 new)", got)
+	}
+
+	// The lowered threshold drives the drift hysteresis: fill the window
+	// with skew and the excursion fires against 0.42.
+	var fired []float64
+	b := NewAuditor(AuditorConfig{Window: 2, DriftThreshold: 10, // absurdly high: never fires
+		OnDrift: func(rms float64) { fired = append(fired, rms) }})
+	b.OnCycle(cycleRec(0, 20*time.Millisecond, 20*time.Millisecond, 1, 3))
+	b.OnCycle(cycleRec(1, 20*time.Millisecond, 20*time.Millisecond, 1, 3))
+	if len(fired) != 0 {
+		t.Fatal("drift fired below threshold")
+	}
+	b.Reconfigure(0, 0.1) // window unchanged, threshold now crossable
+	b.OnCycle(cycleRec(2, 20*time.Millisecond, 20*time.Millisecond, 1, 3))
+	if len(fired) != 1 {
+		t.Errorf("drift fired %d times after threshold drop, want 1", len(fired))
+	}
+}
+
+// TestAuditorAliasGaugesRegistered: the new estimator gauges appear on
+// the registry.
+func TestAuditorAliasGaugesRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAuditor(AuditorConfig{Window: 2, EWMAAlpha: 0.2, WindowLock: true})
+	a.Register(reg)
+	a.OnCycle(cycleRec(0, 10*time.Millisecond, 20*time.Millisecond, 1, 2))
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"alps_audit_rms_share_error_ewma",
+		"alps_audit_window_beat_ratio",
+		"alps_audit_window_effective_cycles 1",
+		"alps_audit_duty_period_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

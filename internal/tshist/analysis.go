@@ -1,0 +1,86 @@
+package tshist
+
+// Series analysis for the timeline reports: FFT-free detection of a
+// periodic beat in a sampled gauge (the measurement-window aliasing the
+// auditors hunt) and the wobble statistic the benchmarks gate on. Plain
+// float slices, so both the fleet auditor's in-memory rings and the
+// store's retained points feed the same math.
+
+// BeatRatio is the steady-state wobble statistic: (max - min) / mean
+// over the samples. 0 for fewer than 2 samples or a non-positive mean.
+// A converged, alias-free estimator holds this near 0; a window beating
+// against a duty cycle pushes it toward (and past) 1.
+func BeatRatio(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	min, max, sum := xs[0], xs[0], 0.0
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean <= 0 {
+		return 0
+	}
+	return (max - min) / mean
+}
+
+// DominantPeriod detects a periodic beat by normalized autocorrelation
+// — no FFT, just the direct lag products, fine for the few hundred
+// points a timeline retains. It returns the lag in [2, maxLag] with the
+// highest normalized autocorrelation of the mean-removed series, and
+// that correlation (in [-1, 1]). Returns (0, 0) when the series is too
+// short (needs at least 3*lag points for a meaningful estimate at lag)
+// or flat.
+func DominantPeriod(xs []float64, maxLag int) (lag int, corr float64) {
+	n := len(xs)
+	if n < 6 || maxLag < 2 {
+		return 0, 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var0 := 0.0
+	d := make([]float64, n)
+	for i, x := range xs {
+		d[i] = x - mean
+		var0 += d[i] * d[i]
+	}
+	if var0 <= 0 {
+		return 0, 0
+	}
+	if maxLag > n/3 {
+		maxLag = n / 3
+	}
+	best, bestCorr := 0, 0.0
+	for l := 2; l <= maxLag; l++ {
+		var c float64
+		for i := l; i < n; i++ {
+			c += d[i] * d[i-l]
+		}
+		// Normalize by the full-series variance scaled to the overlap
+		// length — the standard biased autocorrelation estimate.
+		c /= var0 * float64(n-l) / float64(n)
+		if c > bestCorr {
+			best, bestCorr = l, c
+		}
+	}
+	return best, bestCorr
+}
+
+// Values extracts the value column of a point series.
+func Values(pts []Point) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Value
+	}
+	return out
+}
