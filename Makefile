@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench timeline trace trace-fleet chaos chaos-fleet chaos-failover vulncheck
+.PHONY: check vet build test race short bench alloc-gate timeline trace trace-fleet chaos chaos-fleet chaos-failover vulncheck
 
 check: vet build race
 
@@ -34,14 +34,25 @@ short:
 #                rebalance convergence vs the 12-round gate
 #                (BENCH_robustness.json)
 #   scale      — control-loop cost vs fleet size, seed loop vs O(due)
-#                loop; fails if the speedup regresses >20% against
-#                BENCH_scale_baseline.json, and (full runs) if the
-#                auditor gauges show <5x at N=1000 (BENCH_scale.json)
+#                loop, steady-state allocs per quantum, and the
+#                members-per-principal group-signaling axis; fails if
+#                the indexed loop regresses >20% against
+#                BENCH_scale_baseline.json, if steady-state allocs
+#                leave zero, if group signaling exceeds one syscall per
+#                principal flip, and (full runs) if the auditor gauges
+#                show <5x at N=1000 (BENCH_scale.json)
 # QUICK=1 trims iterations for CI.
 bench:
 	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) obs
 	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) robustness
 	$(GO) run ./cmd/alps-bench $(if $(QUICK),-quick) scale
+
+# Fast alloc-regression gate: the in-tree half of the scale benchmark's
+# allocs_per_quantum check. Runs without -race (race instrumentation
+# allocates on the hot path) and fails the moment a steady-state quantum
+# of the indexed loop heap-allocates at all.
+alloc-gate:
+	$(GO) test -run TestSteadyStateZeroAllocs -count=1 ./internal/osproc/
 
 # Timeline smoke: retained-history closed-loop gates. A synthetic
 # duty-cycled workload aliases a deliberately mismatched audit window;

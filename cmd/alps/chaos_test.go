@@ -324,8 +324,14 @@ func TestAdminConfigAndSIGHUP(t *testing.T) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-	if !strings.Contains(errb.String(), "config reloaded") {
-		t.Errorf("stderr missing reload announcement:\n%s", errb.String())
+	// The applied document becomes visible over HTTP before the reload
+	// announcement hits stderr, so poll rather than check once.
+	for !strings.Contains(errb.String(), "config reloaded") {
+		if time.Now().After(deadline) {
+			t.Errorf("stderr missing reload announcement:\n%s", errb.String())
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 
 	waitNotStopped(t, p1, p2)

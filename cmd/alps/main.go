@@ -575,6 +575,10 @@ func cmdSpawn(args []string) error {
 		cmd := exec.Command(cmdArgs[0], cmdArgs[1:]...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
+		// Each spawned command leads its own process group, so the runner
+		// can suspend/resume the whole principal with one kill(-pgid) and
+		// any children it forks are covered by the same signal.
+		cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
 		if err := cmd.Start(); err != nil {
 			for _, p := range procs {
 				_ = p.Process.Kill()
@@ -583,7 +587,10 @@ func cmdSpawn(args []string) error {
 		}
 		procs = append(procs, cmd)
 		fmt.Fprintf(os.Stderr, "alps: started pid %d with share %d\n", cmd.Process.Pid, share)
-		tasks = append(tasks, alps.RunnerTask{ID: alps.TaskID(i), Share: share, PIDs: []int{cmd.Process.Pid}})
+		tasks = append(tasks, alps.RunnerTask{
+			ID: alps.TaskID(i), Share: share,
+			PIDs: []int{cmd.Process.Pid}, PGID: cmd.Process.Pid,
+		})
 	}
 	defer func() {
 		for _, p := range procs {

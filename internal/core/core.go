@@ -70,6 +70,14 @@ type Config struct {
 	// benchmark measures the indexed loop against.
 	DisableIndexing bool
 
+	// DueHeap selects the PR-5 binary min-heap as the stage-1 due index
+	// instead of the default hierarchical timer wheel (see wheel.go).
+	// Both satisfy the same dueIndex contract and produce byte-identical
+	// event streams; the heap is retained as the O(log n) oracle for the
+	// wheel's property tests and as an escape hatch. Ignored when the
+	// indexed path is disabled.
+	DueHeap bool
+
 	// OnCycle, if non-nil, is invoked at the completion of every cycle
 	// with a record of the CPU time attributed to each task during that
 	// cycle. This is the instrumentation the paper uses for its
@@ -150,6 +158,12 @@ type task struct {
 
 // Decision is the outcome of one Tick: the eligibility transitions the
 // driver must enact before the next quantum begins.
+//
+// Ownership: the slices are backed by scheduler-owned scratch reused
+// across ticks (the steady-state quantum loop performs zero
+// allocations), so they are valid only until the next TickQuantum on
+// the same scheduler. Drivers that retain a Decision across quanta must
+// copy the slices they keep. Empty fields are always nil.
 type Decision struct {
 	// Resume lists tasks that transitioned ineligible → eligible and
 	// must be made runnable (SIGCONT).
@@ -182,15 +196,31 @@ type Scheduler struct {
 
 	indexed bool // the O(due) path is active (see Config.DisableIndexing)
 
-	// Indexed-path state (see index.go): the measurement due-heap, the
-	// admission queue of tasks awaiting their first stage-3 visit, the
-	// prepared due batch with the tick it was prepared for (0 = none),
-	// and a scratch slice for stage 3's visit list.
-	due         dueHeap
+	// eligible counts tasks currently in the Eligible state. It bounds
+	// the number of live entries in the due index, so prepareDue uses it
+	// to decide when lazily invalidated entries have accumulated past the
+	// compaction threshold.
+	eligible int
+
+	// Indexed-path state (see index.go and wheel.go): the measurement
+	// due index (timer wheel by default, min-heap behind Config.DueHeap;
+	// nil on the reference path), the admission queue of tasks awaiting
+	// their first stage-3 visit, the prepared due batch with the tick it
+	// was prepared for (0 = none), and scratch slices for the index
+	// drain and stage 3's visit list.
+	due         dueIndex
 	admit       []TaskID
 	dueBatch    []TaskID
 	duePrepared int64
 	visit       []TaskID
+	drainBuf    []dueEntry
+
+	// Decision scratch, reused across ticks so the steady-state quantum
+	// loop allocates nothing (see the Decision ownership contract).
+	decResume   []TaskID
+	decSuspend  []TaskID
+	decMeasured []TaskID
+	decDead     []TaskID
 }
 
 // ErrTaskExists is returned by Add for a duplicate TaskID.
@@ -208,11 +238,19 @@ func New(cfg Config) *Scheduler {
 	if cfg.Quantum <= 0 {
 		panic("core: Config.Quantum must be positive")
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		cfg:     cfg,
 		tasks:   make(map[TaskID]*task),
 		indexed: !cfg.DisableIndexing && !cfg.DisableLazySampling,
 	}
+	if s.indexed {
+		if cfg.DueHeap {
+			s.due = &dueHeap{}
+		} else {
+			s.due = newDueWheel()
+		}
+	}
+	return s
 }
 
 // Quantum returns the configured ALPS quantum Q.
@@ -235,12 +273,20 @@ func (s *Scheduler) Tick() int64 { return s.count }
 // Len returns the number of registered tasks.
 func (s *Scheduler) Len() int { return len(s.tasks) }
 
-// Tasks returns the registered task IDs in ascending order.
+// Tasks returns the registered task IDs in ascending order. The slice
+// is freshly allocated and owned by the caller; hot paths that only
+// iterate should use TaskIDs instead.
 func (s *Scheduler) Tasks() []TaskID {
 	out := make([]TaskID, s.order.len())
 	copy(out, s.order.all())
 	return out
 }
+
+// TaskIDs returns the registered task IDs in ascending order without
+// copying. The slice is owned by the scheduler and valid only until the
+// next registration change (Add, Remove, a tick that drops dead tasks,
+// or Restore); callers iterate but never mutate or retain it.
+func (s *Scheduler) TaskIDs() []TaskID { return s.order.all() }
 
 // Share returns the share count of the given task.
 func (s *Scheduler) Share(id TaskID) (int64, error) {
@@ -316,9 +362,13 @@ func (s *Scheduler) Remove(id TaskID) error {
 	}
 	s.cycleTime -= t.allowance
 	s.totalShares -= t.share
+	if t.state == Eligible {
+		s.eligible--
+	}
 	delete(s.tasks, id)
-	// Stale due-heap and admission-queue entries are invalidated lazily:
-	// both consumption paths re-check the live task state.
+	// Stale due-index and admission-queue entries are invalidated lazily:
+	// both consumption paths re-check the live task state, and prepareDue
+	// compacts the index when stales outnumber live entries.
 	s.order.remove(id)
 	return nil
 }

@@ -10,10 +10,11 @@ import (
 	"alps/internal/obs"
 )
 
-// The indexed scheduler (the default O(due)-work path) must be
+// The indexed scheduler (the default O(due)-work path, with either due
+// index: the default timer wheel or the Config.DueHeap min-heap) must be
 // observationally identical to the retained reference implementation
 // (Config.DisableIndexing): same Decisions, byte-identical obs event
-// stream, same externally visible task state. These tests run the two
+// stream, same externally visible task state. These tests run the three
 // side by side on randomized workloads — mid-run admissions, removals,
 // deaths, re-weighting, quantum reconfiguration, blocked tasks, and
 // snapshot/restore round-trips — and fail on the first divergence.
@@ -41,12 +42,50 @@ type equivRun struct {
 	count     int64
 }
 
-func runScript(t *testing.T, seed int64, script []scriptOp, reference bool) equivRun {
+// equivMode selects which of the three TickQuantum implementations a
+// script runs against.
+type equivMode int
+
+const (
+	modeWheel equivMode = iota // indexed, timer-wheel due index (default)
+	modeHeap                   // indexed, min-heap due index (Config.DueHeap)
+	modeReference
+)
+
+func (m equivMode) String() string {
+	switch m {
+	case modeWheel:
+		return "wheel"
+	case modeHeap:
+		return "heap"
+	default:
+		return "reference"
+	}
+}
+
+// copyDecision deep-copies a Decision: TickQuantum's result is backed by
+// scheduler-owned scratch valid only until the next tick, and these runs
+// retain every Decision for the final comparison. Nil fields stay nil so
+// shape comparisons remain exact.
+func copyDecision(d Decision) Decision {
+	d.Resume = append([]TaskID(nil), d.Resume...)
+	d.Suspend = append([]TaskID(nil), d.Suspend...)
+	d.Measured = append([]TaskID(nil), d.Measured...)
+	d.Dead = append([]TaskID(nil), d.Dead...)
+	return d
+}
+
+func runScript(t *testing.T, seed int64, script []scriptOp, mode equivMode) equivRun {
 	t.Helper()
 	log := obs.NewEventLog(0)
-	s := New(Config{Quantum: q, Observer: log, DisableIndexing: reference})
-	if reference == s.indexed {
-		t.Fatalf("DisableIndexing=%v produced indexed=%v", reference, s.indexed)
+	s := New(Config{
+		Quantum:         q,
+		Observer:        log,
+		DisableIndexing: mode == modeReference,
+		DueHeap:         mode == modeHeap,
+	})
+	if (mode == modeReference) == s.indexed {
+		t.Fatalf("mode %v produced indexed=%v", mode, s.indexed)
 	}
 	// Progress and death are deterministic functions of (seed, tick, id),
 	// not of the request order, so a scheduler that measures the wrong
@@ -81,9 +120,9 @@ func runScript(t *testing.T, seed int64, script []scriptOp, reference bool) equi
 				t.Fatalf("seed %d: self-restore: %v", seed, err)
 			}
 		default:
-			decisions = append(decisions, s.TickQuantum(func(id TaskID) (Progress, bool) {
+			decisions = append(decisions, copyDecision(s.TickQuantum(func(id TaskID) (Progress, bool) {
 				return prog(s.Tick(), id)
-			}))
+			})))
 		}
 	}
 	out := equivRun{
@@ -136,47 +175,59 @@ func genScript(rng *rand.Rand) []scriptOp {
 	return script
 }
 
+// equivCompare fails (returning false) on the first observable
+// divergence between a candidate run and the reference-path oracle.
+func equivCompare(t *testing.T, seed int64, mode equivMode, got, ref equivRun) bool {
+	t.Helper()
+	if !reflect.DeepEqual(got.events, ref.events) {
+		i := 0
+		for i < len(got.events) && i < len(ref.events) && got.events[i] == ref.events[i] {
+			i++
+		}
+		t.Logf("seed %d: %v event stream diverges from reference at %d (of %d/%d):", seed, mode, i, len(got.events), len(ref.events))
+		lo, hi := i-3, i+3
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j <= hi; j++ {
+			var a, b any
+			if j < len(got.events) {
+				a = got.events[j]
+			}
+			if j < len(ref.events) {
+				b = ref.events[j]
+			}
+			t.Logf("  [%d] %v=%+v reference=%+v", j, mode, a, b)
+		}
+		return false
+	}
+	if !reflect.DeepEqual(got.decisions, ref.decisions) {
+		t.Logf("seed %d: %v decisions diverge from reference", seed, mode)
+		return false
+	}
+	if !reflect.DeepEqual(got.tasks, ref.tasks) ||
+		!reflect.DeepEqual(got.state, ref.state) ||
+		got.cycleTime != ref.cycleTime || got.cycles != ref.cycles || got.count != ref.count {
+		t.Logf("seed %d: %v final state diverges:\n%v:       %+v\nreference: %+v", seed, mode, mode, got, ref)
+		return false
+	}
+	return true
+}
+
 // TestIndexedMatchesReference is the tentpole equivalence proof: on
-// randomized workload scripts, the indexed and reference schedulers
-// produce identical Decision sequences, byte-identical event streams,
-// and the same final task partition and bookkeeping.
+// randomized workload scripts, both indexed schedulers (timer wheel and
+// min-heap due index) and the reference scheduler produce identical
+// Decision sequences, byte-identical event streams, and the same final
+// task partition and bookkeeping.
 func TestIndexedMatchesReference(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		script := genScript(rng)
-		idx := runScript(t, seed, script, false)
-		ref := runScript(t, seed, script, true)
-		if !reflect.DeepEqual(idx.events, ref.events) {
-			i := 0
-			for i < len(idx.events) && i < len(ref.events) && idx.events[i] == ref.events[i] {
-				i++
+		ref := runScript(t, seed, script, modeReference)
+		for _, mode := range []equivMode{modeWheel, modeHeap} {
+			if !equivCompare(t, seed, mode, runScript(t, seed, script, mode), ref) {
+				return false
 			}
-			t.Logf("seed %d: event streams diverge at %d (of %d/%d):", seed, i, len(idx.events), len(ref.events))
-			lo, hi := i-3, i+3
-			if lo < 0 {
-				lo = 0
-			}
-			for j := lo; j <= hi; j++ {
-				var a, b any
-				if j < len(idx.events) {
-					a = idx.events[j]
-				}
-				if j < len(ref.events) {
-					b = ref.events[j]
-				}
-				t.Logf("  [%d] indexed=%+v reference=%+v", j, a, b)
-			}
-			return false
-		}
-		if !reflect.DeepEqual(idx.decisions, ref.decisions) {
-			t.Logf("seed %d: decisions diverge", seed)
-			return false
-		}
-		if !reflect.DeepEqual(idx.tasks, ref.tasks) ||
-			!reflect.DeepEqual(idx.state, ref.state) ||
-			idx.cycleTime != ref.cycleTime || idx.cycles != ref.cycles || idx.count != ref.count {
-			t.Logf("seed %d: final state diverges:\nindexed:   %+v\nreference: %+v", seed, idx, ref)
-			return false
 		}
 		return true
 	}

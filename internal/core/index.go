@@ -23,10 +23,16 @@ import "sort"
 //
 // Heap entries are invalidated lazily: a task that turned ineligible, was
 // removed, or was rescheduled simply leaves its stale entry behind, and
-// the pop path discards any entry whose (wake, task) no longer matches
+// the drain path discards any entry whose (wake, task) no longer matches
 // the live task state. Every push corresponds to one §2.3 scheduling
 // decision, so the heap holds at most one live entry per eligible task
-// plus already-emitted stale entries — O(N) overall.
+// plus not-yet-emitted stale entries; the scheduler rebuilds the index
+// outright when stales outnumber live entries (compactDue), bounding it
+// at O(live) even under membership-churn storms.
+//
+// dueHeap is the PR-5 implementation of the dueIndex interface (see
+// wheel.go), retained behind Config.DueHeap as the O(log n) oracle the
+// default timer wheel is property-tested against.
 
 // orderedIDs is an always-sorted set of TaskIDs.
 type orderedIDs struct {
@@ -74,7 +80,21 @@ type dueHeap struct {
 
 func (h *dueHeap) len() int { return len(h.es) }
 
-func (h *dueHeap) reset() { h.es = h.es[:0] }
+// reset empties the heap. The cursor anchor is meaningless for a
+// comparison-based index; it exists to satisfy dueIndex.
+func (h *dueHeap) reset(int64) { h.es = h.es[:0] }
+
+// drain pops every entry with wake <= tick, appending them to buf.
+func (h *dueHeap) drain(tick int64, buf []dueEntry) []dueEntry {
+	for {
+		e, ok := h.min()
+		if !ok || e.wake > tick {
+			return buf
+		}
+		h.pop()
+		buf = append(buf, e)
+	}
+}
 
 func (h *dueHeap) push(e dueEntry) {
 	h.es = append(h.es, e)

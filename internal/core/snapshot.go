@@ -96,17 +96,34 @@ func (s *Scheduler) Restore(snap Snapshot) error {
 	}
 	tasks := make(map[TaskID]*task, len(snap.Tasks))
 	var total int64
+	eligible := 0
 	for _, ts := range snap.Tasks {
 		st := Ineligible
 		if ts.Eligible {
 			st = Eligible
+			eligible++
+		}
+		// The §2.3 wake tick is a cache of count + ⌈allowance/Q⌉, and the
+		// serialized copy can overstate it: a quantum-stretching
+		// Reconfigure between save and load (the overload guard re-applies
+		// its degrade level on restart) shrinks the recomputed wake, and a
+		// hand-built or corrupted snapshot can claim anything. Rebuild the
+		// schedule strictly from the restored allowance by clamping to the
+		// recomputed wake — for a snapshot from a healthy scheduler the
+		// serialized value never exceeds it, so the clamp is a no-op and
+		// restored event streams are unchanged.
+		update := ts.Update
+		if ts.Eligible && ts.Allowance > 0 {
+			if w := snap.Count + ceilDiv(ts.Allowance, snap.Quantum); update > w {
+				update = w
+			}
 		}
 		tasks[ts.ID] = &task{
 			id:        ts.ID,
 			share:     ts.Share,
 			state:     st,
 			allowance: ts.Allowance,
-			update:    ts.Update,
+			update:    update,
 			blocked:   ts.Blocked,
 			// An ineligible task with a positive allowance can only be one
 			// captured between its Add and its first stage-3 visit; restore
@@ -122,7 +139,12 @@ func (s *Scheduler) Restore(snap Snapshot) error {
 	s.cfg.Quantum = snap.Quantum
 	s.tasks = tasks
 	s.order.reset()
-	s.due.reset()
+	if s.indexed {
+		// Re-anchor the index at the next tick to be serviced; wake ticks
+		// at or before the restored count land in its past bucket and
+		// surface on the first post-restore drain.
+		s.due.reset(snap.Count + 1)
+	}
 	s.admit = s.admit[:0]
 	s.dueBatch = s.dueBatch[:0]
 	s.duePrepared = 0
@@ -139,6 +161,7 @@ func (s *Scheduler) Restore(snap Snapshot) error {
 		}
 	}
 	s.totalShares = total
+	s.eligible = eligible
 	s.cycleTime = snap.CycleTime
 	s.count = snap.Count
 	s.cycles = snap.Cycles
@@ -192,6 +215,29 @@ func (s *Scheduler) SetQuantum(q time.Duration) error {
 	if q <= 0 {
 		return fmt.Errorf("%w: %v", ErrBadQuantum, q)
 	}
+	if q == s.cfg.Quantum {
+		return nil
+	}
 	s.cfg.Quantum = q
+	// Scheduled §2.3 wake ticks were derived under the old quantum. A
+	// larger Q means each unmeasured quantum can consume more, so a wake
+	// computed under the old Q may now overshoot the allowance — the task
+	// would overdraw unmeasured for the difference. Pull every scheduled
+	// wake back to the value the new quantum implies (never push it out:
+	// postponing beyond the original promise could hold measurements past
+	// the point the allowance supports). Both tick paths share this code,
+	// so their event streams move together.
+	for _, id := range s.order.all() {
+		t := s.tasks[id]
+		if t.state != Eligible || t.update <= s.count || t.allowance <= 0 {
+			continue
+		}
+		if w := s.count + ceilDiv(t.allowance, q); w < t.update {
+			t.update = w
+			if s.indexed {
+				s.due.push(dueEntry{wake: w, id: id})
+			}
+		}
+	}
 	return nil
 }

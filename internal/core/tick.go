@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"alps/internal/obs"
@@ -81,7 +81,7 @@ func (s *Scheduler) prepareDue(tick int64) {
 	if s.indexed && s.duePrepared != 0 {
 		// A batch prepared for an earlier tick was never consumed by a
 		// TickQuantum (the driver called DueTasks and then skipped the
-		// tick). Its entries were popped from the heap; re-arm them so
+		// tick). Its entries were drained from the index; re-arm them so
 		// the tasks are not silently lost from the measurement schedule.
 		for _, id := range s.dueBatch {
 			if t, ok := s.tasks[id]; ok && t.state == Eligible {
@@ -104,12 +104,17 @@ func (s *Scheduler) prepareDue(tick int64) {
 		}
 		return
 	}
-	for {
-		e, ok := s.due.min()
-		if !ok || e.wake > tick {
-			break
-		}
-		s.due.pop()
+	// Lazily invalidated entries (removed, re-measured, or turned
+	// ineligible tasks) are normally discarded as they drain, but a
+	// membership-churn storm can strand far-future stales faster than
+	// drains retire them; rebuild the index outright once they outnumber
+	// the live entries (at most one per eligible task), bounding index
+	// memory at O(eligible) regardless of churn.
+	if s.due.len() > 2*s.eligible+compactSlack {
+		s.compactDue(tick)
+	}
+	s.drainBuf = s.due.drain(tick, s.drainBuf[:0])
+	for _, e := range s.drainBuf {
 		t, live := s.tasks[e.id]
 		if !live || t.state != Eligible || t.update != e.wake || t.dueTick == tick {
 			continue // stale or duplicate entry
@@ -117,15 +122,69 @@ func (s *Scheduler) prepareDue(tick int64) {
 		t.dueTick = tick
 		s.dueBatch = append(s.dueBatch, e.id)
 	}
-	sort.Slice(s.dueBatch, func(i, j int) bool { return s.dueBatch[i] < s.dueBatch[j] })
+	// Index drain order (wheel slot order, heap tie order) must never
+	// reach the event stream: the batch is ID-sorted before any
+	// measurement happens.
+	slices.Sort(s.dueBatch)
+}
+
+// compactSlack keeps tiny schedulers from rebuilding the index on every
+// quantum when a handful of stale entries already exceeds 2×eligible.
+const compactSlack = 64
+
+// compactDue rebuilds the due index strictly from live task state,
+// discarding every lazily invalidated entry. Re-anchoring at tick means
+// already-due wake ticks land in the index's past bucket and surface in
+// this quantum's drain, so compaction never perturbs the measurement
+// schedule.
+func (s *Scheduler) compactDue(tick int64) {
+	s.due.reset(tick)
+	for _, id := range s.order.all() {
+		t := s.tasks[id]
+		if t.state == Eligible {
+			s.due.push(dueEntry{wake: t.update, id: id})
+		}
+	}
+}
+
+// beginDecision hands out a Decision backed by the scheduler's scratch
+// slices (all length 0). endDecision must be called on every path that
+// returns it.
+func (s *Scheduler) beginDecision() Decision {
+	return Decision{
+		Resume:   s.decResume[:0],
+		Suspend:  s.decSuspend[:0],
+		Measured: s.decMeasured[:0],
+		Dead:     s.decDead[:0],
+	}
+}
+
+// endDecision saves the (possibly grown) scratch back onto the scheduler
+// and normalizes empty fields to nil, preserving the pre-scratch
+// contract that a field with no entries is nil (tests and drivers
+// DeepEqual against that shape).
+func (s *Scheduler) endDecision(d *Decision) {
+	s.decResume, s.decSuspend, s.decMeasured, s.decDead = d.Resume, d.Suspend, d.Measured, d.Dead
+	if len(d.Resume) == 0 {
+		d.Resume = nil
+	}
+	if len(d.Suspend) == 0 {
+		d.Suspend = nil
+	}
+	if len(d.Measured) == 0 {
+		d.Measured = nil
+	}
+	if len(d.Dead) == 0 {
+		d.Dead = nil
+	}
 }
 
 // tickIndexed is the O(due)-work implementation of TickQuantum.
 func (s *Scheduler) tickIndexed(read Reader) Decision {
-	var d Decision
 	if len(s.tasks) == 0 {
-		return d
+		return Decision{}
 	}
+	d := s.beginDecision()
 	o := s.cfg.Observer
 	s.count++
 	if o != nil {
@@ -137,7 +196,6 @@ func (s *Scheduler) tickIndexed(read Reader) Decision {
 	// revalidated against the live task state, so a Remove between a
 	// DueTasks prefetch and this tick cannot resurrect a task.
 	s.prepareDue(s.count)
-	var dead []TaskID
 	for _, id := range s.dueBatch {
 		t, ok := s.tasks[id]
 		if !ok || t.state != Eligible || t.update > s.count {
@@ -145,7 +203,7 @@ func (s *Scheduler) tickIndexed(read Reader) Decision {
 		}
 		p, alive := read(id)
 		if !alive {
-			dead = append(dead, id)
+			d.Dead = append(d.Dead, id)
 			continue
 		}
 		d.Measured = append(d.Measured, id)
@@ -153,14 +211,13 @@ func (s *Scheduler) tickIndexed(read Reader) Decision {
 	}
 	s.dueBatch = s.dueBatch[:0]
 	s.duePrepared = 0 // batch consumed; nothing to re-arm
-	for _, id := range dead {
+	for _, id := range d.Dead {
 		// Remove cannot fail here: the ID was just iterated.
 		_ = s.Remove(id)
 		if o != nil {
 			o.Observe(obs.Event{Kind: obs.KindDead, Tick: s.count, Task: int64(id)})
 		}
 	}
-	d.Dead = dead
 	if o != nil {
 		s.phaseMark(o, obs.KindPhaseEnd, obs.PhaseSample)
 	}
@@ -168,6 +225,7 @@ func (s *Scheduler) tickIndexed(read Reader) Decision {
 		if o != nil {
 			o.Observe(obs.Event{Kind: obs.KindQuantumEnd, Tick: s.count, Task: -1, Cycle: int64(s.cycles)})
 		}
+		s.endDecision(&d)
 		return d
 	}
 
@@ -202,7 +260,7 @@ func (s *Scheduler) tickIndexed(read Reader) Decision {
 				}
 			}
 			s.admit = s.admit[:0]
-			sort.Slice(s.visit, func(i, j int) bool { return s.visit[i] < s.visit[j] })
+			slices.Sort(s.visit)
 		}
 		for _, id := range s.visit {
 			s.stage3(s.tasks[id], grants, o, &d)
@@ -218,6 +276,7 @@ func (s *Scheduler) tickIndexed(read Reader) Decision {
 			Cycle: int64(s.cycles),
 		})
 	}
+	s.endDecision(&d)
 	return d
 }
 
@@ -225,10 +284,10 @@ func (s *Scheduler) tickIndexed(read Reader) Decision {
 // all N tasks. It is the oracle the equivalence property test runs the
 // indexed path against, and the baseline the scale benchmark measures.
 func (s *Scheduler) tickReference(read Reader) Decision {
-	var d Decision
 	if len(s.tasks) == 0 {
-		return d
+		return Decision{}
 	}
+	d := s.beginDecision()
 	o := s.cfg.Observer
 	s.count++
 	if o != nil {
@@ -237,7 +296,6 @@ func (s *Scheduler) tickReference(read Reader) Decision {
 	}
 
 	// Stage 1: measurement loop.
-	var dead []TaskID
 	for _, id := range s.order.all() {
 		t := s.tasks[id]
 		if t.state != Eligible {
@@ -248,22 +306,21 @@ func (s *Scheduler) tickReference(read Reader) Decision {
 		}
 		p, ok := read(id)
 		if !ok {
-			dead = append(dead, id)
+			d.Dead = append(d.Dead, id)
 			continue
 		}
 		d.Measured = append(d.Measured, id)
 		s.charge(t, p, o)
 	}
-	for i := 0; i < len(dead); i++ {
+	for i := 0; i < len(d.Dead); i++ {
 		// Remove mutates s.order, so the dead are collected first and
 		// removed after the scan (by index: Remove cannot fail here).
-		id := dead[i]
+		id := d.Dead[i]
 		_ = s.Remove(id)
 		if o != nil {
 			o.Observe(obs.Event{Kind: obs.KindDead, Tick: s.count, Task: int64(id)})
 		}
 	}
-	d.Dead = dead
 	if o != nil {
 		s.phaseMark(o, obs.KindPhaseEnd, obs.PhaseSample)
 	}
@@ -271,6 +328,7 @@ func (s *Scheduler) tickReference(read Reader) Decision {
 		if o != nil {
 			o.Observe(obs.Event{Kind: obs.KindQuantumEnd, Tick: s.count, Task: -1, Cycle: int64(s.cycles)})
 		}
+		s.endDecision(&d)
 		return d
 	}
 
@@ -298,6 +356,7 @@ func (s *Scheduler) tickReference(read Reader) Decision {
 			Cycle: int64(s.cycles),
 		})
 	}
+	s.endDecision(&d)
 	return d
 }
 
@@ -380,8 +439,10 @@ func (s *Scheduler) stage3(t *task, grants int, o obs.Observer, d *Decision) {
 	if next != t.state {
 		t.state = next
 		if next == Eligible {
+			s.eligible++
 			d.Resume = append(d.Resume, t.id)
 		} else {
+			s.eligible--
 			d.Suspend = append(d.Suspend, t.id)
 		}
 		if o != nil {

@@ -9,6 +9,7 @@ import (
 
 	"alps/internal/core"
 	"alps/internal/metrics"
+	"alps/internal/obs"
 	"alps/internal/osproc"
 	"alps/internal/trace"
 )
@@ -69,6 +70,15 @@ type LoopScaleParams struct {
 	// SpeedupAtN is the fleet size the indexed-vs-reference speedup is
 	// reported at (the ≥5× gate). Must be in Ns.
 	SpeedupAtN int
+	// GroupPrincipals and GroupMembers drive the members-per-principal
+	// axis: GroupPrincipals principals, each owning one whole process
+	// group of m members, for every m in GroupMembers. The point records
+	// signal syscalls per eligibility flip — with group signaling one
+	// flip is one kill(-pgid) no matter how many members the principal
+	// has — and the per-Step cost, which must track the principal count,
+	// not the process count.
+	GroupPrincipals int
+	GroupMembers    []int
 }
 
 // DefaultLoopScaleParams sweeps N = 10..5000.
@@ -79,8 +89,10 @@ func DefaultLoopScaleParams() LoopScaleParams {
 		Warmup:         50,
 		Measure:        300,
 		ActivePermille: 50,
-		Samplers:       runtime.GOMAXPROCS(0),
-		SpeedupAtN:     1000,
+		Samplers:        runtime.GOMAXPROCS(0),
+		SpeedupAtN:      1000,
+		GroupPrincipals: 50,
+		GroupMembers:    []int{1, 10, 50, 100},
 	}
 }
 
@@ -100,6 +112,37 @@ type LoopVariantPoint struct {
 	// SamplingReduction is the auditor's §3.2 ratio for the run (0 when
 	// no allocation cycle completed inside the measured window).
 	SamplingReduction float64 `json:"sampling_reduction"`
+}
+
+// LoopAllocPoint records steady-state allocator pressure at one fleet
+// size: the per-Step heap-allocation count (runtime Mallocs delta) of
+// the indexed loop with observability off, which the zero-allocation
+// rework holds at exactly zero. The median is the gated number — the
+// runtime's own background work (GC bookkeeping, timer wheel) can land
+// a stray allocation inside any single Step, and the median discards
+// those without hiding a loop that genuinely allocates every quantum.
+type LoopAllocPoint struct {
+	N            int     `json:"n"`
+	MedianAllocs float64 `json:"median_allocs_per_quantum"`
+	MeanAllocs   float64 `json:"mean_allocs_per_quantum"`
+}
+
+// LoopGroupPoint is one point on the members-per-principal axis.
+type LoopGroupPoint struct {
+	Principals int `json:"principals"`
+	Members    int `json:"members_per_principal"`
+	// N is the total process count (Principals × Members).
+	N int `json:"n"`
+	// MedianNs is the median wall time per Step. Holding Principals
+	// fixed while Members grows, this shows whether quantum cost scales
+	// with processes or with principals.
+	MedianNs float64 `json:"median_ns"`
+	// Flips counts principal eligibility transitions over the measured
+	// window; SignalSyscalls counts kill(2)-equivalent calls the runner
+	// issued for them. With process-group signaling the ratio is ≤1.
+	Flips           int64   `json:"flips"`
+	SignalSyscalls  int64   `json:"signal_syscalls"`
+	SyscallsPerFlip float64 `json:"syscalls_per_flip"`
 }
 
 // LoopScalePoint is one N's measurements across the variants.
@@ -133,6 +176,15 @@ type LoopScaleResult struct {
 	SpeedupAtN      float64 `json:"speedup_at_n"`
 	AuditSpeedupAtN float64 `json:"audit_speedup_at_n"`
 	Indexed5x       bool    `json:"indexed_5x_at_n"`
+	// Allocs is the steady-state allocs-per-quantum gauge at each N;
+	// SteadyStateAllocs is the gated number — the median at the largest
+	// fleet size (0 after the zero-allocation rework).
+	Allocs            []LoopAllocPoint `json:"allocs"`
+	SteadyStateAllocs float64          `json:"steady_state_allocs_per_quantum"`
+	// Groups is the members-per-principal axis; SyscallsPerFlipAtScale
+	// is the gated ratio at its largest point (≤1 with group signaling).
+	Groups                 []LoopGroupPoint `json:"groups"`
+	SyscallsPerFlipAtScale float64          `json:"syscalls_per_flip_at_scale"`
 }
 
 // loopScaleRun times one variant at one N.
@@ -197,6 +249,116 @@ func loopScaleRun(p LoopScaleParams, n, samplers int, disableIndexing bool) (Loo
 	}, nil
 }
 
+// loopAllocRun measures steady-state heap allocations per Step at one
+// N. The run is the gate's configuration, not the timing sweep's: the
+// indexed loop, sequential sampling, no observer — the zero-allocation
+// contract covers the scheduler and runner hot path, not whatever an
+// attached observer does with the events.
+func loopAllocRun(p LoopScaleParams, n int) (LoopAllocPoint, error) {
+	fs := osproc.NewFaultSys()
+	fs.Quiet = true
+	fs.SharedCPU = true
+	tasks := make([]osproc.Task, n)
+	period := 1000
+	if p.ActivePermille > 0 {
+		period = 1000 / p.ActivePermille
+	}
+	for i := range tasks {
+		pid := 1000 + i
+		state := byte('S')
+		if p.ActivePermille > 0 && i%period == 0 {
+			state = 'R'
+		}
+		fs.AddProc(osproc.FaultProc{PID: pid, Start: uint64(pid), State: state})
+		tasks[i] = osproc.Task{ID: core.TaskID(i + 1), Share: int64(i%8) + 1, PIDs: []int{pid}}
+	}
+	r, err := osproc.NewRunner(osproc.Config{Quantum: p.Quantum, Sys: fs}, tasks)
+	if err != nil {
+		return LoopAllocPoint{}, fmt.Errorf("alloc N=%d: %w", n, err)
+	}
+	defer r.Release()
+
+	for i := 0; i < p.Warmup; i++ {
+		fs.Advance(p.Quantum)
+		r.Step()
+	}
+	var before, after runtime.MemStats
+	samples := make([]float64, 0, p.Measure)
+	for i := 0; i < p.Measure; i++ {
+		fs.Advance(p.Quantum) // outside the window: Advance is the workload stand-in
+		runtime.ReadMemStats(&before)
+		r.Step()
+		runtime.ReadMemStats(&after)
+		samples = append(samples, float64(after.Mallocs-before.Mallocs))
+	}
+	sort.Float64s(samples)
+	mean, err := metrics.Mean(samples)
+	if err != nil {
+		return LoopAllocPoint{}, err
+	}
+	return LoopAllocPoint{N: n, MedianAllocs: samples[len(samples)/2], MeanAllocs: mean}, nil
+}
+
+// loopGroupRun measures one members-per-principal point: `principals`
+// tasks, each owning a whole process group of `members` processes, all
+// busy. Eligibility flips are counted from the observer's transition
+// events and signal syscalls from FaultSys's counter, both over the
+// measured window only.
+func loopGroupRun(p LoopScaleParams, principals, members int) (LoopGroupPoint, error) {
+	fs := osproc.NewFaultSys()
+	fs.Quiet = true
+	fs.SharedCPU = true
+	tasks := make([]osproc.Task, principals)
+	for i := range tasks {
+		leader := 1000 + i*members
+		pids := make([]int, members)
+		for j := 0; j < members; j++ {
+			pid := leader + j
+			fs.AddProc(osproc.FaultProc{PID: pid, PGID: leader, Start: uint64(pid), State: 'R'})
+			pids[j] = pid
+		}
+		tasks[i] = osproc.Task{ID: core.TaskID(i + 1), Share: int64(i%8) + 1, PIDs: pids, PGID: leader}
+	}
+	var flips int64
+	counter := obs.ObserverFunc(func(e obs.Event) {
+		if e.Kind == obs.KindTransition {
+			flips++
+		}
+	})
+	r, err := osproc.NewRunner(osproc.Config{Quantum: p.Quantum, Sys: fs, Observer: counter}, tasks)
+	if err != nil {
+		return LoopGroupPoint{}, fmt.Errorf("group %d×%d: %w", principals, members, err)
+	}
+	defer r.Release()
+
+	for i := 0; i < p.Warmup; i++ {
+		fs.Advance(p.Quantum)
+		r.Step()
+	}
+	flips = 0
+	baseCalls := fs.SignalSyscalls()
+	samples := make([]float64, 0, p.Measure)
+	for i := 0; i < p.Measure; i++ {
+		fs.Advance(p.Quantum)
+		t0 := time.Now()
+		r.Step()
+		samples = append(samples, float64(time.Since(t0).Nanoseconds()))
+	}
+	sort.Float64s(samples)
+	pt := LoopGroupPoint{
+		Principals:     principals,
+		Members:        members,
+		N:              principals * members,
+		MedianNs:       samples[len(samples)/2],
+		Flips:          flips,
+		SignalSyscalls: fs.SignalSyscalls() - baseCalls,
+	}
+	if pt.Flips > 0 {
+		pt.SyscallsPerFlip = float64(pt.SignalSyscalls) / float64(pt.Flips)
+	}
+	return pt, nil
+}
+
 // LoopScale runs the control-loop scaling sweep.
 func LoopScale(p LoopScaleParams) (*LoopScaleResult, error) {
 	res := &LoopScaleResult{Params: p}
@@ -223,6 +385,24 @@ func LoopScale(p LoopScaleParams) (*LoopScaleResult, error) {
 			res.SpeedupAtN = pt.Speedup
 			res.AuditSpeedupAtN = pt.AuditSpeedup
 			res.Indexed5x = pt.AuditSpeedup >= 5
+		}
+	}
+	for _, n := range p.Ns {
+		apt, err := loopAllocRun(p, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Allocs = append(res.Allocs, apt)
+		res.SteadyStateAllocs = apt.MedianAllocs // Ns is ascending; last wins
+	}
+	if p.GroupPrincipals > 0 {
+		for _, m := range p.GroupMembers {
+			gpt, err := loopGroupRun(p, p.GroupPrincipals, m)
+			if err != nil {
+				return nil, err
+			}
+			res.Groups = append(res.Groups, gpt)
+			res.SyscallsPerFlipAtScale = gpt.SyscallsPerFlip // GroupMembers is ascending; last wins
 		}
 	}
 	res.ReferenceFit = loopFit(res.Points, func(pt LoopScalePoint) float64 { return pt.Reference.MedianNs })

@@ -47,6 +47,9 @@ type faultKey struct {
 // FaultProc is one simulated process in a FaultSys table.
 type FaultProc struct {
 	PID int
+	// PGID is the process-group ID; zero means the process leads its own
+	// group (pgid == PID), matching a plain fork without setpgid.
+	PGID int
 	// UID owns the process (for PidsOfUser).
 	UID uint32
 	// State is the run state reported while not stopped: 'R', 'S', 'D'
@@ -109,9 +112,23 @@ type FaultSys struct {
 	// Sleeps counts backoff sleeps; their durations advance the clock.
 	Sleeps int
 
+	// sigCalls counts signal syscalls (Stop, Cont, StopGroup, ContGroup
+	// — one each, regardless of group size). The scale benchmark derives
+	// its signal-syscalls-per-flip gauge from it.
+	sigCalls int64
+
 	rng      *rand.Rand
 	chaosP   float64
 	chaosOps int
+}
+
+// SignalSyscalls returns the number of signal syscalls issued so far:
+// each Stop/Cont/StopGroup/ContGroup call counts once, because each is
+// exactly one kill(2) on a real kernel.
+func (f *FaultSys) SignalSyscalls() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sigCalls
 }
 
 // NewFaultSys creates an empty fault-injecting fake. The virtual clock
@@ -162,6 +179,9 @@ func (f *FaultSys) Reuse(pid int, start uint64) {
 	p.State = 'R'
 	p.Rate = 1.0
 	p.stopped = false
+	// An unrelated process inheriting the number is not in the old
+	// incarnation's process group.
+	p.PGID = 0
 }
 
 // SetState changes the run state a process reports while not stopped.
@@ -175,6 +195,11 @@ func (f *FaultSys) SetState(pid int, state byte) {
 
 // Inject queues faults for the given pid and call; each matching call
 // consumes one fault in FIFO order, then the call proceeds normally.
+// A negative pid targets the group syscall itself: Inject(-pgid,
+// CallStop, FaultEINTR) makes the next StopGroup(pgid) fail EINTR as a
+// whole. Positive-pid ESRCH/EPERM schedules are also consumed by group
+// calls covering that member, modelling partial group delivery (the
+// member exited mid-kill, or is unsignalable).
 func (f *FaultSys) Inject(pid int, call FaultCall, kinds ...FaultKind) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -301,6 +326,11 @@ func (f *FaultSys) logf(format string, args ...any) {
 	f.Log = append(f.Log, fmt.Sprintf(format, args...))
 }
 
+// Hot-path call sites guard logf with !f.Quiet themselves: the variadic
+// args are boxed into an interface slice at the call site, before logf's
+// own Quiet check can skip them, and the scale benchmark's
+// zero-allocation gate covers those paths.
+
 // ReadStat implements Sys over the fault table.
 func (f *FaultSys) ReadStat(pid int) (Stat, error) {
 	f.mu.Lock()
@@ -329,7 +359,9 @@ func (f *FaultSys) ReadStat(pid int) (Stat, error) {
 		f.logf("read %d: gone", pid)
 		return Stat{}, syscall.ESRCH
 	}
-	f.logf("read %d", pid)
+	if !f.Quiet {
+		f.logf("read %d", pid)
+	}
 	state := p.State
 	if p.stopped {
 		state = 'T'
@@ -341,6 +373,7 @@ func (f *FaultSys) ReadStat(pid int) (Stat, error) {
 func (f *FaultSys) Stop(pid int) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.sigCalls++
 	if kind, ok := f.pop(pid, CallStop); ok {
 		if err := sigErr(kind); err != nil {
 			f.logf("stop %d: %v", pid, err)
@@ -352,7 +385,9 @@ func (f *FaultSys) Stop(pid int) error {
 		f.logf("stop %d: gone", pid)
 		return syscall.ESRCH
 	}
-	f.logf("stop %d", pid)
+	if !f.Quiet {
+		f.logf("stop %d", pid)
+	}
 	p.stopped = true
 	return nil
 }
@@ -361,6 +396,7 @@ func (f *FaultSys) Stop(pid int) error {
 func (f *FaultSys) Cont(pid int) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.sigCalls++
 	if kind, ok := f.pop(pid, CallCont); ok {
 		if err := sigErr(kind); err != nil {
 			f.logf("cont %d: %v", pid, err)
@@ -372,9 +408,104 @@ func (f *FaultSys) Cont(pid int) error {
 		f.logf("cont %d: gone", pid)
 		return syscall.ESRCH
 	}
-	f.logf("cont %d", pid)
+	if !f.Quiet {
+		f.logf("cont %d", pid)
+	}
 	p.stopped = false
 	return nil
+}
+
+// pgidOf returns a table entry's effective process-group ID (its own
+// PID when PGID is unset).
+func pgidOf(p *FaultProc) int {
+	if p.PGID != 0 {
+		return p.PGID
+	}
+	return p.PID
+}
+
+// popMember consumes the head of a member's fault queue during a group
+// call — but only if it is ESRCH or EPERM, the two per-member outcomes a
+// real kill(-pgid) can have (a member exiting mid-sweep, a member with
+// changed credentials). Transient kinds stay queued for direct per-PID
+// calls: the group kill is one syscall and cannot EINTR per member.
+func (f *FaultSys) popMember(pid int, call FaultCall) (FaultKind, bool) {
+	k := faultKey{pid, call}
+	if q := f.faults[k]; len(q) > 0 && (q[0] == FaultESRCH || q[0] == FaultEPERM) {
+		f.faults[k] = q[1:]
+		return q[0], true
+	}
+	return 0, false
+}
+
+// groupSignal is the shared body of StopGroup and ContGroup: one
+// syscall, POSIX aggregate result. Group-level faults are scheduled
+// against the negated pgid; per-member ESRCH/EPERM schedules carve
+// individual members out of the sweep so tests can script partial
+// delivery.
+func (f *FaultSys) groupSignal(pgid int, call FaultCall, stop bool, name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sigCalls++
+	if kind, ok := f.pop(-pgid, call); ok {
+		if err := sigErr(kind); err != nil {
+			f.logf("%s %d: %v", name, pgid, err)
+			return err
+		}
+	}
+	exists, signalled := 0, 0
+	for _, pid := range f.pids() {
+		p := f.procs[pid]
+		if pgidOf(p) != pgid || p.State == 'Z' {
+			continue
+		}
+		if kind, ok := f.popMember(pid, call); ok {
+			if kind == FaultESRCH {
+				f.logf("%s %d: member %d ESRCH", name, pgid, pid)
+				continue // exited mid-kill: does not exist for this sweep
+			}
+			f.logf("%s %d: member %d EPERM", name, pgid, pid)
+			exists++ // exists but silently unsignalled
+			continue
+		}
+		exists++
+		signalled++
+		p.stopped = stop
+	}
+	switch {
+	case signalled > 0:
+		if !f.Quiet {
+			f.logf("%s %d (%d of %d)", name, pgid, signalled, exists)
+		}
+		return nil
+	case exists == 0:
+		f.logf("%s %d: ESRCH", name, pgid)
+		return syscall.ESRCH
+	default:
+		f.logf("%s %d: EPERM", name, pgid)
+		return syscall.EPERM
+	}
+}
+
+// StopGroup implements Sys over the fault table.
+func (f *FaultSys) StopGroup(pgid int) error {
+	return f.groupSignal(pgid, CallStop, true, "stopg")
+}
+
+// ContGroup implements Sys over the fault table.
+func (f *FaultSys) ContGroup(pgid int) error {
+	return f.groupSignal(pgid, CallCont, false, "contg")
+}
+
+// Pgid implements Sys.
+func (f *FaultSys) Pgid(pid int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, ok := f.procs[pid]
+	if !ok {
+		return 0, syscall.ESRCH
+	}
+	return pgidOf(p), nil
 }
 
 // sigErr maps a fault kind to the error a signal call returns. FaultSlow

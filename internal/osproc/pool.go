@@ -76,22 +76,31 @@ func (r *Runner) prefetch() {
 	if w <= 1 {
 		return
 	}
-	var pids []int
+	pids := r.prefetchPIDs[:0]
 	for _, id := range r.sched.DueTasks() {
 		pids = append(pids, r.targets[id]...)
 	}
+	r.prefetchPIDs = pids
 	if len(pids) <= 1 {
 		return
 	}
-	results := make([]statResult, len(pids))
+	if cap(r.prefetchRes) < len(pids) {
+		r.prefetchRes = make([]statResult, len(pids))
+	}
+	results := r.prefetchRes[:len(pids)]
 	fanOut(w, len(pids), func(i int) {
 		st, err := r.readStat(pids[i])
 		results[i] = statResult{st: st, err: err}
 	})
-	r.statCache = make(map[int]statResult, len(pids))
-	for i, pid := range pids {
-		r.statCache[pid] = results[i]
+	if r.statScratch == nil {
+		r.statScratch = make(map[int]statResult, len(pids))
+	} else {
+		clear(r.statScratch)
 	}
+	for i, pid := range pids {
+		r.statScratch[pid] = results[i]
+	}
+	r.statCache = r.statScratch
 }
 
 // cachedStat returns the prefetched stat for pid, falling back to a

@@ -166,6 +166,17 @@ func Stop(pid int) error { return syscall.Kill(pid, syscall.SIGSTOP) }
 // Cont resumes a stopped process.
 func Cont(pid int) error { return syscall.Kill(pid, syscall.SIGCONT) }
 
+// StopGroup suspends an entire process group with a single syscall:
+// kill(2) with a negative PID signals every member of the group. The
+// call succeeds if at least one member was signalled.
+func StopGroup(pgid int) error { return syscall.Kill(-pgid, syscall.SIGSTOP) }
+
+// ContGroup resumes an entire process group with a single syscall.
+func ContGroup(pgid int) error { return syscall.Kill(-pgid, syscall.SIGCONT) }
+
+// Pgid returns the process-group ID of pid (getpgid(2)).
+func Pgid(pid int) (int, error) { return syscall.Getpgid(pid) }
+
 // Alive reports whether the process exists (signal 0 probe).
 func Alive(pid int) bool { return syscall.Kill(pid, 0) == nil }
 

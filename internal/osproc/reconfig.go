@@ -175,6 +175,9 @@ func (r *Runner) Reconfigure(rc Reconfig) error {
 			alive = append(alive, pid)
 		}
 		r.targets[t.ID] = alive
+		if t.PGID != 0 && len(alive) > 0 && r.verifyGroup(t.ID, t.PGID, alive) {
+			r.groups[t.ID] = t.PGID
+		}
 		r.health.reconfigs.Add(1)
 		r.emit(obs.Event{Kind: obs.KindReconfig, Tick: tick, Task: int64(t.ID), Share: t.Share, N: len(alive)})
 	}

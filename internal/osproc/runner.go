@@ -19,6 +19,13 @@ type Task struct {
 	ID    core.TaskID
 	Share int64
 	PIDs  []int
+	// PGID, when nonzero, asserts that every PID belongs to this process
+	// group, letting the runner suspend or resume the whole principal
+	// with a single kill(-pgid) syscall instead of one per member.
+	// Membership is verified via getpgid at adoption; a claim that does
+	// not hold (attach mode, mixed groups) silently falls back to per-PID
+	// delivery. cmd/alps sets it for spawned workloads (Setpgid at fork).
+	PGID int
 }
 
 // Config parameterizes a Runner.
@@ -138,6 +145,15 @@ type Runner struct {
 	known   map[int]pidState // accounting baseline per live PID
 	badSig  map[int]int      // consecutive failed signal deliveries
 	badRead map[int]int      // consecutive denied stat reads
+	// groups maps a task to its verified process-group ID. Presence means
+	// every member PID was confirmed (getpgid) to be in the group, so
+	// eligibility flips cost one syscall; absence means per-PID delivery.
+	groups map[core.TaskID]int
+
+	// sigOps and sigResults are enact's per-quantum scratch, reused
+	// across ticks so the steady-state signal path allocates nothing.
+	sigOps     []sigOp
+	sigResults []sigResult
 
 	suspended map[int]bool
 	ticks     int64
@@ -158,8 +174,13 @@ type Runner struct {
 	// statCache holds the worker pool's prefetched stat reads for the
 	// current quantum (nil when sampling sequentially); read() consumes
 	// it so the Sys calls happen concurrently but every bookkeeping
-	// decision stays on the loop goroutine.
-	statCache map[int]statResult
+	// decision stays on the loop goroutine. statScratch is the retained
+	// backing map (cleared, not reallocated, each quantum), and
+	// prefetchPIDs/prefetchRes the retained fan-out buffers.
+	statCache    map[int]statResult
+	statScratch  map[int]statResult
+	prefetchPIDs []int
+	prefetchRes  []statResult
 	// needReconcile requests a full eligibility reconciliation sweep on
 	// the next quantum. Set whenever suspension state may disagree with
 	// eligibility — a failed signal delivery, a membership refresh, a
@@ -220,12 +241,32 @@ func NewRunner(cfg Config, tasks []Task) (*Runner, error) {
 			live++
 		}
 		r.targets[t.ID] = alive
+		if t.PGID != 0 && len(alive) > 0 && r.verifyGroup(t.ID, t.PGID, alive) {
+			r.groups[t.ID] = t.PGID
+		}
 	}
 	if requested > 0 && live == 0 {
 		r.Release()
 		return nil, ErrNoLiveProcess
 	}
 	return r, nil
+}
+
+// verifyGroup confirms via getpgid that every member PID actually
+// belongs to the claimed process group before one-syscall group
+// signalling is enabled for the task. A claimed-but-wrong PGID would
+// otherwise stop unrelated processes or miss members; mixed or
+// unverifiable memberships fall back to per-PID delivery.
+func (r *Runner) verifyGroup(id core.TaskID, pgid int, pids []int) bool {
+	for _, pid := range pids {
+		got, err := r.sys.Pgid(pid)
+		if err != nil || got != pgid {
+			r.errf("task %d: pid %d is not in process group %d (pgid=%d err=%v); using per-PID signalling",
+				id, pid, pgid, got, err)
+			return false
+		}
+	}
+	return true
 }
 
 // newRunnerSkeleton builds a Runner with its maps, clock, scheduler, and
@@ -243,6 +284,7 @@ func newRunnerSkeleton(cfg Config) *Runner {
 		known:     make(map[int]pidState),
 		badSig:    make(map[int]int),
 		badRead:   make(map[int]int),
+		groups:    make(map[core.TaskID]int),
 		suspended: make(map[int]bool),
 		baseQ:     cfg.Quantum,
 		now:       time.Now,
@@ -426,52 +468,122 @@ func (r *Runner) tickOnce() bool {
 	return r.sched.Len() == 0
 }
 
-// enact delivers the quantum's SIGSTOP/SIGCONT batch. With more than one
-// worker the raw deliveries (including their per-PID retry/backoff) run
+// sigOp is one pending signal delivery: a single PID, or — when group
+// is set — an entire process group owned by task (pid then holds the
+// pgid), delivered with one kill(-pgid) syscall.
+type sigOp struct {
+	pid   int
+	task  core.TaskID
+	stop  bool
+	group bool
+}
+
+// enact delivers the quantum's SIGSTOP/SIGCONT batch. A task with a
+// verified process group costs one syscall per eligibility flip
+// regardless of member count; everything else goes per PID. With more
+// than one worker the raw deliveries (including their retry/backoff) run
 // concurrently, but strike accounting, drops, and the suspended map are
 // updated on the loop goroutine in decision order, so the outcome is
 // identical to the sequential path.
 func (r *Runner) enact(dec core.Decision) {
-	type sigOp struct {
-		pid  int
-		stop bool
-	}
-	var ops []sigOp
+	ops := r.sigOps[:0]
 	for _, id := range dec.Suspend {
-		for _, pid := range r.targets[id] {
-			ops = append(ops, sigOp{pid, true})
-		}
+		ops = r.appendOps(ops, id, true)
 	}
 	for _, id := range dec.Resume {
-		for _, pid := range r.targets[id] {
-			ops = append(ops, sigOp{pid, false})
-		}
+		ops = r.appendOps(ops, id, false)
 	}
+	r.sigOps = ops
 	if w := r.workers(); w > 1 && len(ops) > 1 {
-		results := make([]sigResult, len(ops))
+		if cap(r.sigResults) < len(ops) {
+			r.sigResults = make([]sigResult, len(ops))
+		}
+		results := r.sigResults[:len(ops)]
 		fanOut(w, len(ops), func(i int) {
-			results[i] = r.deliverSignal(ops[i].pid, ops[i].stop)
+			results[i] = r.deliverOp(ops[i])
 		})
 		for i, op := range ops {
-			if r.applySignal(results[i]) {
-				if op.stop {
-					r.suspended[op.pid] = true
-				} else {
-					delete(r.suspended, op.pid)
-				}
-			}
+			r.settleOp(op, results[i])
 		}
 		return
 	}
 	for _, op := range ops {
-		if r.signal(op.pid, op.stop) {
-			if op.stop {
-				r.suspended[op.pid] = true
-			} else {
-				delete(r.suspended, op.pid)
-			}
+		r.settleOp(op, r.deliverOp(op))
+	}
+}
+
+// appendOps expands one task's eligibility flip into signal operations:
+// a single group op when the task owns a verified process group, else
+// one op per member PID.
+func (r *Runner) appendOps(ops []sigOp, id core.TaskID, stop bool) []sigOp {
+	if pgid, ok := r.groups[id]; ok && len(r.targets[id]) > 0 {
+		return append(ops, sigOp{pid: pgid, task: id, stop: stop, group: true})
+	}
+	for _, pid := range r.targets[id] {
+		ops = append(ops, sigOp{pid: pid, task: id, stop: stop})
+	}
+	return ops
+}
+
+// deliverOp performs one op's raw delivery (safe on a pool worker).
+func (r *Runner) deliverOp(op sigOp) sigResult {
+	if op.group {
+		return r.deliverGroupSignal(op.pid, op.stop)
+	}
+	return r.deliverSignal(op.pid, op.stop)
+}
+
+// settleOp applies one delivery's bookkeeping on the loop goroutine.
+func (r *Runner) settleOp(op sigOp, res sigResult) {
+	if !op.group {
+		if r.applySignal(res) {
+			r.markSuspended(op.pid, op.stop)
+		}
+		return
+	}
+	if res.ok {
+		// One syscall covered the whole group: POSIX kill(-pgid) succeeds
+		// when it signalled at least one member. A member that exited
+		// mid-call simply was not there to signal — the next measurement
+		// observes it gone and drops it — so no strikes are charged here
+		// and none can be double-charged later. A member the kernel
+		// silently skipped (credential change) is caught by the
+		// measurement loop's stopped-state check and re-aligned by the
+		// reconcile sweep.
+		for _, pid := range r.targets[op.task] {
+			r.markSuspended(pid, op.stop)
+		}
+		return
+	}
+	// The group call failed as a whole: ESRCH (every member already
+	// gone), EPERM (members exist but none signalable), or exhausted
+	// transient retries. Fall back to per-PID delivery so each member's
+	// outcome is settled individually — vanished members are dropped,
+	// refusing members are struck at most once each, and no survivor is
+	// left in the wrong run state.
+	r.errf("%s group %d (task %d): %v; falling back to per-PID delivery",
+		sigName(op.stop), op.pid, op.task, res.err)
+	for _, pid := range r.targets[op.task] {
+		if r.signal(pid, op.stop) {
+			r.markSuspended(pid, op.stop)
 		}
 	}
+}
+
+// markSuspended records a delivered signal's effect on the suspended map.
+func (r *Runner) markSuspended(pid int, stop bool) {
+	if stop {
+		r.suspended[pid] = true
+	} else {
+		delete(r.suspended, pid)
+	}
+}
+
+func sigName(stop bool) string {
+	if stop {
+		return "stop"
+	}
+	return "cont"
 }
 
 // maybeReconcile runs the full reconciliation sweep only when it can
@@ -503,7 +615,7 @@ func (r *Runner) maybeReconcile(dec core.Decision) {
 // refusing PID is eventually dropped).
 func (r *Runner) reconcile() {
 	r.needReconcile = false
-	for _, id := range r.sched.Tasks() {
+	for _, id := range r.sched.TaskIDs() {
 		st, err := r.sched.State(id)
 		if err != nil {
 			continue
@@ -538,6 +650,7 @@ func (r *Runner) forgetTask(id core.TaskID) {
 		delete(r.badRead, pid)
 	}
 	delete(r.targets, id)
+	delete(r.groups, id)
 }
 
 // readStat reads a PID's stat with immediate retries for transient
@@ -610,6 +723,17 @@ func (r *Runner) read(id core.TaskID) (core.Progress, bool) {
 			r.health.vanished.Add(1)
 			r.forgetPID(pid)
 			continue
+		}
+		if st.State == 'T' && !r.suspended[pid] {
+			// The member is stopped though the runner believes it running:
+			// a group signal that silently skipped it (POSIX kill(-pgid)
+			// succeeds once it signals any one member), or an external
+			// SIGSTOP. Adopt the observed state and let the reconcile
+			// sweep re-send SIGCONT through the strike machinery, so a
+			// partially delivered group resume can never leave a survivor
+			// frozen.
+			r.suspended[pid] = true
+			r.needReconcile = true
 		}
 		prev, ok := r.known[pid]
 		if !ok {
@@ -722,16 +846,44 @@ func (r *Runner) deliverSignal(pid int, stop bool) sigResult {
 	}
 }
 
+// deliverGroupSignal performs one raw kill(-pgid) delivery with the same
+// classified recovery as deliverSignal: transient errors retry with
+// capped jittered backoff within the quantum; ESRCH and EPERM are
+// terminal for the group call, and settleOp falls back to per-PID
+// delivery to settle individual members.
+func (r *Runner) deliverGroupSignal(pgid int, stop bool) sigResult {
+	if r.mx != nil {
+		begin := r.now()
+		defer func() { r.mx.signalDur.Observe(r.now().Sub(begin).Seconds()) }()
+	}
+	op := r.sys.ContGroup
+	if stop {
+		op = r.sys.StopGroup
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = op(pgid); err == nil {
+			return sigResult{pid: pgid, stop: stop, ok: true}
+		}
+		class := classify(err)
+		if class == errGone {
+			return sigResult{pid: pgid, stop: stop, gone: true, err: err}
+		}
+		if class == errDenied || attempt >= maxSignalAttempts {
+			return sigResult{pid: pgid, stop: stop, err: err}
+		}
+		r.health.sigRetries.Add(1)
+		r.sys.Sleep(r.retry.Delay(uint64(pgid), attempt))
+	}
+}
+
 // applySignal settles one delivery's bookkeeping on the loop goroutine:
 // ESRCH drops the PID immediately; EPERM (and exhausted retries) count a
 // strike, and a PID that keeps refusing signals for maxBadPIDStrikes
 // consecutive deliveries is dropped so the remaining workload's
 // guarantees survive. Reports whether the signal was delivered.
 func (r *Runner) applySignal(res sigResult) bool {
-	name := "cont"
-	if res.stop {
-		name = "stop"
-	}
+	name := sigName(res.stop)
 	if res.ok {
 		delete(r.badSig, res.pid)
 		return true
@@ -824,6 +976,22 @@ func (r *Runner) refresh(m map[core.TaskID][]int) {
 			live = append(live, pid)
 		}
 		r.targets[id] = live
+		if pgid, ok := r.groups[id]; ok {
+			// Joiners must be in the verified group, or the task becomes a
+			// mixed membership and loses one-syscall signalling: a group
+			// kill would miss the outside members.
+			for _, pid := range live {
+				if old[pid] {
+					continue
+				}
+				if got, err := r.sys.Pgid(pid); err != nil || got != pgid {
+					r.errf("refresh: task %d: joining pid %d is outside process group %d (pgid=%d err=%v); reverting to per-PID signalling",
+						id, pid, pgid, got, err)
+					delete(r.groups, id)
+					break
+				}
+			}
+		}
 	}
 	r.prune()
 	// Membership moved under the scheduler; make the next quantum verify

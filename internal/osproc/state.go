@@ -31,6 +31,10 @@ type TaskRecord struct {
 	ID    core.TaskID `json:"id"`
 	Share int64       `json:"share"`
 	PIDs  []PIDRecord `json:"pids"`
+	// PGID is the verified process-group ID when the dead instance was
+	// using one-syscall group signalling for this task; restore
+	// re-verifies it against the adopted survivors before trusting it.
+	PGID int `json:"pgid,omitempty"`
 }
 
 // RunnerState is the runner's complete durable state.
@@ -66,7 +70,7 @@ func (r *Runner) stateLocked() RunnerState {
 		DegradeLevel: r.over.level,
 	}
 	for _, snap := range st.Sched.Tasks {
-		rec := TaskRecord{ID: snap.ID, Share: snap.Share}
+		rec := TaskRecord{ID: snap.ID, Share: snap.Share, PGID: r.groups[snap.ID]}
 		for _, pid := range r.targets[snap.ID] {
 			rec.PIDs = append(rec.PIDs, PIDRecord{PID: pid, Start: r.known[pid].start})
 		}
@@ -188,6 +192,8 @@ func NewRunnerFromState(cfg Config, st RunnerState) (*Runner, error) {
 		if len(adopted) == 0 {
 			_ = r.sched.Remove(rec.ID)
 			delete(r.targets, rec.ID)
+		} else if rec.PGID != 0 && r.verifyGroup(rec.ID, rec.PGID, adopted) {
+			r.groups[rec.ID] = rec.PGID
 		}
 	}
 	if live == 0 {

@@ -17,6 +17,18 @@ type Sys interface {
 	Stop(pid int) error
 	// Cont resumes pid (SIGCONT).
 	Cont(pid int) error
+	// StopGroup suspends every member of process group pgid with one
+	// kill(-pgid, SIGSTOP). POSIX aggregate semantics: success means at
+	// least one member was signalled; ESRCH means no member exists;
+	// EPERM means members exist but none could be signalled.
+	StopGroup(pgid int) error
+	// ContGroup resumes every member of process group pgid
+	// (kill(-pgid, SIGCONT)), with the same aggregate semantics.
+	ContGroup(pgid int) error
+	// Pgid returns pid's process-group ID (getpgid(2)); the runner uses
+	// it to verify a claimed group before trusting one-syscall group
+	// signalling.
+	Pgid(pid int) (int, error)
 	// PidsOfUser enumerates the live PIDs owned by uid.
 	PidsOfUser(uid uint32) ([]int, error)
 	// Sleep pauses the calling goroutine, used for the capped retry
@@ -36,6 +48,15 @@ func (RealSys) Stop(pid int) error { return Stop(pid) }
 
 // Cont sends SIGCONT.
 func (RealSys) Cont(pid int) error { return Cont(pid) }
+
+// StopGroup sends SIGSTOP to the whole process group.
+func (RealSys) StopGroup(pgid int) error { return StopGroup(pgid) }
+
+// ContGroup sends SIGCONT to the whole process group.
+func (RealSys) ContGroup(pgid int) error { return ContGroup(pgid) }
+
+// Pgid is getpgid(2).
+func (RealSys) Pgid(pid int) (int, error) { return Pgid(pid) }
 
 // PidsOfUser scans /proc for processes owned by uid.
 func (RealSys) PidsOfUser(uid uint32) ([]int, error) { return PidsOfUser(uid) }

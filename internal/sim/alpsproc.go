@@ -56,6 +56,13 @@ type AlpsConfig struct {
 	Cost CostModel
 	// DisableLazySampling turns off the §2.3 optimization.
 	DisableLazySampling bool
+	// GroupSignaling mirrors the osproc runner's process-group fast path
+	// in the cost model: each eligibility flip of a principal costs one
+	// Signal (one kill(-pgid) covers the whole group) regardless of
+	// member count. The simulated kernel has no process groups, so
+	// delivery still fans out per PID; only the charged CPU cost and the
+	// signals-sent syscall count collapse to per-principal.
+	GroupSignaling bool
 	// OnCycle receives the per-cycle consumption log (§3.1).
 	OnCycle func(core.CycleRecord)
 	// StartOffset delays the first quantum boundary, decorrelating
@@ -259,6 +266,7 @@ func (a *AlpsProc) next(k *Kernel, pid PID) Action {
 		cost += a.cfg.Cost.MeasureBase + time.Duration(measured)*a.cfg.Cost.MeasurePerProc
 	}
 
+	refreshOrders := len(pending) // out-of-band per-PID stops from refresh
 	for _, id := range dec.Suspend {
 		for _, wp := range a.targets[id] {
 			pending = append(pending, sigOrder{wp, SIGSTOP})
@@ -269,8 +277,25 @@ func (a *AlpsProc) next(k *Kernel, pid PID) Action {
 			pending = append(pending, sigOrder{wp, SIGCONT})
 		}
 	}
-	cost += time.Duration(len(pending)) * a.cfg.Cost.Signal
-	a.signalsSent += int64(len(pending))
+	syscalls := len(pending)
+	if a.cfg.GroupSignaling {
+		// One kill(-pgid) per flipped principal; refresh-time joins stay
+		// per-PID (a joiner is stopped individually, not via its group).
+		flips := 0
+		for _, id := range dec.Suspend {
+			if len(a.targets[id]) > 0 {
+				flips++
+			}
+		}
+		for _, id := range dec.Resume {
+			if len(a.targets[id]) > 0 {
+				flips++
+			}
+		}
+		syscalls = refreshOrders + flips
+	}
+	cost += time.Duration(syscalls) * a.cfg.Cost.Signal
+	a.signalsSent += int64(syscalls)
 
 	// Advance the timer grid; coalesce firings we are too late for,
 	// like overlapping SIGALRMs.
